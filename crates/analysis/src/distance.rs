@@ -1,0 +1,163 @@
+//! Distances between empirical degree distributions.
+//!
+//! Used to quantify how close two generated networks are (e.g. the exact
+//! copy-model generator vs. an approximate baseline, or the same model
+//! under different processor counts) beyond a single fitted exponent.
+
+use std::collections::BTreeMap;
+
+/// Empirical CDF support: merged sorted degrees with cumulative
+/// fractions for both samples.
+fn merged_cdfs(a: &[u64], b: &[u64]) -> Vec<(u64, f64, f64)> {
+    let hist = |xs: &[u64]| -> BTreeMap<u64, u64> {
+        let mut h = BTreeMap::new();
+        for &x in xs {
+            *h.entry(x).or_insert(0) += 1;
+        }
+        h
+    };
+    let (ha, hb) = (hist(a), hist(b));
+    let keys: std::collections::BTreeSet<u64> =
+        ha.keys().chain(hb.keys()).copied().collect();
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut ca, mut cb) = (0u64, 0u64);
+    keys.into_iter()
+        .map(|k| {
+            ca += ha.get(&k).copied().unwrap_or(0);
+            cb += hb.get(&k).copied().unwrap_or(0);
+            (k, ca as f64 / na, cb as f64 / nb)
+        })
+        .collect()
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the maximum absolute gap
+/// between the empirical CDFs.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ks_statistic(a: &[u64], b: &[u64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    merged_cdfs(a, b)
+        .iter()
+        .map(|&(_, fa, fb)| (fa - fb).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Total-variation distance between the two empirical PMFs:
+/// `½ Σ_d |p_a(d) − p_b(d)|` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn total_variation(a: &[u64], b: &[u64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "TV needs non-empty samples");
+    let cdfs = merged_cdfs(a, b);
+    let mut tv = 0.0;
+    let (mut pa, mut pb) = (0.0, 0.0);
+    for &(_, fa, fb) in &cdfs {
+        tv += ((fa - pa) - (fb - pb)).abs();
+        pa = fa;
+        pb = fb;
+    }
+    tv / 2.0
+}
+
+/// Critical KS value at significance α for a two-sample test:
+/// `c(α)·√((n_a + n_b)/(n_a·n_b))` with `c(0.05) ≈ 1.358`,
+/// `c(0.01) ≈ 1.628`.
+///
+/// # Panics
+///
+/// Panics for α other than 0.05 or 0.01 (the only tabulated values).
+pub fn ks_critical(alpha: f64, na: usize, nb: usize) -> f64 {
+    let c = if (alpha - 0.05).abs() < 1e-12 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        1.628
+    } else {
+        panic!("only alpha = 0.05 or 0.01 are tabulated");
+    };
+    c * (((na + nb) as f64) / ((na * nb) as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_rng::{Rng64, Xoshiro256pp};
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = vec![1, 2, 2, 3, 5, 8];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        assert_eq!(total_variation(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = vec![1, 1, 2];
+        let b = vec![10, 11, 12];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+        assert_eq!(total_variation(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ks_known_small_case() {
+        // a: CDF jumps to 0.5 at 1, 1.0 at 2; b: 0.5 at 2, 1.0 at 3.
+        let a = vec![1, 2];
+        let b = vec![2, 3];
+        // At degree 1: |0.5 - 0| = 0.5; at 2: |1 - 0.5| = 0.5; at 3: 0.
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_bounded_by_ks_relationship() {
+        // TV >= KS never holds in general for CDF/PMF pairs, but both
+        // must be in [0, 1] and zero iff identical histograms.
+        let mut rng = Xoshiro256pp::new(1);
+        let a: Vec<u64> = (0..500).map(|_| rng.gen_below(20)).collect();
+        let b: Vec<u64> = (0..500).map(|_| rng.gen_below(20) + 1).collect();
+        let ks = ks_statistic(&a, &b);
+        let tv = total_variation(&a, &b);
+        assert!((0.0..=1.0).contains(&ks));
+        assert!((0.0..=1.0).contains(&tv));
+        assert!(ks > 0.0 && tv > 0.0);
+    }
+
+    #[test]
+    fn same_distribution_passes_ks_test() {
+        // Two independent samples from the same distribution should fall
+        // under the 1% critical value (statistically: w.h.p.).
+        let mut r1 = Xoshiro256pp::new(5);
+        let mut r2 = Xoshiro256pp::new(6);
+        let a: Vec<u64> = (0..4000).map(|_| r1.gen_below(50)).collect();
+        let b: Vec<u64> = (0..4000).map(|_| r2.gen_below(50)).collect();
+        let ks = ks_statistic(&a, &b);
+        assert!(
+            ks < ks_critical(0.01, a.len(), b.len()),
+            "ks = {ks} vs critical {}",
+            ks_critical(0.01, a.len(), b.len())
+        );
+    }
+
+    #[test]
+    fn shifted_distribution_fails_ks_test() {
+        let mut r1 = Xoshiro256pp::new(5);
+        let mut r2 = Xoshiro256pp::new(6);
+        let a: Vec<u64> = (0..4000).map(|_| r1.gen_below(50)).collect();
+        let b: Vec<u64> = (0..4000).map(|_| r2.gen_below(50) + 5).collect();
+        assert!(ks_statistic(&a, &b) > ks_critical(0.01, a.len(), b.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = ks_statistic(&[], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tabulated")]
+    fn unknown_alpha_panics() {
+        let _ = ks_critical(0.1, 10, 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! The Lemma 3.4 message-count law and its partition aggregates.
+//!
+//! Lemma 3.4: the expected number of `request` messages received for node
+//! `k` is `E[M_k] = (1−p)(H_{n−1} − H_k)` — early nodes attract far more
+//! requests, which is the whole load-balancing story of §3.5. These
+//! functions compute the predicted per-node and per-rank values so
+//! experiments can overlay measurement against theory (Figure 7's
+//! incoming-message panel).
+
+use pa_core::math::harmonic_diff;
+use pa_core::partition::Partition;
+
+/// `E[M_k]` — expected requests received for node `k` in an `n`-node,
+/// parameter-`p` run (Lemma 3.4).
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+pub fn expected_requests_for_node(n: u64, p: f64, k: u64) -> f64 {
+    assert!(k < n, "node {k} out of range");
+    (1.0 - p) * harmonic_diff(k, n - 1)
+}
+
+/// Expected requests received by each rank of `part`: the sum of
+/// `E[M_k]` over the rank's nodes.
+///
+/// Note the one modelling approximation inherited from the paper: the
+/// lemma counts *logical* lookups of `F_k`; lookups where `k` lives on
+/// the requesting rank never become messages, so for small `P` measured
+/// traffic runs below this curve by roughly a factor `1 − 1/P`.
+pub fn expected_requests_per_rank<P: Partition>(p: f64, part: &P) -> Vec<f64> {
+    let n = part.num_nodes();
+    (0..part.nranks())
+        .map(|r| {
+            part.nodes_of(r)
+                .map(|k| expected_requests_for_node(n, p, k))
+                .sum()
+        })
+        .collect()
+}
+
+/// Expected requests *sent* by each rank: each node `t > x` sends a
+/// request per copy choice that lands remote; before accounting for
+/// locality that is `(1−p)·x` per node (§4.6.2: "for each node, a
+/// processor sends a request message with probability at most 1 − p").
+pub fn expected_requests_sent_per_rank<P: Partition>(p: f64, x: u64, part: &P) -> Vec<f64> {
+    (0..part.nranks())
+        .map(|r| {
+            let nodes = part
+                .nodes_of(r)
+                .filter(|&t| t > x)
+                .count() as f64;
+            nodes * (1.0 - p) * x as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_core::partition::{Rrp, Ucp};
+
+    #[test]
+    fn per_node_expectation_decreases_with_label() {
+        let n = 10_000;
+        let mut prev = f64::INFINITY;
+        for k in [1u64, 10, 100, 1000, 9999] {
+            let e = expected_requests_for_node(n, 0.5, k);
+            assert!(e < prev, "E[M_k] must decrease");
+            assert!(e >= 0.0);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn last_node_expects_zero() {
+        assert_eq!(expected_requests_for_node(100, 0.5, 99), 0.0);
+    }
+
+    #[test]
+    fn total_expected_requests_is_consistent() {
+        // Σ_k E[M_k] = (1−p) Σ_k (H_{n−1} − H_k) = (1−p)(n−1) after the
+        // telescoping identity; check numerically.
+        let n = 5_000u64;
+        let p = 0.5;
+        let total: f64 = (0..n)
+            .map(|k| expected_requests_for_node(n, p, k))
+            .sum();
+        let expect = (1.0 - p) * (n as f64 - 1.0);
+        assert!(
+            (total / expect - 1.0).abs() < 1e-6,
+            "total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn ucp_rank_zero_dominates() {
+        let part = Ucp::new(100_000, 10);
+        let per_rank = expected_requests_per_rank(0.5, &part);
+        assert!(per_rank[0] > 3.0 * per_rank[9], "{per_rank:?}");
+        for w in per_rank.windows(2) {
+            assert!(w[0] > w[1], "UCP incoming load must decrease with rank");
+        }
+    }
+
+    #[test]
+    fn rrp_ranks_are_nearly_equal() {
+        let part = Rrp::new(100_000, 10);
+        let per_rank = expected_requests_per_rank(0.5, &part);
+        let max = per_rank.iter().cloned().fold(f64::MIN, f64::max);
+        let min = per_rank.iter().cloned().fold(f64::MAX, f64::min);
+        // Appendix A.3: difference O(log n) against totals Ω(n/P).
+        assert!(max - min < 2.0 * (100_000f64).ln(), "spread {}", max - min);
+    }
+
+    #[test]
+    fn sent_requests_scale_with_one_minus_p() {
+        let part = Ucp::new(1_000, 4);
+        let a = expected_requests_sent_per_rank(0.25, 2, &part);
+        let b = expected_requests_sent_per_rank(0.75, 2, &part);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x / y - 3.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! One-shot structural report over a generated network.
+//!
+//! Bundles the workspace's analyses into a single call — the backend of
+//! the CLI's `analyze` command and a convenient one-liner for examples.
+
+use crate::{powerlaw, stats};
+use pa_graph::{degrees, metrics, Csr, EdgeList};
+
+/// A full structural characterization of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Number of nodes.
+    pub n: u64,
+    /// Number of edges.
+    pub m: u64,
+    /// Degree summary.
+    pub deg_min: u64,
+    /// Largest degree.
+    pub deg_max: u64,
+    /// Mean degree (2m/n).
+    pub deg_mean: f64,
+    /// Degree standard deviation.
+    pub deg_std: f64,
+    /// Fitted power-law exponent (MLE), if a tail exists.
+    pub gamma: Option<f64>,
+    /// The cutoff used for the γ fit.
+    pub gamma_dmin: Option<u64>,
+    /// Number of connected components.
+    pub components: usize,
+    /// Global clustering coefficient (transitivity).
+    pub transitivity: f64,
+    /// Degree assortativity, when defined.
+    pub assortativity: Option<f64>,
+    /// Double-sweep diameter lower bound from node 0, when defined.
+    pub diameter_lb: Option<u64>,
+    /// Largest core number (degeneracy).
+    pub degeneracy: u32,
+}
+
+/// Analyze `edges` over nodes `0 .. n`.
+///
+/// The γ fit uses `dmin = max(4, 2·median degree)` and is omitted when
+/// fewer than 50 nodes survive the cutoff (no meaningful tail).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or an edge references a node `>= n`.
+pub fn analyze(n: u64, edges: &EdgeList) -> NetworkReport {
+    assert!(n > 0, "cannot analyze an empty node set");
+    let deg = degrees::degree_sequence(n as usize, edges);
+    let dstats = degrees::degree_stats(&deg).expect("n > 0");
+    let degf: Vec<f64> = deg.iter().map(|&d| d as f64).collect();
+    let (_, deg_std) = stats::mean_std(&degf);
+
+    // Median-based cutoff for the tail fit.
+    let mut sorted = deg.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let dmin = (2 * median).max(4);
+    let tail = deg.iter().filter(|&&d| d >= dmin).count();
+    let (gamma, gamma_dmin) = if tail >= 50 {
+        let fit = powerlaw::fit_mle(&deg, dmin);
+        (Some(fit.gamma), Some(dmin))
+    } else {
+        (None, None)
+    };
+
+    let csr = Csr::from_edges(n as usize, edges);
+    NetworkReport {
+        n,
+        m: edges.len() as u64,
+        deg_min: dstats.min,
+        deg_max: dstats.max,
+        deg_mean: dstats.mean,
+        deg_std,
+        gamma,
+        gamma_dmin,
+        components: csr.connected_components(),
+        transitivity: metrics::transitivity(&csr),
+        assortativity: metrics::degree_assortativity(&csr),
+        diameter_lb: metrics::double_sweep_diameter(&csr, 0),
+        degeneracy: metrics::core_numbers(&csr).into_iter().max().unwrap_or(0),
+    }
+}
+
+impl std::fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "nodes            {}", self.n)?;
+        writeln!(f, "edges            {}", self.m)?;
+        writeln!(
+            f,
+            "degree           min {}, mean {:.2} ± {:.2}, max {}",
+            self.deg_min, self.deg_mean, self.deg_std, self.deg_max
+        )?;
+        match (self.gamma, self.gamma_dmin) {
+            (Some(g), Some(dmin)) => {
+                writeln!(f, "power law        gamma = {g:.3} (tail d >= {dmin})")?
+            }
+            _ => writeln!(f, "power law        no meaningful tail")?,
+        }
+        writeln!(f, "components       {}", self.components)?;
+        writeln!(f, "transitivity     {:.5}", self.transitivity)?;
+        match self.assortativity {
+            Some(r) => writeln!(f, "assortativity    {r:+.4}")?,
+            None => writeln!(f, "assortativity    undefined")?,
+        }
+        match self.diameter_lb {
+            Some(d) => writeln!(f, "diameter         >= {d}")?,
+            None => writeln!(f, "diameter         undefined from node 0")?,
+        }
+        write!(f, "degeneracy       {}", self.degeneracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_core::{seq, PaConfig};
+
+    #[test]
+    fn report_on_pa_network_is_coherent() {
+        let cfg = PaConfig::new(20_000, 4).with_seed(2);
+        let edges = seq::copy_model(&cfg);
+        let r = analyze(cfg.n, &edges);
+        assert_eq!(r.n, 20_000);
+        assert_eq!(r.m, cfg.expected_edges());
+        assert_eq!(r.deg_mean, 2.0 * r.m as f64 / r.n as f64);
+        assert_eq!(r.components, 1);
+        let gamma = r.gamma.expect("PA networks have a tail");
+        assert!((2.0..4.0).contains(&gamma));
+        assert!(r.assortativity.unwrap() < 0.05, "PA is not assortative");
+        assert!(r.degeneracy >= cfg.x as u32);
+        assert!(r.diameter_lb.unwrap() >= 3);
+    }
+
+    #[test]
+    fn report_on_tiny_graph_omits_tail_fit() {
+        let edges = EdgeList::from_vec(vec![(0, 1), (1, 2)]);
+        let r = analyze(3, &edges);
+        assert!(r.gamma.is_none());
+        assert_eq!(r.components, 1);
+        assert_eq!(r.deg_max, 2);
+    }
+
+    #[test]
+    fn display_renders_every_line() {
+        let edges = EdgeList::from_vec(vec![(0, 1), (1, 2), (2, 0)]);
+        let text = analyze(3, &edges).to_string();
+        for needle in [
+            "nodes",
+            "edges",
+            "degree",
+            "power law",
+            "components",
+            "transitivity",
+            "assortativity",
+            "diameter",
+            "degeneracy",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node set")]
+    fn zero_nodes_panics() {
+        let _ = analyze(0, &EdgeList::new());
+    }
+}

@@ -1,0 +1,177 @@
+//! Strong- and weak-scaling series (Figures 5 and 6).
+//!
+//! Both figures plot derived quantities of per-rank loads: strong scaling
+//! fixes the problem size and grows `P`; weak scaling fixes the work per
+//! rank. The series here convert measured [`RankLoad`]s through the
+//! virtual-time [`CostModel`] into the makespan/speedup numbers the
+//! figures report (see DESIGN.md for why simulated time replaces
+//! wall-clock on a single-core host).
+
+use pa_mpsim::cost::{CostModel, RankLoad};
+
+/// One row of a strong-scaling table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrongPoint {
+    /// Rank count.
+    pub nranks: usize,
+    /// Simulated parallel runtime (cost-model units).
+    pub makespan: f64,
+    /// Speedup `T_s / T_p` against the sequential cost.
+    pub speedup: f64,
+    /// Parallel efficiency `speedup / nranks`.
+    pub efficiency: f64,
+}
+
+/// Build a strong-scaling point from one run's loads.
+pub fn strong_point(model: &CostModel, total_nodes: u64, loads: &[RankLoad]) -> StrongPoint {
+    let makespan = model.makespan(loads);
+    let speedup = model.speedup(total_nodes, loads);
+    StrongPoint {
+        nranks: loads.len(),
+        makespan,
+        speedup,
+        efficiency: speedup / loads.len() as f64,
+    }
+}
+
+/// One row of a weak-scaling table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakPoint {
+    /// Rank count.
+    pub nranks: usize,
+    /// Problem size of this run.
+    pub total_nodes: u64,
+    /// Simulated parallel runtime.
+    pub makespan: f64,
+    /// Runtime normalized to the single-rank baseline (1.0 = perfect
+    /// weak scaling).
+    pub normalized: f64,
+}
+
+/// Build a weak-scaling series from runs whose per-rank work was held
+/// constant. `runs[i]` is `(total_nodes, loads)` for the i-th rank count.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty.
+pub fn weak_series(model: &CostModel, runs: &[(u64, Vec<RankLoad>)]) -> Vec<WeakPoint> {
+    assert!(!runs.is_empty(), "weak series needs at least one run");
+    let base = model.makespan(&runs[0].1);
+    runs.iter()
+        .map(|(n, loads)| {
+            let makespan = model.makespan(loads);
+            WeakPoint {
+                nranks: loads.len(),
+                total_nodes: *n,
+                makespan,
+                normalized: makespan / base,
+            }
+        })
+        .collect()
+}
+
+/// Render a simple aligned text table (harness output helper).
+///
+/// `headers.len()` must equal the width of every row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(nodes: u64) -> RankLoad {
+        RankLoad {
+            nodes,
+            ..Default::default()
+        }
+    }
+
+    fn pure_compute_model() -> CostModel {
+        CostModel {
+            t_node: 1.0,
+            t_msg: 0.0,
+            t_packet: 0.0,
+            t_collective: 0.0,
+        }
+    }
+
+    #[test]
+    fn strong_point_on_balanced_loads() {
+        let m = pure_compute_model();
+        let p = strong_point(&m, 800, &[load(200); 4]);
+        assert_eq!(p.nranks, 4);
+        assert!((p.speedup - 4.0).abs() < 1e-12);
+        assert!((p.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_point_reflects_imbalance() {
+        let m = pure_compute_model();
+        let p = strong_point(&m, 800, &[load(500), load(100), load(100), load(100)]);
+        assert!(p.speedup < 2.0);
+        assert!(p.efficiency < 0.5);
+    }
+
+    #[test]
+    fn weak_series_normalizes_to_first_run() {
+        let m = pure_compute_model();
+        let runs = vec![
+            (100u64, vec![load(100)]),
+            (200, vec![load(100); 2]),
+            (400, vec![load(110); 4]), // 10% degradation
+        ];
+        let series = weak_series(&m, &runs);
+        assert_eq!(series[0].normalized, 1.0);
+        assert_eq!(series[1].normalized, 1.0);
+        assert!((series[2].normalized - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["P", "speedup"],
+            &[
+                vec!["1".into(), "1.00".into()],
+                vec!["16".into(), "14.91".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("speedup"));
+        assert!(lines[3].trim_start().starts_with("16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Closed-form theoretical predictions for the generated models.
+//!
+//! The Barabási–Albert process with `x` edges per node has the exact
+//! asymptotic degree law (Dorogovtsev–Mendes / Bollobás):
+//!
+//! ```text
+//! P(d) = 2·x·(x+1) / (d·(d+1)·(d+2)),   d >= x
+//! ```
+//!
+//! whose tail behaves like `2x² d⁻³` (γ = 3). Having the exact finite-d
+//! law — not just the exponent — gives the test suite a sharp
+//! goodness-of-fit target for the copy model at `p = ½`, and the
+//! experiments a theory overlay for Figure 4.
+
+/// The asymptotic BA probability that a uniformly chosen node has degree
+/// `d`, for attachment parameter `x`.
+///
+/// Returns 0 for `d < x` (every non-seed node is born with degree `x`).
+pub fn ba_degree_pmf(x: u64, d: u64) -> f64 {
+    if d < x {
+        return 0.0;
+    }
+    let (x, d) = (x as f64, d as f64);
+    2.0 * x * (x + 1.0) / (d * (d + 1.0) * (d + 2.0))
+}
+
+/// The asymptotic BA survival function `P(degree >= d)`.
+///
+/// Telescoping the PMF gives the closed form
+/// `P(D >= d) = x(x+1) / (d(d+1))` for `d >= x` (and 1 below `x`).
+pub fn ba_degree_ccdf(x: u64, d: u64) -> f64 {
+    if d <= x {
+        return 1.0;
+    }
+    let (x, d) = (x as f64, d as f64);
+    (x * (x + 1.0)) / (d * (d + 1.0))
+}
+
+/// Expected copy-model power-law exponent as a function of the direct
+/// probability `p` (Kumar et al.): `γ = (2 − p) / (1 − p)`.
+///
+/// `p = ½` gives γ = 3 (Barabási–Albert); `p → 1` sends γ → ∞ (uniform
+/// attachment, exponential tail).
+///
+/// # Panics
+///
+/// Panics at `p = 1` where no power law exists.
+pub fn copy_model_gamma(p: f64) -> f64 {
+    assert!(p < 1.0, "no power-law tail at p = 1");
+    (2.0 - p) / (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for x in [1u64, 3, 8] {
+            let total: f64 = (x..200_000).map(|d| ba_degree_pmf(x, d)).sum();
+            assert!((total - 1.0).abs() < 1e-3, "x = {x}: sum = {total}");
+        }
+    }
+
+    #[test]
+    fn ccdf_matches_pmf_tail_sum() {
+        let x = 4;
+        for d in [4u64, 10, 50] {
+            let tail: f64 = (d..500_000).map(|dd| ba_degree_pmf(x, dd)).sum();
+            let closed = ba_degree_ccdf(x, d);
+            assert!((tail - closed).abs() < 1e-4, "d = {d}: {tail} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn pmf_zero_below_x() {
+        assert_eq!(ba_degree_pmf(4, 3), 0.0);
+        assert!(ba_degree_pmf(4, 4) > 0.0);
+    }
+
+    #[test]
+    fn tail_exponent_is_three() {
+        // PMF(2d)/PMF(d) -> 2^-3 for large d.
+        let ratio = ba_degree_pmf(2, 2000) / ba_degree_pmf(2, 1000);
+        assert!((ratio - 0.125).abs() < 0.002, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gamma_of_half_is_three() {
+        assert!((copy_model_gamma(0.5) - 3.0).abs() < 1e-12);
+        // Smaller p (more copying) gives heavier tails.
+        assert!(copy_model_gamma(0.25) < 3.0);
+        assert!(copy_model_gamma(0.75) > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p = 1")]
+    fn gamma_at_one_panics() {
+        let _ = copy_model_gamma(1.0);
+    }
+
+    #[test]
+    fn generated_network_matches_the_exact_law() {
+        // The headline goodness-of-fit: empirical CCDF of a copy-model
+        // network at p = ½ vs the closed-form BA law, across two decades
+        // of degrees.
+        let x = 4u64;
+        let n = 100_000u64;
+        let cfg = pa_core::PaConfig::new(n, x).with_seed(12);
+        let edges = pa_core::seq::copy_model(&cfg);
+        let deg = pa_graph::degrees::degree_sequence(n as usize, &edges);
+        let ccdf = pa_graph::degrees::ccdf(&deg);
+        for &(d, emp) in ccdf.iter().filter(|&&(d, _)| d >= x && d <= 100) {
+            let theory = ba_degree_ccdf(x, d);
+            assert!(
+                (emp / theory - 1.0).abs() < 0.25,
+                "d = {d}: empirical {emp:.5} vs theory {theory:.5}"
+            );
+        }
+    }
+}

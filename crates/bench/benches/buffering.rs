@@ -1,0 +1,41 @@
+//! Message-buffering ablation (§3.5): aggregation amortizes per-packet
+//! overhead; capacity 1 disables it entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pa_core::{par, partition::Scheme, GenOptions, PaConfig};
+use std::hint::black_box;
+
+fn bench_buffer_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_capacity");
+    group.sample_size(10);
+    let cfg = PaConfig::new(30_000, 4).with_seed(1);
+    for &cap in &[1usize, 16, 256, 4096] {
+        let opts = GenOptions {
+            buffer_capacity: cap,
+            service_interval: 64,
+        };
+        group.bench_with_input(BenchmarkId::new("rrp_p4", cap), &opts, |b, opts| {
+            b.iter(|| par::generate(black_box(&cfg), Scheme::Rrp, 4, opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_interval");
+    group.sample_size(10);
+    let cfg = PaConfig::new(30_000, 4).with_seed(1);
+    for &interval in &[1usize, 16, 256] {
+        let opts = GenOptions {
+            buffer_capacity: 1024,
+            service_interval: interval,
+        };
+        group.bench_with_input(BenchmarkId::new("rrp_p4", interval), &opts, |b, opts| {
+            b.iter(|| par::generate(black_box(&cfg), Scheme::Rrp, 4, opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_capacity, bench_service_interval);
+criterion_main!(benches);

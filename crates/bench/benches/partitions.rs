@@ -1,0 +1,59 @@
+//! Partitioning-scheme ablation: owner-lookup cost (Criterion A of §3.5
+//! demands O(1)) and whole-run cost per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pa_core::partition::{build, Partition, Scheme};
+use pa_core::{par, GenOptions, PaConfig};
+use std::hint::black_box;
+
+fn bench_rank_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_rank_of");
+    let n = 10_000_000u64;
+    for scheme in Scheme::ALL {
+        let part = build(scheme, n, 160);
+        group.bench_with_input(
+            BenchmarkId::new("lookup", scheme),
+            &part,
+            |b, part| {
+                let mut v = 0u64;
+                b.iter(|| {
+                    v = (v * 2_862_933_555_777_941_757 + 3_037_000_493) % n;
+                    black_box(part.rank_of(v))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_build");
+    group.sample_size(10);
+    let n = 10_000_000u64;
+    for scheme in Scheme::ALL {
+        group.bench_with_input(BenchmarkId::new("build", scheme), &scheme, |b, &s| {
+            b.iter(|| build(black_box(s), n, 160))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation_per_scheme(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_generation");
+    group.sample_size(10);
+    let cfg = PaConfig::new(50_000, 4).with_seed(1);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(BenchmarkId::new("generate", scheme), &scheme, |b, &s| {
+            b.iter(|| par::generate(black_box(&cfg), s, 8, &GenOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rank_lookup,
+    bench_partition_construction,
+    bench_generation_per_scheme
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Random-number-generation throughput: the per-draw cost bounds the
+//! whole generator (each edge consumes three draws).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pa_rng::{CounterRng, Rng64, SplitMix64, Xoshiro256pp};
+use std::hint::black_box;
+
+const DRAWS: u64 = 100_000;
+
+fn bench_raw_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_stream");
+    group.throughput(Throughput::Elements(DRAWS));
+    group.bench_function("splitmix64", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("xoshiro256pp", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("counter_per_event", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in 0..DRAWS {
+                let mut rng = CounterRng::for_event(1, t, 0, 0);
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_range_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng_range");
+    group.throughput(Throughput::Elements(DRAWS));
+    group.bench_function("gen_below_pow2", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc ^= rng.gen_below(1 << 20);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("gen_below_odd", |b| {
+        let mut rng = Xoshiro256pp::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc ^= rng.gen_below(1_000_003);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_streams, bench_range_sampling);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Sequential-algorithm comparison (paper §3.1): naive Ω(n²) vs
+//! Batagelj–Brandes O(m) vs copy model O(m).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pa_core::{seq, PaConfig};
+use pa_rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn bench_small_with_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_small");
+    group.sample_size(10);
+    for &n in &[1_000u64, 4_000] {
+        let cfg = PaConfig::new(n, 4).with_seed(1);
+        group.throughput(Throughput::Elements(cfg.expected_edges()));
+        group.bench_with_input(BenchmarkId::new("naive", n), &cfg, |b, cfg| {
+            b.iter(|| seq::naive(black_box(cfg), &mut Xoshiro256pp::new(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("batagelj_brandes", n), &cfg, |b, cfg| {
+            b.iter(|| seq::batagelj_brandes(black_box(cfg), &mut Xoshiro256pp::new(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("copy_model", n), &cfg, |b, cfg| {
+            b.iter(|| seq::copy_model(black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_linear");
+    group.sample_size(10);
+    for &n in &[20_000u64, 100_000] {
+        let cfg = PaConfig::new(n, 4).with_seed(1);
+        group.throughput(Throughput::Elements(cfg.expected_edges()));
+        group.bench_with_input(BenchmarkId::new("batagelj_brandes", n), &cfg, |b, cfg| {
+            b.iter(|| seq::batagelj_brandes(black_box(cfg), &mut Xoshiro256pp::new(1)))
+        });
+        group.bench_with_input(BenchmarkId::new("copy_model", n), &cfg, |b, cfg| {
+            b.iter(|| seq::copy_model(black_box(cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_with_naive, bench_linear_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Exact vs approximate distributed PA generation (the paper's §1
+//! motivation against Yoo–Henderson-style algorithms).
+//!
+//! Generates the same network with the exact Algorithm 3.2 and with the
+//! sample-exchange approximation at several control-parameter settings,
+//! then measures each degree distribution against the closed-form BA law
+//! (γ from MLE, KS distance to the exact generator's degrees).
+//!
+//! ```text
+//! cargo run -p pa-bench --release --bin exp_vs_approximate
+//! ```
+
+use pa_analysis::{distance, powerlaw, scaling::render_table};
+use pa_bench::{banner, csv_line, Args};
+use pa_core::approx_yh::{self, YhParams};
+use pa_core::{par, partition::Scheme, GenOptions, PaConfig};
+use pa_graph::degrees;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_u64("n", 200_000);
+    let x = args.get_u64("x", 4);
+    let ranks = args.get_u64("ranks", 8) as usize;
+    let seed = args.get_u64("seed", 1);
+
+    banner(
+        "Exact vs approximate",
+        "degree-distribution accuracy of exact Algorithm 3.2 vs a Yoo-Henderson-style approximation",
+    );
+    println!("n = {n}, x = {x}, P = {ranks}\n");
+
+    let cfg = PaConfig::new(n, x).with_seed(seed);
+    let exact = par::generate(&cfg, Scheme::Rrp, ranks, &GenOptions::default()).edge_list();
+    let exact_deg = degrees::degree_sequence(n as usize, &exact);
+    let dmin = 2 * x;
+    let exact_fit = powerlaw::fit_mle(&exact_deg, dmin);
+
+    println!("csv,generator,sync_interval,sample_size,gamma,ks_vs_exact");
+    csv_line(&[
+        &"exact",
+        &"-",
+        &"-",
+        &format!("{:.3}", exact_fit.gamma),
+        &"0.000",
+    ]);
+    let mut rows = vec![vec![
+        "exact (Alg. 3.2)".to_string(),
+        format!("{:.3}", exact_fit.gamma),
+        "0.000".into(),
+    ]];
+
+    let settings = [
+        (2048u64, 4usize),
+        (512, 16),
+        (64, 64),
+        (8, 512),
+    ];
+    for (sync_interval, sample_size) in settings {
+        let params = YhParams {
+            sync_interval,
+            sample_size,
+        };
+        let approx = approx_yh::generate(&cfg, ranks, &params);
+        let deg = degrees::degree_sequence(n as usize, &approx);
+        let fit = powerlaw::fit_mle(&deg, dmin);
+        let ks = distance::ks_statistic(&deg, &exact_deg);
+        csv_line(&[
+            &"approx",
+            &sync_interval,
+            &sample_size,
+            &format!("{:.3}", fit.gamma),
+            &format!("{ks:.4}"),
+        ]);
+        rows.push(vec![
+            format!("approx (sync={sync_interval}, sample={sample_size})"),
+            format!("{:.3}", fit.gamma),
+            format!("{ks:.4}"),
+        ]);
+    }
+
+    println!();
+    println!(
+        "{}",
+        render_table(&["generator", "gamma (MLE)", "KS vs exact"], &rows)
+    );
+    println!(
+        "reading: the approximation's accuracy depends on its control\n\
+         parameters (staleness and sample size) — the tuning burden the\n\
+         paper's exact algorithm removes. Theory: gamma = 3 for BA."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 3 — node distribution among processors: exact solution of the
+//! nonlinear load Equation 10 vs. LCP's linear approximation.
+//!
+//! ```text
+//! cargo run -p pa-bench --release --bin fig3_lcp_partition -- --n 1000000 --ranks 100
+//! ```
+
+use pa_analysis::scaling::render_table;
+use pa_bench::{banner, csv_line, Args};
+use pa_core::partition::eq10;
+use pa_core::partition::{Lcp, Partition};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_u64("n", 1_000_000);
+    let ranks = args.get_u64("ranks", 100) as usize;
+    let b = args.get_f64("b", eq10::DEFAULT_B);
+
+    banner(
+        "Figure 3",
+        "nodes per processor: exact Eq. 10 solution vs linear approximation (LCP)",
+    );
+    println!("n = {n}, P = {ranks}, b = {b}\n");
+
+    let exact = eq10::solve_boundaries(n, ranks, b);
+    let lcp = Lcp::with_b(n, ranks, b);
+    let (a, d) = lcp.params();
+    println!("fitted linear model: nodes(rank i) = {a:.2} + {d:.4}·i\n");
+
+    let mut rows = Vec::new();
+    let mut max_rel_err: f64 = 0.0;
+    println!("csv,rank,exact_nodes,lcp_nodes");
+    for i in 0..ranks {
+        let exact_size = exact[i + 1] - exact[i];
+        let lcp_size = lcp.size_of(i);
+        csv_line(&[&i, &exact_size, &lcp_size]);
+        if exact_size > 0 {
+            let rel = (lcp_size as f64 - exact_size as f64).abs() / exact_size as f64;
+            max_rel_err = max_rel_err.max(rel);
+        }
+        // Keep the text table readable: every tenth rank.
+        if i % (ranks / 10).max(1) == 0 || i == ranks - 1 {
+            rows.push(vec![
+                i.to_string(),
+                exact_size.to_string(),
+                lcp_size.to_string(),
+            ]);
+        }
+    }
+    println!();
+    println!(
+        "{}",
+        render_table(&["rank", "exact (Eq. 10)", "LCP (linear)"], &rows)
+    );
+    println!("max relative deviation of the linear approximation: {:.2}%", 100.0 * max_rel_err);
+    println!(
+        "paper: Figure 3 plots the exact Eq. 10 solution against its linear\n\
+         approximation; the approximation is what LCP deploys (O(1) rank\n\
+         lookups). The exact curve is mildly convex — the harmonic per-node\n\
+         load makes the fit coarsest at the first/last ranks — but the\n\
+         resulting *load* balance remains close to ideal (see fig7's LCP\n\
+         panel), which is the property the scheme is built for."
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 4 — log–log degree distribution of a generated PA network and
+//! its power-law exponent (the paper measures γ ≈ 2.7 at n = 10⁹, x = 4;
+//! we default to n = 10⁶ on this host — pass --n to scale up).
+//!
+//! ```text
+//! cargo run -p pa-bench --release --bin fig4_degree_distribution -- --n 1000000 --x 4
+//! ```
+
+use pa_analysis::powerlaw;
+use pa_bench::{banner, csv_line, Args};
+use pa_core::{par, partition::Scheme, GenOptions, PaConfig};
+use pa_graph::degrees;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_u64("n", 1_000_000);
+    let x = args.get_u64("x", 4);
+    let p = args.get_f64("p", 0.5);
+    let ranks = args.get_u64("ranks", 8) as usize;
+    let seed = args.get_u64("seed", 1);
+
+    banner(
+        "Figure 4",
+        "degree distribution (log-log) of the parallel PA generator",
+    );
+    println!("n = {n}, x = {x}, p = {p}, P = {ranks} (paper: n = 1e9, x = 4)\n");
+
+    let cfg = PaConfig::new(n, x).with_p(p).with_seed(seed);
+    let start = std::time::Instant::now();
+    let out = par::generate(&cfg, Scheme::Rrp, ranks, &GenOptions::default());
+    let gen_time = start.elapsed();
+    let edges = out.edge_list();
+    println!(
+        "generated {} edges in {:.2}s (wall, single-core host)\n",
+        edges.len(),
+        gen_time.as_secs_f64()
+    );
+
+    let deg = degrees::degree_sequence(n as usize, &edges);
+    let stats = degrees::degree_stats(&deg).expect("non-empty degrees");
+    println!(
+        "degrees: min = {}, mean = {:.2}, max = {}",
+        stats.min, stats.mean, stats.max
+    );
+
+    // Log-binned histogram — the plotted series.
+    println!("\ncsv,degree_bin_center,density");
+    for (center, density) in degrees::log_binned_histogram(&deg, 2.0) {
+        csv_line(&[&format!("{center:.2}"), &format!("{density:.4}")]);
+    }
+
+    // Exponent estimates.
+    let dmin = (2 * x).max(4);
+    let mle = powerlaw::fit_mle(&deg, dmin);
+    let (slope_gamma, fit) = powerlaw::fit_loglog_slope(&deg, 2.0);
+    println!();
+    println!(
+        "power-law exponent gamma: MLE = {:.3} (dmin = {}, tail = {} nodes)",
+        mle.gamma, mle.dmin, mle.tail_samples
+    );
+    println!(
+        "                          log-log slope = {:.3} (r² = {:.4})",
+        slope_gamma, fit.r2
+    );
+    println!(
+        "\npaper: measured gamma = 2.7 at n = 1e9; theory for BA is gamma -> 3.\n\
+         Expect the finite-size estimate here to land in the same 2.5–3.2 band,\n\
+         confirming the heavy tail the paper's Figure 4 shows."
+    );
+}

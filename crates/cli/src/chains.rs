@@ -1,0 +1,39 @@
+//! `pagen chains` — dependency-chain statistics (Theorem 3.3).
+
+use crate::args::{Args, CliError};
+use pa_core::chains;
+use std::io::Write;
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let n = args.u64("n", 1_000_000)?;
+    let p = args.f64("p", 0.5)?;
+    let seed = args.u64("seed", 0)?;
+    args.finish()?;
+    if n < 2 {
+        return Err(CliError::usage("--n must be at least 2"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::usage("--p must lie in [0, 1]"));
+    }
+
+    let dep = chains::summarize(&chains::dependency_lengths(seed, p, n));
+    let sel = chains::summarize(&chains::selection_lengths(seed, p, n));
+    let ln_n = (n as f64).ln();
+    writeln!(out, "dependency chains over n = {n}, p = {p} (seed {seed})")
+        .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "  dependency: mean {:.3} (bound 1/p = {:.3}), max {} (bound 5 ln n = {:.1})",
+        dep.mean,
+        if p > 0.0 { 1.0 / p } else { f64::INFINITY },
+        dep.max,
+        5.0 * ln_n
+    )
+    .map_err(CliError::io)?;
+    writeln!(
+        out,
+        "  selection:  mean {:.3} (≈ ln n = {:.3}), max {}",
+        sel.mean, ln_n, sel.max
+    )
+    .map_err(CliError::io)
+}

@@ -1,0 +1,167 @@
+//! `pagen generate` — build a network and write it to disk.
+
+use crate::args::{Args, CliError};
+use pa_core::partition::Scheme;
+use pa_core::{cl, er, par, rmat, ws, GenOptions, PaConfig};
+use pa_graph::{container, io, EdgeList};
+use pa_rng::Xoshiro256pp;
+use std::io::Write;
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = args.str("model", "pa");
+    let seed = args.u64("seed", 0)?;
+    let path = args.str("out", "graph.pag");
+    let format = args.str("format", "pag");
+
+    let started = std::time::Instant::now();
+    let (n, shards, attrs): (u64, Vec<EdgeList>, Vec<(String, String)>) = match model.as_str() {
+        "pa" => {
+            let n = args.u64("n", 100_000)?;
+            let x = args.u64("x", 4)?;
+            let p = args.f64("p", 0.5)?;
+            let ranks = args.u64("ranks", 4)? as usize;
+            let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
+            if ranks == 0 {
+                return Err(CliError::usage("--ranks must be positive"));
+            }
+            let cfg = validated(n, x, p, seed)?;
+            let result = par::generate(&cfg, scheme, ranks, &GenOptions::default());
+            let shards = result.ranks.into_iter().map(|r| r.edges).collect();
+            (
+                n,
+                shards,
+                vec![
+                    ("model".into(), "preferential-attachment".into()),
+                    ("x".into(), x.to_string()),
+                    ("p".into(), p.to_string()),
+                    ("scheme".into(), scheme.to_string()),
+                    ("ranks".into(), ranks.to_string()),
+                ],
+            )
+        }
+        "er" => {
+            let n = args.u64("n", 100_000)?;
+            let p = args.f64("p", 0.0001)?;
+            let ranks = args.u64("ranks", 4)? as usize;
+            let cfg = er::ErConfig::new(n, p).with_seed(seed);
+            let edges = er::generate_par(&cfg, ranks.max(1));
+            (
+                n,
+                vec![edges],
+                vec![
+                    ("model".into(), "erdos-renyi".into()),
+                    ("p".into(), p.to_string()),
+                ],
+            )
+        }
+        "ws" => {
+            let n = args.u64("n", 100_000)?;
+            let x = args.u64("x", 2)?;
+            let beta = args.f64("p", 0.1)?;
+            let cfg = ws::WsConfig::new(n, 2 * x, beta).with_seed(seed);
+            let edges = ws::generate(&cfg, &mut Xoshiro256pp::new(seed));
+            (
+                n,
+                vec![edges],
+                vec![
+                    ("model".into(), "watts-strogatz".into()),
+                    ("k".into(), (2 * x).to_string()),
+                    ("beta".into(), beta.to_string()),
+                ],
+            )
+        }
+        "cl" => {
+            let n = args.u64("n", 100_000)?;
+            let mean = args.u64("x", 4)? as f64;
+            let gamma = args.f64("gamma", 2.8)?;
+            let ranks = args.u64("ranks", 4)? as usize;
+            let cfg = cl::ClConfig::new(cl::power_law_weights(n, gamma, mean), seed);
+            let edges = cl::generate_par(&cfg, ranks.max(1));
+            (
+                n,
+                vec![edges],
+                vec![
+                    ("model".into(), "chung-lu".into()),
+                    ("gamma".into(), gamma.to_string()),
+                    ("mean_degree".into(), mean.to_string()),
+                ],
+            )
+        }
+        "rmat" => {
+            let scale = args.u64("scale", 18)? as u32;
+            if scale == 0 || scale > 62 {
+                return Err(CliError::usage("--scale must be in 1..=62"));
+            }
+            let mut cfg = rmat::RmatConfig::graph500(scale).with_seed(seed);
+            let edges_flag = args.u64("edges", cfg.edges)?;
+            cfg = cfg.with_edges(edges_flag);
+            let ranks = args.u64("ranks", 4)? as usize;
+            let edges = rmat::generate_par(&cfg, ranks.max(1));
+            (
+                cfg.n(),
+                vec![edges],
+                vec![
+                    ("model".into(), "rmat".into()),
+                    ("scale".into(), scale.to_string()),
+                ],
+            )
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown model {other:?} (expected pa, er, ws, cl or rmat)"
+            )))
+        }
+    };
+    args.finish()?;
+
+    let total_edges: usize = shards.iter().map(EdgeList::len).sum();
+    match format.as_str() {
+        "pag" => {
+            let mut meta = container::Meta::new(n).with("seed", seed);
+            for (k, v) in attrs {
+                meta.attrs.insert(k, v);
+            }
+            container::write_file(&path, &meta, &shards).map_err(CliError::io)?;
+        }
+        "bin" => {
+            let merged = EdgeList::concat(shards);
+            io::write_binary_file(&path, &merged).map_err(CliError::io)?;
+        }
+        "txt" => {
+            let merged = EdgeList::concat(shards);
+            io::write_text_file(&path, &merged).map_err(CliError::io)?;
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format {other:?} (expected pag, bin or txt)"
+            )))
+        }
+    }
+    writeln!(
+        out,
+        "generated {model}: {n} nodes, {total_edges} edges in {:.2}s -> {path} ({format})",
+        started.elapsed().as_secs_f64()
+    )
+    .map_err(CliError::io)
+}
+
+fn validated(n: u64, x: u64, p: f64, seed: u64) -> Result<PaConfig, CliError> {
+    if x == 0 || n <= x {
+        return Err(CliError::usage("need n > x >= 1"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::usage("--p must lie in [0, 1]"));
+    }
+    Ok(PaConfig { n, x, p, seed })
+}
+
+pub(crate) fn parse_scheme(s: &str) -> Result<Scheme, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "ucp" => Ok(Scheme::Ucp),
+        "lcp" => Ok(Scheme::Lcp),
+        "rrp" => Ok(Scheme::Rrp),
+        other => Err(CliError::usage(format!(
+            "unknown scheme {other:?} (expected ucp, lcp or rrp)"
+        ))),
+    }
+}

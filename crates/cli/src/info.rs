@@ -1,0 +1,29 @@
+//! `pagen info` — inspect a PAG container header without reading edges.
+
+use crate::args::{Args, CliError};
+use pa_graph::container;
+use std::io::Write;
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.str_required("in")?;
+    args.finish()?;
+    let (meta, shard_counts) = container::read_meta_file(&path).map_err(CliError::io)?;
+    writeln!(out, "PAG container: {path}").map_err(CliError::io)?;
+    writeln!(out, "nodes:  {}", meta.n).map_err(CliError::io)?;
+    writeln!(
+        out,
+        "edges:  {} in {} shard(s)",
+        shard_counts.iter().sum::<u64>(),
+        shard_counts.len()
+    )
+    .map_err(CliError::io)?;
+    if !shard_counts.is_empty() {
+        let min = shard_counts.iter().min().unwrap();
+        let max = shard_counts.iter().max().unwrap();
+        writeln!(out, "shards: {min}..{max} edges each").map_err(CliError::io)?;
+    }
+    for (k, v) in &meta.attrs {
+        writeln!(out, "attr:   {k} = {v}").map_err(CliError::io)?;
+    }
+    Ok(())
+}

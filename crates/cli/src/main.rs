@@ -1,0 +1,11 @@
+//! `pagen` binary: thin wrapper over [`pa_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(err) = pa_cli::run(&argv, &mut out) {
+        eprintln!("pagen: {}", err.message());
+        std::process::exit(2);
+    }
+}

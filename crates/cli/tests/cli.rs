@@ -1,0 +1,153 @@
+//! End-to-end tests of the `pagen` command surface (driving [`pa_cli::run`]
+//! directly, which is exactly what the binary does).
+
+use pa_cli::run;
+
+fn exec(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    match run(&argv, &mut out) {
+        Ok(()) => Ok(String::from_utf8(out).unwrap()),
+        Err(e) => Err(e.message().to_string()),
+    }
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("pagen_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn generate_analyze_info_pipeline() {
+    let path = tmp("pipeline.pag");
+    let gen = exec(&[
+        "generate", "--model", "pa", "--n", "5000", "--x", "3", "--ranks", "4", "--scheme",
+        "lcp", "--seed", "7", "--out", &path,
+    ])
+    .unwrap();
+    assert!(gen.contains("5000 nodes"));
+    assert!(gen.contains("pag"));
+
+    let info = exec(&["info", "--in", &path]).unwrap();
+    assert!(info.contains("nodes:  5000"));
+    assert!(info.contains("4 shard(s)"));
+    assert!(info.contains("model = preferential-attachment"));
+    assert!(info.contains("scheme = LCP"));
+
+    let report = exec(&["analyze", "--in", &path]).unwrap();
+    assert!(report.contains("edges            14994"), "{report}");
+    assert!(report.contains("components       1"));
+    assert!(report.contains("power law"));
+}
+
+#[test]
+fn generate_binary_and_text_formats() {
+    for format in ["bin", "txt"] {
+        let path = tmp(&format!("g.{format}"));
+        exec(&[
+            "generate", "--model", "pa", "--n", "500", "--x", "2", "--out", &path, "--format",
+            format,
+        ])
+        .unwrap();
+        let report = exec(&[
+            "analyze", "--in", &path, "--format", format, "--n", "500",
+        ])
+        .unwrap();
+        assert!(report.contains("edges            997"), "{format}: {report}");
+    }
+}
+
+#[test]
+fn all_models_generate() {
+    for (model, extra) in [
+        ("er", vec!["--p", "0.002"]),
+        ("ws", vec!["--x", "2", "--p", "0.1"]),
+        ("cl", vec!["--gamma", "3.0", "--x", "3"]),
+    ] {
+        let path = tmp(&format!("{model}.pag"));
+        let mut args = vec!["generate", "--model", model, "--n", "2000", "--out", &path];
+        args.extend(extra.iter());
+        let msg = exec(&args).unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert!(msg.contains("2000 nodes"), "{model}: {msg}");
+        let info = exec(&["info", "--in", &path]).unwrap();
+        assert!(info.contains("attr:   model"), "{model}: {info}");
+    }
+    // R-MAT sizes by scale.
+    let path = tmp("rmat.pag");
+    let msg = exec(&[
+        "generate", "--model", "rmat", "--scale", "10", "--edges", "4000", "--out", &path,
+    ])
+    .unwrap();
+    assert!(msg.contains("1024 nodes"), "{msg}");
+}
+
+#[test]
+fn chains_prints_theorem_bounds() {
+    let out = exec(&["chains", "--n", "100000", "--p", "0.5"]).unwrap();
+    assert!(out.contains("dependency: mean"));
+    assert!(out.contains("bound 1/p"));
+    assert!(out.contains("selection:"));
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = exec(&["help"]).unwrap();
+    for cmd in ["generate", "analyze", "info", "chains"] {
+        assert!(out.contains(cmd));
+    }
+}
+
+#[test]
+fn error_paths_are_user_facing() {
+    // Unknown command.
+    let err = exec(&["frobnicate"]).unwrap_err();
+    assert!(err.contains("unknown command"));
+    // Unknown model.
+    let err = exec(&["generate", "--model", "nope"]).unwrap_err();
+    assert!(err.contains("unknown model"));
+    // Typo'd flag.
+    let err = exec(&["chains", "--nn", "5"]).unwrap_err();
+    assert!(err.contains("unknown flag"));
+    // Bad scheme.
+    let err = exec(&["generate", "--scheme", "zigzag"]).unwrap_err();
+    assert!(err.contains("unknown scheme"));
+    // Missing required flag.
+    let err = exec(&["analyze"]).unwrap_err();
+    assert!(err.contains("--in"));
+    // Degenerate model parameters.
+    let err = exec(&["generate", "--n", "3", "--x", "5"]).unwrap_err();
+    assert!(err.contains("n > x"));
+    // Missing file.
+    let err = exec(&["info", "--in", &tmp("does_not_exist.pag")]).unwrap_err();
+    assert!(err.contains("i/o error"));
+}
+
+#[test]
+fn analyze_rejects_undersized_n() {
+    let path = tmp("undersized.bin");
+    exec(&[
+        "generate", "--model", "pa", "--n", "100", "--x", "1", "--out", &path, "--format", "bin",
+    ])
+    .unwrap();
+    let err = exec(&["analyze", "--in", &path, "--format", "bin", "--n", "5"]).unwrap_err();
+    assert!(err.contains("smaller than the largest"));
+}
+
+#[test]
+fn pa_generation_via_cli_is_reproducible() {
+    let a = tmp("repro_a.pag");
+    let b = tmp("repro_b.pag");
+    for path in [&a, &b] {
+        exec(&[
+            "generate", "--model", "pa", "--n", "3000", "--x", "1", "--seed", "99", "--out",
+            path,
+        ])
+        .unwrap();
+    }
+    let (_, sa) = pa_graph::container::read_file(&a).unwrap();
+    let (_, sb) = pa_graph::container::read_file(&b).unwrap();
+    let ea = pa_graph::EdgeList::concat(sa).canonicalized();
+    let eb = pa_graph::EdgeList::concat(sb).canonicalized();
+    assert_eq!(ea, eb);
+}

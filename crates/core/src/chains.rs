@@ -1,0 +1,172 @@
+//! Selection- and dependency-chain analytics (paper §3.4).
+//!
+//! For `x = 1`, node `t`'s choice either connects directly (making `t`
+//! *independent*) or copies `F_k`, making `t` *depend* on `k`. Chained
+//! dependencies are what the parallel algorithm has to wait out, so the
+//! paper proves they stay short: `E[L_t] = H_{t−1} ≤ ln n` for the
+//! selection chain, dependency chains bounded by `O(log n)` w.h.p.
+//! (Theorem 3.3), and average dependency length at most `1/p`.
+//!
+//! Because every draw is a pure function of `(seed, t)`, chain lengths
+//! can be computed analytically — no engine run needed — with one dynamic
+//! programming pass over the nodes.
+
+use crate::seq::draw_choice;
+
+/// Dependency-chain length `|D_t|` for every node of an `x = 1` network:
+/// `out[t] = 1` if `t` is independent (direct choice, or node 1 whose
+/// attachment is fixed), else `1 + out[k]`. Entries 0 and 1 are the
+/// boundary nodes (`out[0] = 0` by convention: node 0 never attaches).
+pub fn dependency_lengths(seed: u64, p: f64, n: u64) -> Vec<u32> {
+    assert!(n >= 2, "need at least nodes 0 and 1");
+    let mut len = vec![0u32; n as usize];
+    len[1] = 1;
+    for t in 2..n {
+        let c = draw_choice(seed, p, 1, t, 0, 0);
+        len[t as usize] = if c.direct {
+            1
+        } else {
+            1 + len[c.k as usize]
+        };
+    }
+    len
+}
+
+/// Selection-chain length `|S_t|` for every node: the full uniform-pick
+/// chain down to node 1 regardless of the direct/copy coin.
+/// `out[1] = 1`; `out[0] = 0` by convention.
+pub fn selection_lengths(seed: u64, p: f64, n: u64) -> Vec<u32> {
+    assert!(n >= 2, "need at least nodes 0 and 1");
+    let mut len = vec![0u32; n as usize];
+    len[1] = 1;
+    for t in 2..n {
+        let c = draw_choice(seed, p, 1, t, 0, 0);
+        len[t as usize] = 1 + len[c.k as usize];
+    }
+    len
+}
+
+/// Summary of a chain-length population (nodes `1 .. n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainSummary {
+    /// Mean length.
+    pub mean: f64,
+    /// Maximum length.
+    pub max: u32,
+    /// Number of chains summarized.
+    pub count: u64,
+}
+
+/// Summarize chain lengths, ignoring the node-0 placeholder.
+pub fn summarize(lengths: &[u32]) -> ChainSummary {
+    let body = &lengths[1..];
+    let count = body.len() as u64;
+    let sum: u64 = body.iter().map(|&l| l as u64).sum();
+    ChainSummary {
+        mean: sum as f64 / count as f64,
+        max: body.iter().copied().max().unwrap_or(0),
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math;
+
+    #[test]
+    fn dependency_never_exceeds_selection() {
+        let (seed, p, n) = (9, 0.5, 5_000);
+        let dep = dependency_lengths(seed, p, n);
+        let sel = selection_lengths(seed, p, n);
+        for t in 1..n as usize {
+            assert!(dep[t] <= sel[t], "node {t}: {} > {}", dep[t], sel[t]);
+            assert!(dep[t] >= 1);
+        }
+    }
+
+    #[test]
+    fn dependency_matches_target_resolution() {
+        // Walking the chain manually must agree with the DP lengths.
+        let (seed, p, n) = (4, 0.5, 2_000u64);
+        let dep = dependency_lengths(seed, p, n);
+        for t in [2u64, 17, 500, 1999] {
+            let mut cur = t;
+            let mut steps = 1u32;
+            loop {
+                if cur == 1 {
+                    break;
+                }
+                let c = draw_choice(seed, p, 1, cur, 0, 0);
+                if c.direct {
+                    break;
+                }
+                steps += 1;
+                cur = c.k;
+            }
+            assert_eq!(dep[t as usize], steps, "node {t}");
+        }
+    }
+
+    #[test]
+    fn average_dependency_bounded_by_inverse_p() {
+        // E[L] <= 1/p for constant p (paper §3.4). Allow slack for noise.
+        for p in [0.3f64, 0.5, 0.8] {
+            let dep = dependency_lengths(42, p, 50_000);
+            let s = summarize(&dep);
+            assert!(
+                s.mean <= 1.0 / p + 0.2,
+                "p = {p}: mean {} exceeds 1/p = {}",
+                s.mean,
+                1.0 / p
+            );
+        }
+    }
+
+    #[test]
+    fn max_dependency_is_logarithmic() {
+        // Theorem 3.3: L_max = O(log n) w.h.p. — use the paper's own
+        // 5·ln n yardstick.
+        let n = 100_000u64;
+        let dep = dependency_lengths(7, 0.5, n);
+        let s = summarize(&dep);
+        assert!(
+            (s.max as f64) <= 5.0 * (n as f64).ln(),
+            "max chain {} vs 5 ln n = {}",
+            s.max,
+            5.0 * (n as f64).ln()
+        );
+    }
+
+    #[test]
+    fn selection_mean_tracks_harmonic() {
+        // E[|S_t|] = 1 + H_{t−1}; averaged over t it stays within a few
+        // percent of the harmonic prediction.
+        let n = 50_000u64;
+        let sel = selection_lengths(3, 0.5, n);
+        let s = summarize(&sel);
+        let predicted: f64 = (1..n)
+            .map(|t| 1.0 + math::harmonic(t - 1))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!(
+            (s.mean / predicted - 1.0).abs() < 0.05,
+            "mean {} vs predicted {predicted}",
+            s.mean
+        );
+    }
+
+    #[test]
+    fn p_one_gives_unit_chains() {
+        let dep = dependency_lengths(1, 1.0, 1000);
+        assert!(dep[1..].iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn summary_counts_exclude_node_zero() {
+        let s = summarize(&[0, 1, 3]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.mean, 2.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Model and engine configuration.
+
+/// Parameters of a preferential-attachment network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaConfig {
+    /// Number of nodes `n`; nodes are labelled `0 .. n`.
+    pub n: u64,
+    /// Edges contributed by each new node (`x` in the paper). The first
+    /// `x` nodes form the seed clique.
+    pub x: u64,
+    /// Copy-model direct-connection probability `p`. `p = ½` reproduces
+    /// the Barabási–Albert degree-proportional attachment exactly; other
+    /// values shift the power-law exponent (Kumar et al.).
+    pub p: f64,
+    /// RNG seed. All randomness is a pure function of `(seed, node, edge,
+    /// attempt)`, so runs are reproducible and — for `x = 1` — identical
+    /// across any processor count or partitioning scheme.
+    pub seed: u64,
+}
+
+impl PaConfig {
+    /// Configuration with `p = ½` and seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > x >= 1` (the model needs a seed clique of `x`
+    /// nodes plus at least one attaching node).
+    pub fn new(n: u64, x: u64) -> Self {
+        let cfg = Self {
+            n,
+            x,
+            p: 0.5,
+            seed: 0,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the copy-model probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_p(mut self, p: f64) -> Self {
+        self.p = p;
+        self.validate();
+        self
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (degenerate `n`/`x`, `p` outside
+    /// `[0, 1]` or NaN).
+    pub fn validate(&self) {
+        assert!(self.x >= 1, "x must be at least 1");
+        assert!(
+            self.n > self.x,
+            "n = {} must exceed x = {} (seed clique plus one attaching node)",
+            self.n,
+            self.x
+        );
+        assert!(
+            self.p >= 0.0 && self.p <= 1.0,
+            "p = {} must lie in [0, 1]",
+            self.p
+        );
+    }
+
+    /// Total number of edges the model produces:
+    /// `x(x−1)/2` clique edges + `x` edges for every node `t >= x`.
+    pub fn expected_edges(&self) -> u64 {
+        self.x * (self.x - 1) / 2 + (self.n - self.x) * self.x
+    }
+}
+
+/// Tuning knobs for the parallel engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Message-buffer capacity per destination (the paper's message
+    /// aggregation, §3.5). 1 disables buffering: every logical message is
+    /// its own packet.
+    pub buffer_capacity: usize,
+    /// How many local nodes to generate between servicing rounds of the
+    /// incoming-message queue. Small values favour latency (shorter
+    /// dependency waits), large values favour throughput.
+    pub service_interval: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            buffer_capacity: 4096,
+            service_interval: 4096,
+        }
+    }
+}
+
+impl GenOptions {
+    /// Validate option values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either knob is zero.
+    pub fn validate(&self) {
+        assert!(self.buffer_capacity > 0, "buffer_capacity must be positive");
+        assert!(self.service_interval > 0, "service_interval must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = PaConfig::new(100, 3);
+        assert_eq!(cfg.p, 0.5);
+        assert_eq!(cfg.seed, 0);
+        cfg.validate();
+        GenOptions::default().validate();
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = PaConfig::new(10, 2).with_seed(9).with_p(0.25);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.p, 0.25);
+    }
+
+    #[test]
+    fn expected_edges_matches_model() {
+        assert_eq!(PaConfig::new(10, 1).expected_edges(), 9);
+        assert_eq!(PaConfig::new(10, 3).expected_edges(), 3 + 21);
+        assert_eq!(
+            PaConfig::new(10, 3).expected_edges() as usize,
+            pa_graph::validate::expected_pa_edges(10, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed x")]
+    fn n_not_greater_than_x_panics() {
+        let _ = PaConfig::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be at least 1")]
+    fn zero_x_panics() {
+        let _ = PaConfig::new(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn bad_p_panics() {
+        let _ = PaConfig::new(10, 1).with_p(1.5);
+    }
+
+    #[test]
+    fn extreme_p_values_allowed() {
+        let _ = PaConfig::new(10, 1).with_p(0.0);
+        let _ = PaConfig::new(10, 1).with_p(1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Harmonic numbers and related special functions.
+//!
+//! The paper's load-balance analysis is written in terms of harmonic
+//! numbers: the expected number of request messages received for node `k`
+//! is `(1−p)(H_{n−1} − H_k)` (Lemma 3.4), and the LCP partition boundaries
+//! solve a nonlinear system in `H_{n_i}` (Equation 10).
+
+/// Euler–Mascheroni constant.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Threshold below which [`harmonic`] sums exactly.
+const EXACT_LIMIT: u64 = 128;
+
+/// The `k`-th harmonic number `H_k = Σ_{i=1..k} 1/i`, with `H_0 = 0`.
+///
+/// Exact summation for small `k`; for larger `k` the asymptotic expansion
+/// `ln k + γ + 1/(2k) − 1/(12k²) + 1/(120k⁴)` (error `O(k⁻⁶)`, far below
+/// `f64` noise at the crossover).
+pub fn harmonic(k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    if k <= EXACT_LIMIT {
+        return (1..=k).map(|i| 1.0 / i as f64).sum();
+    }
+    let kf = k as f64;
+    let k2 = kf * kf;
+    kf.ln() + EULER_GAMMA + 1.0 / (2.0 * kf) - 1.0 / (12.0 * k2) + 1.0 / (120.0 * k2 * k2)
+}
+
+/// `H_b − H_a` for `a <= b`, computed stably (both terms through the same
+/// evaluation path so the cancellation error stays tiny).
+///
+/// # Panics
+///
+/// Panics if `a > b`.
+pub fn harmonic_diff(a: u64, b: u64) -> f64 {
+    assert!(a <= b, "harmonic_diff requires a <= b");
+    if b <= EXACT_LIMIT {
+        return ((a + 1)..=b).map(|i| 1.0 / i as f64).sum();
+    }
+    harmonic(b) - harmonic(a)
+}
+
+/// Base-2 logarithm of `n` as used in the chain-length bounds
+/// (`log 0` and `log 1` clamp to 0).
+pub fn log2_clamped(n: u64) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approximation_agrees_with_exact_sum_at_crossover() {
+        // Sum H_k exactly a little past the crossover and compare.
+        let mut exact = 0.0;
+        for i in 1..=1000u64 {
+            exact += 1.0 / i as f64;
+            let approx = harmonic(i);
+            assert!(
+                (approx - exact).abs() < 1e-10,
+                "H_{i}: exact {exact}, approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_is_monotone() {
+        let mut prev = 0.0;
+        for k in [1u64, 10, 100, 1000, 1_000_000, 1_000_000_000] {
+            let h = harmonic(k);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn large_value_matches_asymptotics() {
+        // H_1e9 ≈ ln(1e9) + γ = 20.7233 + 0.5772 ≈ 21.3005.
+        let h = harmonic(1_000_000_000);
+        assert!((h - 21.300_481_5).abs() < 1e-6, "H_1e9 = {h}");
+    }
+
+    #[test]
+    fn diff_matches_direct_subtraction() {
+        for (a, b) in [(0u64, 5u64), (10, 200), (500, 501), (7, 7)] {
+            let d = harmonic_diff(a, b);
+            let direct = harmonic(b) - harmonic(a);
+            assert!((d - direct).abs() < 1e-12, "diff({a},{b})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a <= b")]
+    fn diff_rejects_reversed() {
+        let _ = harmonic_diff(5, 3);
+    }
+
+    #[test]
+    fn log2_clamps() {
+        assert_eq!(log2_clamped(0), 0.0);
+        assert_eq!(log2_clamped(1), 0.0);
+        assert_eq!(log2_clamped(8), 3.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The `x = 1` parallel engine — Algorithm 3.1, exactly as the paper
+//! states it.
+//!
+//! Structurally a simplification of the general engine: one attachment
+//! slot per node, no duplicate checks (a single edge cannot collide), and
+//! the two-field message types `⟨request, t, k⟩` / `⟨resolved, t, v⟩`.
+//! Because no retries exist, the generated edge set is a pure function of
+//! the seed — bit-identical for every rank count and partitioning scheme
+//! — which the test suite exploits heavily.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use pa_graph::EdgeList;
+use pa_mpsim::{BufferedComm, Comm, TerminationHandle};
+
+use super::msg::Msg1;
+use super::output::{EngineCounters, RankOutput};
+use crate::partition::Partition;
+use crate::{GenOptions, Node, PaConfig, NILL};
+
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    Local { t: Node },
+    Remote { t: Node, src: usize },
+}
+
+const IDLE_WAIT: Duration = Duration::from_micros(200);
+
+pub(super) struct Engine1<'a, P: Partition> {
+    cfg: &'a PaConfig,
+    part: &'a P,
+    rank: usize,
+    /// `F_t` per local node (by local index).
+    f: Vec<Node>,
+    queues: HashMap<u64, Vec<Waiter>>,
+    queued_waiters: u64,
+    local_events: VecDeque<(Node, Node)>,
+    req_buf: BufferedComm<Msg1>,
+    res_buf: BufferedComm<Msg1>,
+    term: TerminationHandle,
+    edges: EdgeList,
+    counters: EngineCounters,
+}
+
+impl<'a, P: Partition> Engine1<'a, P> {
+    pub(super) fn run(
+        cfg: &'a PaConfig,
+        part: &'a P,
+        opts: &GenOptions,
+        comm: &mut Comm<Msg1>,
+    ) -> RankOutput {
+        assert_eq!(cfg.x, 1, "Algorithm 3.1 requires x = 1");
+        let rank = comm.rank();
+        let size = part.size_of(rank) as usize;
+        let mut engine = Engine1 {
+            cfg,
+            part,
+            rank,
+            f: vec![NILL; size],
+            queues: HashMap::new(),
+            queued_waiters: 0,
+            local_events: VecDeque::new(),
+            req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+            res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+            term: comm.termination(),
+            edges: EdgeList::with_capacity(size),
+            counters: EngineCounters {
+                nodes: size as u64,
+                ..Default::default()
+            },
+        };
+        engine.generate(comm, opts);
+        RankOutput {
+            rank,
+            edges: engine.edges,
+            counters: engine.counters,
+            comm: comm.stats().clone(),
+        }
+    }
+
+    fn generate(&mut self, comm: &mut Comm<Msg1>, opts: &GenOptions) {
+        // Node 0 contributes no slot; every other local node one.
+        let seeds_here = u64::from(self.part.rank_of(0) == self.rank);
+        self.term.add(self.part.size_of(self.rank) - seeds_here);
+        comm.barrier();
+
+        // Node 1 attaches to node 0 (the x = 1 boundary case).
+        if self.part.num_nodes() > 1 && self.part.rank_of(1) == self.rank {
+            self.commit(comm, 1, 0);
+        }
+
+        let mut since_service = 0usize;
+        let part = self.part;
+        for t in part.nodes_of(self.rank).filter(|&t| t > 1) {
+            self.start_node(comm, t);
+            self.drain_local(comm);
+            since_service += 1;
+            if since_service >= opts.service_interval {
+                since_service = 0;
+                self.service(comm);
+                self.res_buf.flush_all(comm);
+                // Keep per-rank sweep progress in lockstep when ranks
+                // share cores (see engine2).
+                std::thread::yield_now();
+            }
+        }
+        self.req_buf.flush_all(comm);
+        self.res_buf.flush_all(comm);
+
+        while !self.term.is_done() {
+            let progressed = self.service(comm);
+            self.req_buf.flush_all(comm);
+            self.res_buf.flush_all(comm);
+            if !progressed && !self.term.is_done() {
+                if let Some(pkt) = comm.recv_timeout(IDLE_WAIT) {
+                    self.handle_packet(comm, pkt.src, pkt.msgs);
+                    self.drain_local(comm);
+                    self.req_buf.flush_all(comm);
+                    self.res_buf.flush_all(comm);
+                }
+            }
+        }
+        debug_assert!(self.queues.is_empty());
+    }
+
+    /// Algorithm 3.1 lines 3–9 for node `t`.
+    fn start_node(&mut self, comm: &mut Comm<Msg1>, t: Node) {
+        let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, 1, t, 0, 0);
+        if c.direct {
+            self.counters.direct_edges += 1;
+            self.commit(comm, t, c.k);
+            return;
+        }
+        let owner = self.part.rank_of(c.k);
+        if owner == self.rank {
+            let fk = self.f[self.part.local_index(c.k) as usize];
+            if fk == NILL {
+                self.counters.local_deferred += 1;
+                self.push_waiter(self.part.local_index(c.k), Waiter::Local { t });
+            } else {
+                self.counters.local_immediate += 1;
+                self.counters.copy_edges += 1;
+                self.commit(comm, t, fk);
+            }
+        } else {
+            self.counters.requests_sent += 1;
+            self.req_buf.push(comm, owner, Msg1::Request { t, k: c.k });
+        }
+    }
+
+    fn push_waiter(&mut self, slot: u64, w: Waiter) {
+        self.queues.entry(slot).or_default().push(w);
+        self.queued_waiters += 1;
+        self.counters.max_queued_waiters =
+            self.counters.max_queued_waiters.max(self.queued_waiters);
+    }
+
+    /// Set `F_t = v`, emit the edge and notify waiters (lines 16–19).
+    fn commit(&mut self, comm: &mut Comm<Msg1>, t: Node, v: Node) {
+        let slot = self.part.local_index(t);
+        debug_assert_eq!(self.f[slot as usize], NILL);
+        self.f[slot as usize] = v;
+        self.edges.push(t, v);
+        self.term.complete(1);
+        if let Some(waiters) = self.queues.remove(&slot) {
+            self.queued_waiters -= waiters.len() as u64;
+            for w in waiters {
+                match w {
+                    Waiter::Remote { t, src } => {
+                        self.res_buf.push(comm, src, Msg1::Resolved { t, v });
+                    }
+                    Waiter::Local { t } => self.local_events.push_back((t, v)),
+                }
+            }
+        }
+    }
+
+    fn drain_local(&mut self, comm: &mut Comm<Msg1>) {
+        while let Some((t, v)) = self.local_events.pop_front() {
+            self.counters.copy_edges += 1;
+            self.commit(comm, t, v);
+        }
+    }
+
+    fn handle_packet(&mut self, comm: &mut Comm<Msg1>, src: usize, msgs: Vec<Msg1>) {
+        for msg in msgs {
+            match msg {
+                Msg1::Request { t, k } => {
+                    // Lines 11–15.
+                    debug_assert_eq!(self.part.rank_of(k), self.rank);
+                    let fk = self.f[self.part.local_index(k) as usize];
+                    if fk == NILL {
+                        self.counters.requests_queued += 1;
+                        self.push_waiter(self.part.local_index(k), Waiter::Remote { t, src });
+                    } else {
+                        self.counters.requests_served += 1;
+                        self.res_buf.push(comm, src, Msg1::Resolved { t, v: fk });
+                    }
+                }
+                Msg1::Resolved { t, v } => {
+                    debug_assert_eq!(self.part.rank_of(t), self.rank);
+                    self.counters.copy_edges += 1;
+                    self.commit(comm, t, v);
+                }
+            }
+        }
+    }
+
+    fn service(&mut self, comm: &mut Comm<Msg1>) -> bool {
+        let mut any = false;
+        while let Some(pkt) = comm.try_recv() {
+            any = true;
+            self.handle_packet(comm, pkt.src, pkt.msgs);
+            self.drain_local(comm);
+        }
+        any
+    }
+}

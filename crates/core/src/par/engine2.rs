@@ -1,0 +1,316 @@
+//! The general parallel engine — Algorithm 3.2 (`x ≥ 1`).
+//!
+//! Every rank sweeps its own nodes in ascending order. For each edge
+//! `(t, e)` it draws the copy-model choice; direct choices commit
+//! immediately, copy choices either resolve locally, park in a local
+//! queue, or become a `request` message to the owner of `k`. Incoming
+//! requests are answered immediately when the slot is known or parked in
+//! a per-slot queue otherwise; a commit drains the slot's queue, sending
+//! `resolved` messages (buffered, with the §3.5.2 flush discipline).
+//! Duplicate edges are rejected both at creation (line 7) and on late
+//! resolution (line 22), re-drawing with an incremented attempt counter.
+//!
+//! Termination: every uncommitted slot is registered with the global
+//! outstanding-work detector; a `request` in flight always belongs to an
+//! uncommitted slot, so "outstanding = 0" implies no meaningful traffic
+//! remains and all ranks can stop (see `pa-mpsim` docs).
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use pa_mpsim::{BufferedComm, Comm, TerminationHandle};
+
+use super::msg::Msg;
+use super::output::EngineCounters;
+use super::sink::EdgeSink;
+use crate::partition::Partition;
+use crate::{Node, PaConfig, GenOptions, NILL};
+
+/// Someone waiting for a local slot to resolve.
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    /// A slot owned by this same rank.
+    Local { t: Node, e: u32 },
+    /// A slot owned by rank `src` (answer with a `resolved` message).
+    Remote { t: Node, e: u32, src: usize },
+}
+
+/// How long the completion loop blocks on an empty queue before
+/// re-checking the termination predicate.
+const IDLE_WAIT: Duration = Duration::from_micros(200);
+
+pub(super) struct Engine<'a, P: Partition, S: EdgeSink> {
+    cfg: &'a PaConfig,
+    part: &'a P,
+    rank: usize,
+    /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
+    f: Vec<Node>,
+    /// Per-slot retry counters (`attempt` in the draw key).
+    attempts: Vec<u32>,
+    /// Waiters per local slot index.
+    queues: HashMap<u64, Vec<Waiter>>,
+    queued_waiters: u64,
+    /// Locally produced resolutions awaiting processing `(t, e, v)`.
+    local_events: VecDeque<(Node, u32, Node)>,
+    req_buf: BufferedComm<Msg>,
+    res_buf: BufferedComm<Msg>,
+    term: TerminationHandle,
+    edges: S,
+    counters: EngineCounters,
+}
+
+impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
+    /// Run the engine on this rank, delivering every created edge to
+    /// `sink`; returns the sink and the algorithm counters.
+    pub(super) fn run(
+        cfg: &'a PaConfig,
+        part: &'a P,
+        opts: &GenOptions,
+        comm: &mut Comm<Msg>,
+        sink: S,
+    ) -> (S, EngineCounters) {
+        let rank = comm.rank();
+        let x = cfg.x;
+        let size = part.size_of(rank);
+        let slots = (size * x) as usize;
+        let mut engine = Engine {
+            cfg,
+            part,
+            rank,
+            f: vec![NILL; slots],
+            attempts: vec![0; slots],
+            queues: HashMap::new(),
+            queued_waiters: 0,
+            local_events: VecDeque::new(),
+            req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+            res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+            term: comm.termination(),
+            edges: sink,
+            counters: EngineCounters {
+                nodes: size,
+                ..Default::default()
+            },
+        };
+        engine.generate(comm, opts);
+        (engine.edges, engine.counters)
+    }
+
+    fn generate(&mut self, comm: &mut Comm<Msg>, opts: &GenOptions) {
+        let x = self.cfg.x;
+        // --- Initialization: seed clique and slot registration. ---
+        // Clique edges are emitted by the owner of their higher endpoint.
+        let local_seeds = (0..x).filter(|&v| self.part.rank_of(v) == self.rank);
+        let mut seeds_here = 0u64;
+        for i in local_seeds {
+            seeds_here += 1;
+            for j in 0..i {
+                self.edges.emit(i, j);
+            }
+        }
+        // Every local node t >= x owns x yet-uncommitted slots.
+        let pending_slots = (self.part.size_of(self.rank) - seeds_here) * x;
+        self.term.add(pending_slots);
+        // No rank may observe the counter before everyone registered.
+        comm.barrier();
+
+        // Node x attaches deterministically to all seed nodes.
+        if self.part.num_nodes() > x && self.part.rank_of(x) == self.rank {
+            for e in 0..x {
+                self.commit(comm, x, e as u32, e);
+            }
+        }
+
+        // --- Generation sweep over local nodes in ascending order. ---
+        let mut since_service = 0usize;
+        let part = self.part;
+        for t in part.nodes_of(self.rank).filter(|&t| t > x) {
+            for e in 0..x as u32 {
+                self.start_edge(comm, t, e);
+            }
+            self.drain_local(comm);
+            since_service += 1;
+            if since_service >= opts.service_interval {
+                since_service = 0;
+                self.service(comm);
+                // §3.5.2: resolved messages must not linger in buffers.
+                self.res_buf.flush_all(comm);
+                // Let other ranks advance their sweeps: on an
+                // oversubscribed host this keeps the per-rank progress in
+                // lockstep, as it would be with one core per rank.
+                std::thread::yield_now();
+            }
+        }
+        // End-of-sweep flush: requests may now wait for nobody.
+        self.req_buf.flush_all(comm);
+        self.res_buf.flush_all(comm);
+
+        // --- Completion loop: service traffic until global quiescence. ---
+        while !self.term.is_done() {
+            let progressed = self.service(comm);
+            self.req_buf.flush_all(comm);
+            self.res_buf.flush_all(comm);
+            if !progressed && !self.term.is_done() {
+                if let Some(pkt) = comm.recv_timeout(IDLE_WAIT) {
+                    self.handle_packet(comm, pkt.src, pkt.msgs);
+                    self.drain_local(comm);
+                    self.req_buf.flush_all(comm);
+                    self.res_buf.flush_all(comm);
+                }
+            }
+        }
+        debug_assert_eq!(self.req_buf.pending_total(), 0);
+        debug_assert_eq!(self.res_buf.pending_total(), 0);
+        debug_assert!(self.queues.is_empty(), "waiters left after termination");
+    }
+
+    /// Slot index of `(t, e)` on this rank.
+    #[inline]
+    fn slot(&self, t: Node, e: u32) -> usize {
+        (self.part.local_index(t) * self.cfg.x) as usize + e as usize
+    }
+
+    /// Does `t`'s committed target row already contain `v`?
+    #[inline]
+    fn row_contains(&self, t: Node, v: Node) -> bool {
+        let row = (self.part.local_index(t) * self.cfg.x) as usize;
+        self.f[row..row + self.cfg.x as usize].contains(&v)
+    }
+
+    /// Drive edge `(t, e)` forward from its current attempt until it
+    /// commits, parks in a queue, or goes remote.
+    fn start_edge(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32) {
+        let x = self.cfg.x;
+        loop {
+            let slot = self.slot(t, e);
+            let attempt = self.attempts[slot];
+            self.attempts[slot] += 1;
+            let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, x, t, e, attempt);
+            if c.direct {
+                // Alg. 3.2 lines 6–10: connect to k unless duplicate.
+                if self.row_contains(t, c.k) {
+                    self.counters.duplicate_retries += 1;
+                    continue;
+                }
+                self.counters.direct_edges += 1;
+                self.commit(comm, t, e, c.k);
+                return;
+            }
+            // Copy branch: we need F_k(l).
+            let owner = self.part.rank_of(c.k);
+            if owner == self.rank {
+                let kslot = self.slot(c.k, c.l as u32);
+                let fk = self.f[kslot];
+                if fk == NILL {
+                    self.counters.local_deferred += 1;
+                    self.push_waiter(kslot as u64, Waiter::Local { t, e });
+                    return;
+                }
+                if self.row_contains(t, fk) {
+                    self.counters.duplicate_retries += 1;
+                    continue;
+                }
+                self.counters.local_immediate += 1;
+                self.counters.copy_edges += 1;
+                self.commit(comm, t, e, fk);
+                return;
+            }
+            // Alg. 3.2 line 14: ask the owner of k.
+            self.counters.requests_sent += 1;
+            self.req_buf.push(
+                comm,
+                owner,
+                Msg::Request {
+                    t,
+                    e,
+                    k: c.k,
+                    l: c.l as u32,
+                },
+            );
+            return;
+        }
+    }
+
+    fn push_waiter(&mut self, slot: u64, w: Waiter) {
+        self.queues.entry(slot).or_default().push(w);
+        self.queued_waiters += 1;
+        self.counters.max_queued_waiters =
+            self.counters.max_queued_waiters.max(self.queued_waiters);
+    }
+
+    /// Record `F_t(e) = v`, emit the edge, and notify waiters.
+    fn commit(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
+        let slot = self.slot(t, e);
+        debug_assert_eq!(self.f[slot], NILL, "double commit of ({t},{e})");
+        debug_assert!(!self.row_contains(t, v), "duplicate committed at ({t},{e})");
+        self.f[slot] = v;
+        self.edges.emit(t, v);
+        self.term.complete(1);
+        if let Some(waiters) = self.queues.remove(&(slot as u64)) {
+            self.queued_waiters -= waiters.len() as u64;
+            for w in waiters {
+                match w {
+                    Waiter::Remote { t, e, src } => {
+                        self.res_buf.push(comm, src, Msg::Resolved { t, e, v });
+                    }
+                    Waiter::Local { t, e } => {
+                        self.local_events.push_back((t, e, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A resolution for local slot `(t, e)`: commit unless duplicate
+    /// (Alg. 3.2 lines 21–29).
+    fn handle_resolved(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
+        if self.row_contains(t, v) {
+            self.counters.duplicate_retries += 1;
+            self.start_edge(comm, t, e);
+        } else {
+            self.counters.copy_edges += 1;
+            self.commit(comm, t, e, v);
+        }
+    }
+
+    /// Cascade local resolutions until quiescent.
+    fn drain_local(&mut self, comm: &mut Comm<Msg>) {
+        while let Some((t, e, v)) = self.local_events.pop_front() {
+            self.handle_resolved(comm, t, e, v);
+        }
+    }
+
+    fn handle_packet(&mut self, comm: &mut Comm<Msg>, src: usize, msgs: Vec<Msg>) {
+        for msg in msgs {
+            match msg {
+                Msg::Request { t, e, k, l } => {
+                    // Alg. 3.2 lines 16–20.
+                    debug_assert_eq!(self.part.rank_of(k), self.rank);
+                    let kslot = self.slot(k, l);
+                    let fk = self.f[kslot];
+                    if fk == NILL {
+                        self.counters.requests_queued += 1;
+                        self.push_waiter(kslot as u64, Waiter::Remote { t, e, src });
+                    } else {
+                        self.counters.requests_served += 1;
+                        self.res_buf.push(comm, src, Msg::Resolved { t, e, v: fk });
+                    }
+                }
+                Msg::Resolved { t, e, v } => {
+                    debug_assert_eq!(self.part.rank_of(t), self.rank);
+                    self.handle_resolved(comm, t, e, v);
+                }
+            }
+        }
+    }
+
+    /// Drain all currently pending packets; returns whether any arrived.
+    fn service(&mut self, comm: &mut Comm<Msg>) -> bool {
+        let mut any = false;
+        while let Some(pkt) = comm.try_recv() {
+            any = true;
+            self.handle_packet(comm, pkt.src, pkt.msgs);
+            self.drain_local(comm);
+        }
+        any
+    }
+}

@@ -1,0 +1,313 @@
+//! Distributed-memory parallel PA generation (paper §3.2–§3.3).
+//!
+//! Entry points:
+//!
+//! * [`generate`] — Algorithm 3.2, the general `x ≥ 1` engine.
+//! * [`generate_x1`] — Algorithm 3.1, the dedicated `x = 1` engine with
+//!   the paper's two-field messages.
+//! * [`generate_with`] — Algorithm 3.2 over a caller-supplied
+//!   [`Partition`] (for custom layouts beyond UCP/LCP/RRP).
+//!
+//! All of them spawn a `pa-mpsim` world of `nranks` ranks, run the engine
+//! on each, and return a [`ParallelOutput`] with per-rank edges, traffic
+//! statistics and algorithm counters.
+
+mod degrees;
+mod engine1;
+mod engine2;
+mod msg;
+mod output;
+mod sink;
+
+pub use degrees::{distributed_degrees, merge_degrees};
+pub use msg::{Msg, Msg1};
+pub use output::{EngineCounters, ParallelOutput, RankOutput};
+pub use sink::{CountSink, DegreeCountSink, EdgeSink};
+
+use crate::partition::{self, AnyPartition, Partition, Scheme};
+use crate::{GenOptions, PaConfig};
+use pa_graph::EdgeList;
+use pa_mpsim::{CommStats, World};
+
+/// Generate a PA network with Algorithm 3.2 on `nranks` ranks using one
+/// of the standard partitioning schemes.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts` or `nranks == 0`.
+pub fn generate(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+) -> ParallelOutput {
+    let part = partition::build(scheme, cfg.n, nranks);
+    let mut out = generate_with(cfg, &part, opts);
+    out.scheme = Some(scheme);
+    out
+}
+
+/// Generate with Algorithm 3.2 over an explicit partition.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, or if the partition's node count does
+/// not match `cfg.n`.
+pub fn generate_with<P: Partition>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+) -> ParallelOutput {
+    cfg.validate();
+    opts.validate();
+    assert_eq!(part.num_nodes(), cfg.n, "partition does not cover cfg.n nodes");
+    let world = World::new(part.nranks());
+    let ranks = world.run(|mut comm| {
+        let rank = comm.rank();
+        let sink = EdgeList::with_capacity(
+            (part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize,
+        );
+        let (edges, counters) = engine2::Engine::run(cfg, part, opts, &mut comm, sink);
+        RankOutput {
+            rank,
+            edges,
+            counters,
+            comm: comm.into_stats(),
+        }
+    });
+    ParallelOutput {
+        cfg: *cfg,
+        scheme: None,
+        ranks,
+    }
+}
+
+/// One rank's result from a streaming run: the caller's sink plus the
+/// usual traffic and algorithm reports.
+#[derive(Debug, Clone)]
+pub struct StreamRankOutput<S> {
+    /// The rank id.
+    pub rank: usize,
+    /// The caller-provided sink, after receiving every edge of this
+    /// rank's partition.
+    pub sink: S,
+    /// Transport statistics.
+    pub comm: CommStats,
+    /// Algorithm counters.
+    pub counters: EngineCounters,
+}
+
+/// Generate with Algorithm 3.2, streaming each rank's edges into a sink
+/// built by `make_sink(rank)` instead of materializing edge lists — the
+/// "generate on the fly and analyze without disk I/O" mode of §3.2.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts` or `nranks == 0`.
+///
+/// # Example
+///
+/// ```
+/// use pa_core::{PaConfig, par, partition::Scheme};
+///
+/// // Degree distribution of a network without storing a single edge.
+/// let cfg = PaConfig::new(20_000, 3).with_seed(9);
+/// let outs = par::generate_streaming(&cfg, Scheme::Rrp, 4, &Default::default(),
+///     |_rank| par::DegreeCountSink::new(cfg.n));
+/// let deg = par::DegreeCountSink::merge(outs.into_iter().map(|o| o.sink));
+/// assert_eq!(deg.iter().sum::<u64>(), 2 * cfg.expected_edges());
+/// ```
+pub fn generate_streaming<S, F>(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<StreamRankOutput<S>>
+where
+    S: sink::EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    cfg.validate();
+    opts.validate();
+    let part = partition::build(scheme, cfg.n, nranks);
+    let world = World::new(nranks);
+    world.run(|mut comm| {
+        let rank = comm.rank();
+        let (sink, counters) =
+            engine2::Engine::run(cfg, &part, opts, &mut comm, make_sink(rank));
+        StreamRankOutput {
+            rank,
+            sink,
+            counters,
+            comm: comm.into_stats(),
+        }
+    })
+}
+
+/// Generate with Algorithm 3.1 (requires `cfg.x == 1`).
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, `nranks == 0`, or `cfg.x != 1`.
+pub fn generate_x1(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+) -> ParallelOutput {
+    cfg.validate();
+    opts.validate();
+    assert_eq!(cfg.x, 1, "generate_x1 implements Algorithm 3.1 (x = 1)");
+    let part: AnyPartition = partition::build(scheme, cfg.n, nranks);
+    let world = World::new(nranks);
+    let ranks = world.run(|mut comm| engine1::Engine1::run(cfg, &part, opts, &mut comm));
+    ParallelOutput {
+        cfg: *cfg,
+        scheme: Some(scheme),
+        ranks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use pa_graph::validate::assert_valid_pa_network;
+
+    fn opts() -> GenOptions {
+        GenOptions {
+            buffer_capacity: 16,
+            service_interval: 8,
+        }
+    }
+
+    #[test]
+    fn x1_engine_matches_sequential_copy_model_on_any_world() {
+        let cfg = PaConfig::new(3000, 1).with_seed(11);
+        let reference = seq::copy_model(&cfg).canonicalized();
+        for nranks in [1usize, 2, 3, 7] {
+            for scheme in Scheme::ALL {
+                let out = generate_x1(&cfg, scheme, nranks, &opts());
+                assert_eq!(
+                    out.edge_list().canonicalized(),
+                    reference,
+                    "x=1 must be bit-identical: P={nranks}, {scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_engine_with_x1_matches_algorithm_31() {
+        let cfg = PaConfig::new(2000, 1).with_seed(5);
+        let a = generate_x1(&cfg, Scheme::Rrp, 4, &opts());
+        let b = generate(&cfg, Scheme::Rrp, 4, &opts());
+        assert_eq!(
+            a.edge_list().canonicalized(),
+            b.edge_list().canonicalized()
+        );
+    }
+
+    #[test]
+    fn single_rank_general_engine_equals_sequential_exactly() {
+        for x in [1u64, 2, 4] {
+            let cfg = PaConfig::new(1500, x).with_seed(3);
+            let out = generate(&cfg, Scheme::Ucp, 1, &opts());
+            // P = 1 resolves every dependency immediately in sweep order,
+            // so even the edge *order* matches the sequential generator.
+            assert_eq!(out.edge_list(), seq::copy_model(&cfg), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_a_valid_network_for_all_schemes() {
+        let cfg = PaConfig::new(4000, 4).with_seed(17);
+        for scheme in Scheme::ALL {
+            for nranks in [2usize, 5] {
+                let out = generate(&cfg, scheme, nranks, &opts());
+                let edges = out.edge_list();
+                assert_valid_pa_network(cfg.n, cfg.x, &edges);
+                assert_eq!(out.total_edges() as u64, cfg.expected_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_network_is_connected() {
+        let cfg = PaConfig::new(3000, 3).with_seed(23);
+        let out = generate(&cfg, Scheme::Rrp, 4, &opts());
+        let csr = pa_graph::Csr::from_edges(cfg.n as usize, &out.edge_list());
+        assert_eq!(csr.connected_components(), 1);
+    }
+
+    #[test]
+    fn counters_are_consistent_with_edges() {
+        let cfg = PaConfig::new(2500, 2).with_seed(31);
+        let out = generate(&cfg, Scheme::Lcp, 3, &opts());
+        let totals = out.total_counters();
+        // Every non-clique, non-node-x edge is either direct or copy.
+        let clique = cfg.x * (cfg.x - 1) / 2;
+        let attach_x = cfg.x;
+        assert_eq!(
+            totals.direct_edges + totals.copy_edges,
+            cfg.expected_edges() - clique - attach_x
+        );
+        // Node counts cover the whole node set.
+        assert_eq!(totals.nodes, cfg.n);
+    }
+
+    #[test]
+    fn degenerate_two_node_network() {
+        let cfg = PaConfig::new(2, 1).with_seed(1);
+        let out = generate(&cfg, Scheme::Ucp, 2, &opts());
+        assert_eq!(out.edge_list().as_slice(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn unbuffered_and_buffered_runs_agree_for_x1() {
+        let cfg = PaConfig::new(1200, 1).with_seed(77);
+        let buffered = generate(
+            &cfg,
+            Scheme::Rrp,
+            3,
+            &GenOptions {
+                buffer_capacity: 512,
+                service_interval: 64,
+            },
+        );
+        let unbuffered = generate(
+            &cfg,
+            Scheme::Rrp,
+            3,
+            &GenOptions {
+                buffer_capacity: 1,
+                service_interval: 1,
+            },
+        );
+        assert_eq!(
+            buffered.edge_list().canonicalized(),
+            unbuffered.edge_list().canonicalized()
+        );
+        // Unbuffered sends at least as many packets.
+        let pk = |o: &ParallelOutput| {
+            o.ranks.iter().map(|r| r.comm.packets_sent).sum::<u64>()
+        };
+        assert!(pk(&unbuffered) >= pk(&buffered));
+    }
+
+    #[test]
+    fn many_ranks_for_few_nodes() {
+        // More ranks than busy nodes: empty partitions must not hang.
+        let cfg = PaConfig::new(10, 2).with_seed(2);
+        let out = generate(&cfg, Scheme::Rrp, 8, &opts());
+        assert_valid_pa_network(10, 2, &out.edge_list());
+    }
+
+    #[test]
+    #[should_panic(expected = "Algorithm 3.1")]
+    fn generate_x1_rejects_larger_x() {
+        let cfg = PaConfig::new(10, 2);
+        let _ = generate_x1(&cfg, Scheme::Ucp, 2, &opts());
+    }
+}

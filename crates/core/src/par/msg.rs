@@ -1,0 +1,75 @@
+//! Message types exchanged by the parallel engines.
+
+use crate::Node;
+
+/// Messages of Algorithm 3.1 (`x = 1`): a request asks the owner of `k`
+/// for `F_k`; a resolved message carries the answer back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg1 {
+    /// `⟨request, t, k⟩` — node `t` needs `F_k` (line 9 of Alg. 3.1).
+    Request {
+        /// The waiting node.
+        t: Node,
+        /// The node whose attachment is requested.
+        k: Node,
+    },
+    /// `⟨resolved, t, v⟩` — `F_t` should be set to `v` (line 16).
+    Resolved {
+        /// The waiting node.
+        t: Node,
+        /// The resolved attachment target.
+        v: Node,
+    },
+}
+
+/// Messages of Algorithm 3.2 (`x ≥ 1`): requests and answers now carry
+/// the requesting edge index `e` and the requested edge index `l`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// `⟨request, t, e, k, l⟩` — node `t`'s edge `e` needs `F_k(l)`
+    /// (line 14 of Alg. 3.2).
+    Request {
+        /// The waiting node.
+        t: Node,
+        /// Which of `t`'s edges is waiting.
+        e: u32,
+        /// The node whose attachment is requested.
+        k: Node,
+        /// Which of `k`'s edges is requested.
+        l: u32,
+    },
+    /// `⟨resolved, t, e, v⟩` — `F_t(e)` may be set to `v` (line 21),
+    /// subject to the duplicate check.
+    Resolved {
+        /// The waiting node.
+        t: Node,
+        /// Which of `t`'s edges is waiting.
+        e: u32,
+        /// The resolved attachment target.
+        v: Node,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_small() {
+        // Traffic volume matters: keep messages within four words.
+        assert!(std::mem::size_of::<Msg>() <= 32);
+        assert!(std::mem::size_of::<Msg1>() <= 24);
+    }
+
+    #[test]
+    fn messages_are_copy_and_eq() {
+        let m = Msg::Request {
+            t: 5,
+            e: 1,
+            k: 3,
+            l: 0,
+        };
+        let m2 = m;
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Results reported by the parallel engines.
+
+use crate::partition::Scheme;
+use crate::PaConfig;
+use pa_graph::EdgeList;
+use pa_mpsim::cost::RankLoad;
+use pa_mpsim::CommStats;
+
+/// Algorithm-level event counters for one rank.
+///
+/// These are the quantities behind the paper's load-balance study
+/// (Figure 7): nodes per processor, outgoing request messages, incoming
+/// request messages — plus extra visibility into the dependency-wait and
+/// duplicate-retry machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Local nodes processed (the rank's partition size).
+    pub nodes: u64,
+    /// Edges committed through the direct branch (probability `p`).
+    pub direct_edges: u64,
+    /// Edges committed through the copy branch (probability `1 − p`).
+    pub copy_edges: u64,
+    /// Copy lookups answered locally without waiting (`F_k` was already
+    /// known on this rank).
+    pub local_immediate: u64,
+    /// Copy lookups queued locally (`k` local but `F_k` still pending).
+    pub local_deferred: u64,
+    /// Request messages sent to other ranks.
+    pub requests_sent: u64,
+    /// Incoming requests answered immediately.
+    pub requests_served: u64,
+    /// Incoming requests parked in a queue until the slot resolves.
+    pub requests_queued: u64,
+    /// Duplicate-edge retries (both the early check of Alg. 3.2 line 7
+    /// and the late check of line 22).
+    pub duplicate_retries: u64,
+    /// Peak number of waiters parked in this rank's queues.
+    pub max_queued_waiters: u64,
+}
+
+/// Everything one rank produced.
+#[derive(Debug, Clone)]
+pub struct RankOutput {
+    /// The rank id.
+    pub rank: usize,
+    /// Edges of this rank's nodes (each edge emitted exactly once, by the
+    /// node that created it).
+    pub edges: EdgeList,
+    /// Transport-level traffic statistics.
+    pub comm: CommStats,
+    /// Algorithm-level counters.
+    pub counters: EngineCounters,
+}
+
+impl RankOutput {
+    /// This rank's load in the form the virtual-time cost model consumes.
+    pub fn load(&self) -> RankLoad {
+        RankLoad {
+            nodes: self.counters.nodes,
+            msgs_out: self.comm.msgs_sent,
+            msgs_in: self.comm.msgs_recv,
+            packets_out: self.comm.packets_sent,
+            packets_in: self.comm.packets_recv,
+        }
+    }
+}
+
+/// The combined result of a parallel generation run.
+#[derive(Debug, Clone)]
+pub struct ParallelOutput {
+    /// The model parameters used.
+    pub cfg: PaConfig,
+    /// The partitioning scheme used (if one of the standard three).
+    pub scheme: Option<Scheme>,
+    /// Per-rank results, indexed by rank.
+    pub ranks: Vec<RankOutput>,
+}
+
+impl ParallelOutput {
+    /// Concatenate every rank's edges (rank order).
+    pub fn edge_list(&self) -> EdgeList {
+        let mut out = EdgeList::with_capacity(self.total_edges());
+        for r in &self.ranks {
+            out.extend_from(&r.edges);
+        }
+        out
+    }
+
+    /// Total edge count across ranks.
+    pub fn total_edges(&self) -> usize {
+        self.ranks.iter().map(|r| r.edges.len()).sum()
+    }
+
+    /// Per-rank loads for the cost model, indexed by rank.
+    pub fn loads(&self) -> Vec<RankLoad> {
+        self.ranks.iter().map(RankOutput::load).collect()
+    }
+
+    /// Sum of all ranks' algorithm counters.
+    pub fn total_counters(&self) -> EngineCounters {
+        let mut total = EngineCounters::default();
+        for r in &self.ranks {
+            let c = &r.counters;
+            total.nodes += c.nodes;
+            total.direct_edges += c.direct_edges;
+            total.copy_edges += c.copy_edges;
+            total.local_immediate += c.local_immediate;
+            total.local_deferred += c.local_deferred;
+            total.requests_sent += c.requests_sent;
+            total.requests_served += c.requests_served;
+            total.requests_queued += c.requests_queued;
+            total.duplicate_retries += c.duplicate_retries;
+            total.max_queued_waiters = total.max_queued_waiters.max(c.max_queued_waiters);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_maps_counters_and_comm() {
+        let mut comm = CommStats::new(2);
+        comm.msgs_sent = 5;
+        comm.msgs_recv = 7;
+        comm.packets_sent = 2;
+        comm.packets_recv = 3;
+        let out = RankOutput {
+            rank: 0,
+            edges: EdgeList::new(),
+            comm,
+            counters: EngineCounters {
+                nodes: 11,
+                ..Default::default()
+            },
+        };
+        let load = out.load();
+        assert_eq!(load.nodes, 11);
+        assert_eq!(load.msgs_out, 5);
+        assert_eq!(load.msgs_in, 7);
+        assert_eq!(load.packets_out, 2);
+        assert_eq!(load.packets_in, 3);
+        assert_eq!(load.paper_load(), 11 + 5 + 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Batagelj–Brandes repeated-nodes-list generator (paper §3.1).
+//!
+//! Maintains a list in which every node `i` appears exactly `d_i` times
+//! (append both endpoints whenever an edge is created); a uniform draw
+//! from the list is then a degree-proportional draw. O(m) time, but the
+//! list is global mutable state that grows with every edge — the paper's
+//! explanation for why this algorithm, unlike the copy model, resists
+//! distributed-memory parallelization.
+
+use crate::{Node, PaConfig};
+use pa_graph::EdgeList;
+use pa_rng::Rng64;
+
+/// Generate a PA network with the Batagelj–Brandes algorithm.
+///
+/// Uses the same boundary conditions as the copy-model generators (seed
+/// clique on `0 .. x`, node `x` attaching to every seed) so edge counts
+/// are comparable. Duplicate targets within a node's round are redrawn;
+/// this is the standard simple-graph variant (as in NetworkX).
+pub fn generate(cfg: &PaConfig, rng: &mut impl Rng64) -> EdgeList {
+    cfg.validate();
+    let (n, x) = (cfg.n, cfg.x);
+    let mut edges = EdgeList::with_capacity(cfg.expected_edges() as usize);
+    // Repeated-nodes list: node i appears once per incident edge.
+    let mut list: Vec<Node> = Vec::with_capacity(2 * cfg.expected_edges() as usize);
+
+    // Seed clique.
+    for i in 1..x {
+        for j in 0..i {
+            edges.push(i, j);
+            list.push(i);
+            list.push(j);
+        }
+    }
+    // Per-round distinct-target scratch.
+    let mut targets: Vec<Node> = Vec::with_capacity(x as usize);
+    for t in x..n {
+        targets.clear();
+        if t == x {
+            // Node x attaches to all seed nodes (for x = 1 the list is
+            // still empty at this point, so this case is also what makes
+            // the algorithm well-defined at the boundary).
+            targets.extend(0..x);
+        } else {
+            while (targets.len() as u64) < x {
+                let cand = list[rng.gen_below(list.len() as u64) as usize];
+                if !targets.contains(&cand) {
+                    targets.push(cand);
+                }
+            }
+        }
+        for &v in &targets {
+            edges.push(t, v);
+            list.push(t);
+            list.push(v);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_graph::validate::assert_valid_pa_network;
+    use pa_rng::Xoshiro256pp;
+
+    #[test]
+    fn produces_valid_network() {
+        for x in [1u64, 2, 4] {
+            let cfg = PaConfig::new(3000, x).with_seed(1);
+            let mut rng = Xoshiro256pp::new(cfg.seed);
+            let edges = generate(&cfg, &mut rng);
+            assert_valid_pa_network(3000, x, &edges);
+        }
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let cfg = PaConfig::new(2000, 3);
+        let mut rng = Xoshiro256pp::new(5);
+        let edges = generate(&cfg, &mut rng);
+        let csr = pa_graph::Csr::from_edges(2000, &edges);
+        assert_eq!(csr.connected_components(), 1);
+    }
+
+    #[test]
+    fn repeated_list_invariant_heavy_tail() {
+        let cfg = PaConfig::new(20_000, 2);
+        let mut rng = Xoshiro256pp::new(2);
+        let edges = generate(&cfg, &mut rng);
+        let deg = pa_graph::degrees::degree_sequence(20_000, &edges);
+        let stats = pa_graph::degrees::degree_stats(&deg).unwrap();
+        assert!(stats.max > 50, "hub expected, max = {}", stats.max);
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let cfg = PaConfig::new(500, 2);
+        let a = generate(&cfg, &mut Xoshiro256pp::new(9));
+        let b = generate(&cfg, &mut Xoshiro256pp::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn x1_attaches_node_one_to_zero() {
+        let cfg = PaConfig::new(100, 1);
+        let edges = generate(&cfg, &mut Xoshiro256pp::new(4));
+        assert_eq!(edges.as_slice()[0], (1, 0));
+    }
+}

@@ -1,0 +1,121 @@
+//! The naive degree-scan generator (paper §3.1's Ω(n²) strawman).
+//!
+//! Keeps an explicit degree array; to draw a degree-proportional target
+//! for node `t` it draws `r` uniform in `[0, Σ d_i)` and scans the array
+//! until the cumulative degree exceeds `r` — Θ(t) per draw, Ω(n²) total.
+//! Kept as the correctness baseline and for the sequential-algorithm
+//! comparison bench; use only at small `n`.
+
+use crate::{Node, PaConfig};
+use pa_graph::EdgeList;
+use pa_rng::Rng64;
+
+/// Generate a PA network by naive cumulative-degree scanning.
+///
+/// Boundary conditions match the other generators (seed clique, node `x`
+/// attaching to every seed). Duplicate targets within a round are
+/// redrawn.
+pub fn generate(cfg: &PaConfig, rng: &mut impl Rng64) -> EdgeList {
+    cfg.validate();
+    let (n, x) = (cfg.n, cfg.x);
+    let mut edges = EdgeList::with_capacity(cfg.expected_edges() as usize);
+    let mut degree = vec![0u64; n as usize];
+    let mut total_degree = 0u64;
+
+    let add_edge = |edges: &mut EdgeList,
+                        degree: &mut Vec<u64>,
+                        total: &mut u64,
+                        u: Node,
+                        v: Node| {
+        edges.push(u, v);
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+        *total += 2;
+    };
+
+    for i in 1..x {
+        for j in 0..i {
+            add_edge(&mut edges, &mut degree, &mut total_degree, i, j);
+        }
+    }
+    let mut targets: Vec<Node> = Vec::with_capacity(x as usize);
+    for t in x..n {
+        targets.clear();
+        if t == x {
+            targets.extend(0..x);
+        } else {
+            while (targets.len() as u64) < x {
+                let mut r = rng.gen_below(total_degree);
+                // Scan for the node whose cumulative degree range holds r.
+                let mut cand = 0u64;
+                loop {
+                    let d = degree[cand as usize];
+                    if r < d {
+                        break;
+                    }
+                    r -= d;
+                    cand += 1;
+                }
+                if !targets.contains(&cand) {
+                    targets.push(cand);
+                }
+            }
+        }
+        for &v in &targets {
+            add_edge(&mut edges, &mut degree, &mut total_degree, t, v);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_graph::validate::assert_valid_pa_network;
+    use pa_rng::Xoshiro256pp;
+
+    #[test]
+    fn produces_valid_network() {
+        for x in [1u64, 3] {
+            let cfg = PaConfig::new(400, x);
+            let edges = generate(&cfg, &mut Xoshiro256pp::new(1));
+            assert_valid_pa_network(400, x, &edges);
+        }
+    }
+
+    #[test]
+    fn connected_and_deterministic() {
+        let cfg = PaConfig::new(300, 2);
+        let a = generate(&cfg, &mut Xoshiro256pp::new(7));
+        let b = generate(&cfg, &mut Xoshiro256pp::new(7));
+        assert_eq!(a, b);
+        let csr = pa_graph::Csr::from_edges(300, &a);
+        assert_eq!(csr.connected_components(), 1);
+    }
+
+    #[test]
+    fn degree_proportionality_matches_batagelj_brandes_statistically() {
+        // Both are exact BA samplers, so hub mass should be comparable:
+        // compare the mean of the top-10 degrees across a few seeds.
+        let cfg = PaConfig::new(2_000, 2);
+        let top10 = |edges: &EdgeList| -> f64 {
+            let mut deg = pa_graph::degrees::degree_sequence(2_000, edges);
+            deg.sort_unstable_by(|a, b| b.cmp(a));
+            deg[..10].iter().sum::<u64>() as f64 / 10.0
+        };
+        let mut naive_sum = 0.0;
+        let mut bb_sum = 0.0;
+        for seed in 0..5 {
+            naive_sum += top10(&generate(&cfg, &mut Xoshiro256pp::new(seed)));
+            bb_sum += top10(&super::super::batagelj_brandes(
+                &cfg,
+                &mut Xoshiro256pp::new(seed + 100),
+            ));
+        }
+        let ratio = naive_sum / bb_sum;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "hub mass should be comparable, ratio = {ratio}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for pa-core: partitioning contracts, model
+//! invariants, and cross-engine agreement on randomized configurations.
+
+use pa_core::partition::{build, check_contract, Partition, Scheme};
+use pa_core::{chains, par, seq, GenOptions, PaConfig};
+use proptest::prelude::*;
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Ucp),
+        Just(Scheme::Lcp),
+        Just(Scheme::Rrp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every scheme satisfies the full partition contract for arbitrary
+    /// (n, P) combinations, including P > n.
+    #[test]
+    fn partition_contract_holds(
+        n in 1u64..3_000,
+        p in 1usize..64,
+        scheme in any_scheme(),
+    ) {
+        let part = build(scheme, n, p);
+        check_contract(&part);
+    }
+
+    /// rank_of is total and consistent with node_at for large n (spot
+    /// checks where the exhaustive contract is too slow).
+    #[test]
+    fn rank_of_roundtrips_at_scale(
+        scheme in any_scheme(),
+        p in 1usize..512,
+        probe in 0u64..10_000_000,
+    ) {
+        let n = 10_000_000u64;
+        let part = build(scheme, n, p);
+        let r = part.rank_of(probe);
+        prop_assert!(r < p);
+        let idx = part.local_index(probe);
+        prop_assert_eq!(part.node_at(r, idx), probe);
+    }
+
+    /// The sequential copy model always produces a valid PA network.
+    #[test]
+    fn copy_model_always_valid(
+        n in 10u64..400,
+        x in 1u64..6,
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+    ) {
+        prop_assume!(n > x);
+        let cfg = PaConfig { n, x, p, seed };
+        let edges = seq::copy_model(&cfg);
+        let defects = pa_graph::validate::check_pa_network(n, x, &edges);
+        prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+
+    /// Parallel == sequential for x = 1 on arbitrary small worlds.
+    #[test]
+    fn parallel_x1_matches_sequential(
+        n in 10u64..300,
+        nranks in 1usize..9,
+        seed in any::<u64>(),
+        scheme in any_scheme(),
+    ) {
+        let cfg = PaConfig::new(n, 1).with_seed(seed);
+        let reference = seq::copy_model(&cfg).canonicalized();
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4 };
+        let out = par::generate_x1(&cfg, scheme, nranks, &opts);
+        prop_assert_eq!(out.edge_list().canonicalized(), reference);
+    }
+
+    /// The general engine produces valid networks on arbitrary small
+    /// worlds and exact edge counts.
+    #[test]
+    fn parallel_general_always_valid(
+        n in 10u64..300,
+        x in 1u64..5,
+        nranks in 1usize..7,
+        seed in any::<u64>(),
+        scheme in any_scheme(),
+    ) {
+        prop_assume!(n > x);
+        let cfg = PaConfig::new(n, x).with_seed(seed);
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4 };
+        let out = par::generate(&cfg, scheme, nranks, &opts);
+        let edges = out.edge_list();
+        prop_assert_eq!(edges.len() as u64, cfg.expected_edges());
+        let defects = pa_graph::validate::check_pa_network(n, x, &edges);
+        prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+
+    /// Dependency chains never exceed selection chains and respect the
+    /// strict-decrease property of the copy walk.
+    #[test]
+    fn chain_lengths_are_consistent(
+        n in 2u64..2_000,
+        seed in any::<u64>(),
+        p in 0.05f64..=1.0,
+    ) {
+        let dep = chains::dependency_lengths(seed, p, n);
+        let sel = chains::selection_lengths(seed, p, n);
+        for t in 1..n as usize {
+            prop_assert!(dep[t] >= 1);
+            prop_assert!(dep[t] <= sel[t]);
+            // A chain can never be longer than the node label path 1..t.
+            prop_assert!(sel[t] as u64 <= t as u64);
+        }
+    }
+
+    /// Degree sums always satisfy the handshake lemma after generation.
+    #[test]
+    fn handshake_lemma(
+        n in 10u64..300,
+        x in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n > x);
+        let cfg = PaConfig::new(n, x).with_seed(seed);
+        let edges = seq::copy_model(&cfg);
+        let deg = pa_graph::degrees::degree_sequence(n as usize, &edges);
+        prop_assert_eq!(deg.iter().sum::<u64>(), 2 * edges.len() as u64);
+        // Non-seed nodes have degree >= x (they created x edges).
+        for (t, &d) in deg.iter().enumerate().skip(x as usize) {
+            prop_assert!(d >= x, "node {t} degree {d} < x");
+        }
+    }
+}

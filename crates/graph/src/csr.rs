@@ -1,0 +1,207 @@
+//! Compressed sparse row adjacency.
+
+use crate::{EdgeList, Node, UnionFind};
+
+/// Undirected graph in compressed-sparse-row form.
+///
+/// Each undirected edge `(u, v)` is stored twice (once in each endpoint's
+/// neighbor range), so `adj.len() == 2 * num_edges`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v] .. offsets[v + 1]` indexes `adj` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbor lists.
+    adj: Vec<Node>,
+    num_edges: usize,
+}
+
+impl Csr {
+    /// Build from an edge list over nodes `0 .. n`.
+    ///
+    /// Uses the classic two-pass counting-sort construction: O(n + m) time,
+    /// no per-node allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n`.
+    pub fn from_edges(n: usize, edges: &EdgeList) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for (u, v) in edges.iter() {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of bounds for n={n}");
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut adj = vec![0 as Node; 2 * edges.len()];
+        for (u, v) in edges.iter() {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Self {
+            offsets,
+            adj,
+            num_edges: edges.len(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v` (counting multi-edges if present).
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.adj[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Breadth-first search from `src`; returns the hop distance to every
+    /// node (`u64::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, src: Node) -> Vec<u64> {
+        let n = self.num_nodes();
+        let mut dist = vec![u64::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &w in self.neighbors(u) {
+                if dist[w as usize] == u64::MAX {
+                    dist[w as usize] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Number of connected components (isolated nodes count as singleton
+    /// components).
+    pub fn connected_components(&self) -> usize {
+        let mut uf = UnionFind::new(self.num_nodes());
+        for v in 0..self.num_nodes() as Node {
+            for &w in self.neighbors(v) {
+                uf.union(v as usize, w as usize);
+            }
+        }
+        uf.num_sets()
+    }
+
+    /// Local clustering coefficient of `v`: fraction of neighbor pairs
+    /// that are themselves adjacent. Returns 0 for degree < 2.
+    ///
+    /// O(d² log d); intended for sampled estimates on scale-free graphs,
+    /// not for exhaustive sweeps over hubs.
+    pub fn clustering_coefficient(&self, v: Node) -> f64 {
+        let neigh = self.neighbors(v);
+        let d = neigh.len();
+        if d < 2 {
+            return 0.0;
+        }
+        let mut sorted: Vec<Node> = neigh.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let dd = sorted.len();
+        if dd < 2 {
+            return 0.0;
+        }
+        let mut links = 0usize;
+        for &u in &sorted {
+            for &w in self.neighbors(u) {
+                if w > u && sorted.binary_search(&w).is_ok() {
+                    links += 1;
+                }
+            }
+        }
+        2.0 * links as f64 / (dd as f64 * (dd - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn triangle_plus_tail() -> Csr {
+        // 0-1, 1-2, 2-0 triangle; 2-3 tail; node 4 isolated.
+        let el = EdgeList::from_vec(vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        Csr::from_edges(5, &el)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn neighbors_are_complete() {
+        let g = triangle_plus_tail();
+        let mut n2: Vec<_> = g.neighbors(2).to_vec();
+        n2.sort_unstable();
+        assert_eq!(n2, vec![0, 1, 3]);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let el = EdgeList::from_vec(vec![(0, 9)]);
+        let _ = Csr::from_edges(3, &el);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let el = EdgeList::from_vec(vec![(0, 1), (1, 2), (2, 3)]);
+        let g = Csr::from_edges(5, &el);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, u64::MAX]);
+    }
+
+    #[test]
+    fn components_counts_isolated() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.connected_components(), 2);
+    }
+
+    #[test]
+    fn clustering_of_triangle_node() {
+        let g = triangle_plus_tail();
+        // Node 0's neighbors {1, 2} are adjacent: coefficient 1.
+        assert_eq!(g.clustering_coefficient(0), 1.0);
+        // Node 2's neighbors {0, 1, 3}: only (0,1) adjacent => 1/3.
+        assert!((g.clustering_coefficient(2) - 1.0 / 3.0).abs() < 1e-12);
+        // Degree-1 and isolated nodes have coefficient 0.
+        assert_eq!(g.clustering_coefficient(3), 0.0);
+        assert_eq!(g.clustering_coefficient(4), 0.0);
+    }
+
+    #[test]
+    fn multi_edge_degree_counts_duplicates() {
+        let el = EdgeList::from_vec(vec![(0, 1), (0, 1)]);
+        let g = Csr::from_edges(2, &el);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

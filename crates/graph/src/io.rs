@@ -1,0 +1,172 @@
+//! Edge-list I/O.
+//!
+//! The paper's processors "have a shared file system and read-write data
+//! files from the same external memory [...] independently". We mirror
+//! that: each rank may write its own partition's edges with
+//! [`write_text`] / [`write_binary`], and an analysis step reads the
+//! concatenation back.
+
+use crate::{EdgeList, Node};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write edges as ASCII `u v` lines.
+pub fn write_text<W: Write>(w: W, edges: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for (u, v) in edges.iter() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Read edges from ASCII `u v` lines. Blank lines and `#` comments are
+/// skipped; malformed lines are an error.
+pub fn read_text<R: Read>(r: R) -> io::Result<EdgeList> {
+    let r = BufReader::new(r);
+    let mut edges = EdgeList::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<Node> {
+            s.and_then(|tok| tok.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge on line {}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        edges.push(u, v);
+    }
+    Ok(edges)
+}
+
+/// Write edges as little-endian `u64` pairs (16 bytes per edge).
+pub fn write_binary<W: Write>(w: W, edges: &EdgeList) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for (u, v) in edges.iter() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read edges written by [`write_binary`]. A trailing partial record is an
+/// error.
+pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
+    let mut r = BufReader::new(r);
+    let mut edges = EdgeList::new();
+    let mut buf = [0u8; 16];
+    loop {
+        match r.read(&mut buf[..1])? {
+            0 => break,
+            _ => {
+                r.read_exact(&mut buf[1..]).map_err(|_| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "truncated edge record")
+                })?;
+                let u = Node::from_le_bytes(buf[..8].try_into().unwrap());
+                let v = Node::from_le_bytes(buf[8..].try_into().unwrap());
+                edges.push(u, v);
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Convenience: write a text edge list to a path.
+pub fn write_text_file<P: AsRef<Path>>(path: P, edges: &EdgeList) -> io::Result<()> {
+    write_text(File::create(path)?, edges)
+}
+
+/// Convenience: read a text edge list from a path.
+pub fn read_text_file<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    read_text(File::open(path)?)
+}
+
+/// Convenience: write a binary edge list to a path.
+pub fn write_binary_file<P: AsRef<Path>>(path: P, edges: &EdgeList) -> io::Result<()> {
+    write_binary(File::create(path)?, edges)
+}
+
+/// Convenience: read a binary edge list from a path.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> io::Result<EdgeList> {
+    read_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_vec(vec![(0, 1), (7, 3), (u64::MAX - 1, 2)])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &sample()).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let input = "# header\n\n0 1\n  \n2 3\n";
+        let el = read_text(input.as_bytes()).unwrap();
+        assert_eq!(el.as_slice(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        let err = read_text("0 x\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        assert_eq!(buf.len(), 16 * sample().len());
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.pop();
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &EdgeList::new()).unwrap();
+        assert!(read_binary(&buf[..]).unwrap().is_empty());
+        let mut buf = Vec::new();
+        write_text(&mut buf, &EdgeList::new()).unwrap();
+        assert!(read_text(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pa_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("edges.bin");
+        write_binary_file(&p, &sample()).unwrap();
+        assert_eq!(read_binary_file(&p).unwrap(), sample());
+        let p = dir.join("edges.txt");
+        write_text_file(&p, &sample()).unwrap();
+        assert_eq!(read_text_file(&p).unwrap(), sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

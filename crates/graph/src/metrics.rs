@@ -1,0 +1,290 @@
+//! Whole-graph structural metrics.
+//!
+//! Used by the examples and the model-comparison experiments to
+//! characterize generated networks beyond their degree distribution:
+//! triangle structure, degree assortativity, eccentricity estimates and
+//! k-core decomposition — the standard toolkit the paper's introduction
+//! alludes to when it motivates "large-scale network analysis".
+
+use crate::{Csr, Node};
+
+/// Count the triangles in the graph exactly.
+///
+/// Node-iterator algorithm over sorted adjacency with the standard
+/// degree-ordering trick (each triangle is counted at its
+/// lowest-degree-last corner), `O(Σ d_v²)` worst case but fast on
+/// power-law graphs of this size. Multi-edges and self-loops must be
+/// absent (validate first).
+pub fn triangle_count(g: &Csr) -> u64 {
+    let n = g.num_nodes();
+    // Rank nodes by (degree, id) and orient edges from lower to higher
+    // rank; counting wedges in the oriented graph counts each triangle
+    // exactly once.
+    let rank_of = |v: Node| (g.degree(v), v);
+    let mut oriented: Vec<Vec<Node>> = vec![Vec::new(); n];
+    for v in 0..n as Node {
+        for &w in g.neighbors(v) {
+            if rank_of(v) < rank_of(w) {
+                oriented[v as usize].push(w);
+            }
+        }
+    }
+    for adj in &mut oriented {
+        adj.sort_unstable();
+    }
+    let mut triangles = 0u64;
+    for v in 0..n {
+        let out = &oriented[v];
+        for (i, &a) in out.iter().enumerate() {
+            for &b in &out[i + 1..] {
+                // Is there an oriented edge a->b or b->a? Both have
+                // higher rank than v; the edge is oriented by rank.
+                let (lo, hi) = if rank_of(a) < rank_of(b) { (a, b) } else { (b, a) };
+                if oriented[lo as usize].binary_search(&hi).is_ok() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    triangles
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3·triangles / number-of-wedges`.
+///
+/// Returns 0 for graphs with no wedge (no node of degree ≥ 2).
+pub fn transitivity(g: &Csr) -> f64 {
+    let wedges: u64 = (0..g.num_nodes() as Node)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+/// Degree assortativity: the Pearson correlation of the degrees at the
+/// two ends of each edge (Newman 2002). Negative values mean hubs
+/// preferentially connect to low-degree nodes — the signature of
+/// preferential-attachment networks.
+///
+/// Returns `None` when undefined (no edges, or zero degree variance
+/// across edge endpoints, e.g. regular graphs).
+pub fn degree_assortativity(g: &Csr) -> Option<f64> {
+    let mut m2 = 0u64; // twice the edge count, via the stub sum
+    let (mut sum_prod, mut sum_side, mut sum_sq) = (0.0f64, 0.0f64, 0.0f64);
+    for v in 0..g.num_nodes() as Node {
+        let dv = g.degree(v) as f64;
+        for &w in g.neighbors(v) {
+            let dw = g.degree(w) as f64;
+            // Each undirected edge contributes both (v,w) and (w,v),
+            // which is exactly the symmetrized sum Newman's estimator
+            // needs.
+            sum_prod += dv * dw;
+            sum_side += dv;
+            sum_sq += dv * dv;
+            m2 += 1;
+        }
+    }
+    if m2 == 0 {
+        return None;
+    }
+    let inv = 1.0 / m2 as f64;
+    let num = inv * sum_prod - (inv * sum_side) * (inv * sum_side);
+    let den = inv * sum_sq - (inv * sum_side) * (inv * sum_side);
+    if den.abs() < 1e-15 {
+        return None;
+    }
+    Some(num / den)
+}
+
+/// Lower-bound diameter estimate by the double-sweep heuristic: BFS from
+/// `start`, then BFS again from the farthest node found. Exact on trees;
+/// a tight lower bound in practice.
+///
+/// Returns `None` if `start` is isolated.
+pub fn double_sweep_diameter(g: &Csr, start: Node) -> Option<u64> {
+    let first = g.bfs_distances(start);
+    let (far, d) = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u64::MAX)
+        .max_by_key(|&(_, &d)| d)?;
+    if *d == 0 && g.degree(start) == 0 {
+        return None;
+    }
+    let second = g.bfs_distances(far as Node);
+    second
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+}
+
+/// K-core decomposition: `out[v]` is the largest `k` such that `v`
+/// belongs to a subgraph where every node has degree ≥ `k`.
+///
+/// Linear-time bucket peeling (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut deg: Vec<u32> = (0..n as Node).map(|v| g.degree(v) as u32).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bins[d as usize + 1] += 1;
+    }
+    for i in 1..bins.len() {
+        bins[i] += bins[i - 1];
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0 as Node; n];
+    {
+        let mut cursor = bins.clone();
+        for v in 0..n {
+            let d = deg[v] as usize;
+            pos[v] = cursor[d];
+            order[cursor[d]] = v as Node;
+            cursor[d] += 1;
+        }
+    }
+    // bins[d] = index of first node with degree >= d in `order`.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = deg[v as usize];
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if deg[w] > deg[v as usize] {
+                // Move w one bucket down: swap it with the first node of
+                // its current bucket, then shrink the bucket boundary.
+                let dw = deg[w] as usize;
+                let pw = pos[w];
+                let start = bins[dw];
+                let u = order[start];
+                if w as Node != u {
+                    order.swap(pw, start);
+                    pos[w] = start;
+                    pos[u as usize] = pw;
+                }
+                bins[dw] += 1;
+                deg[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeList;
+
+    fn graph(n: usize, edges: &[(Node, Node)]) -> Csr {
+        Csr::from_edges(n, &EdgeList::from_vec(edges.to_vec()))
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        // Triangle.
+        assert_eq!(triangle_count(&graph(3, &[(0, 1), (1, 2), (2, 0)])), 1);
+        // Square (no triangles).
+        assert_eq!(
+            triangle_count(&graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])),
+            0
+        );
+        // K4 has 4 triangles.
+        assert_eq!(
+            triangle_count(&graph(
+                4,
+                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+            )),
+            4
+        );
+        // Two disjoint triangles.
+        assert_eq!(
+            triangle_count(&graph(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])),
+            2
+        );
+    }
+
+    #[test]
+    fn transitivity_of_clique_is_one() {
+        let k5: Vec<(Node, Node)> = (0..5)
+            .flat_map(|i| (0..i).map(move |j| (i, j)))
+            .collect();
+        let g = graph(5, &k5);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitivity_of_star_is_zero() {
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn assortativity_of_star_is_negative() {
+        // A star is maximally disassortative.
+        let g = graph(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!((r + 1.0).abs() < 1e-9, "star assortativity = {r}");
+    }
+
+    #[test]
+    fn assortativity_undefined_for_regular_graphs() {
+        // A cycle: every endpoint degree is 2 — zero variance.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(degree_assortativity(&g).is_none());
+        assert!(degree_assortativity(&graph(2, &[])).is_none());
+    }
+
+    #[test]
+    fn double_sweep_on_path_is_exact() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        // Starting anywhere, the double sweep finds the true diameter 4.
+        for s in 0..5 {
+            assert_eq!(double_sweep_diameter(&g, s), Some(4), "start {s}");
+        }
+    }
+
+    #[test]
+    fn double_sweep_isolated_start() {
+        let g = graph(3, &[(0, 1)]);
+        assert_eq!(double_sweep_diameter(&g, 2), None);
+        assert_eq!(double_sweep_diameter(&g, 0), Some(1));
+    }
+
+    #[test]
+    fn core_numbers_on_known_graph() {
+        // K4 plus a pendant node attached to node 0.
+        let g = graph(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
+        );
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![3, 3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn core_numbers_of_tree_are_at_most_one() {
+        let g = graph(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+    }
+
+    #[test]
+    fn core_numbers_of_cycle_are_two() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(core_numbers(&g).iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_core() {
+        let g = graph(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g)[2], 0);
+    }
+}

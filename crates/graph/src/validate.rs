@@ -1,0 +1,175 @@
+//! Structural validation of generated graphs.
+//!
+//! Algorithm 3.2's whole point is producing *simple* graphs under
+//! concurrency: no self-loops, no parallel (duplicate) edges, exactly `x`
+//! edges per non-seed node. These checks are the machine-verifiable form
+//! of those guarantees and are used throughout the test suite.
+
+use crate::{Edge, EdgeList, Node};
+use std::collections::HashSet;
+
+/// A structural defect found in a generated graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defect {
+    /// An edge `(v, v)`.
+    SelfLoop(Node),
+    /// The same undirected edge appears more than once.
+    ParallelEdge(Edge),
+    /// An endpoint is outside `0 .. n`.
+    OutOfRange(Edge),
+    /// Total edge count differs from expectation.
+    WrongEdgeCount {
+        /// Edges found in the list.
+        found: usize,
+        /// Edges the model should have produced.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for Defect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Defect::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            Defect::ParallelEdge((u, v)) => write!(f, "parallel edge ({u}, {v})"),
+            Defect::OutOfRange((u, v)) => write!(f, "edge ({u}, {v}) out of node range"),
+            Defect::WrongEdgeCount { found, expected } => {
+                write!(f, "edge count {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+/// Check that `edges` is a simple undirected graph on nodes `0 .. n`.
+///
+/// Returns all defects found (empty = valid). Runs in O(m) expected time.
+pub fn check_simple(n: u64, edges: &EdgeList) -> Vec<Defect> {
+    let mut defects = Vec::new();
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(edges.len());
+    for (u, v) in edges.iter() {
+        if u >= n || v >= n {
+            defects.push(Defect::OutOfRange((u, v)));
+            continue;
+        }
+        if u == v {
+            defects.push(Defect::SelfLoop(u));
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !seen.insert(key) {
+            defects.push(Defect::ParallelEdge(key));
+        }
+    }
+    defects
+}
+
+/// Expected edge count of a PA network with `n` nodes and `x` edges per
+/// node: the seed clique contributes `x(x-1)/2` edges, node `x` attaches
+/// to all `x` seed nodes, and each node `t > x` adds `x` edges.
+///
+/// # Panics
+///
+/// Panics unless `n > x >= 1` (the model needs at least one non-seed node).
+pub fn expected_pa_edges(n: u64, x: u64) -> usize {
+    assert!(x >= 1 && n > x, "PA model requires n > x >= 1");
+    (x * (x - 1) / 2 + (n - x) * x) as usize
+}
+
+/// Full PA-network validation: simplicity plus the exact edge count.
+pub fn check_pa_network(n: u64, x: u64, edges: &EdgeList) -> Vec<Defect> {
+    let mut defects = check_simple(n, edges);
+    let expected = expected_pa_edges(n, x);
+    if edges.len() != expected {
+        defects.push(Defect::WrongEdgeCount {
+            found: edges.len(),
+            expected,
+        });
+    }
+    defects
+}
+
+/// Assert-style helper for tests: panics with a readable report when the
+/// graph is defective.
+///
+/// # Panics
+///
+/// Panics if any defect is found.
+pub fn assert_valid_pa_network(n: u64, x: u64, edges: &EdgeList) {
+    let defects = check_pa_network(n, x, edges);
+    if !defects.is_empty() {
+        let shown: Vec<String> = defects.iter().take(10).map(|d| d.to_string()).collect();
+        panic!(
+            "invalid PA network (n={n}, x={x}): {} defect(s), first: {}",
+            defects.len(),
+            shown.join("; ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_graph_has_no_defects() {
+        let el = EdgeList::from_vec(vec![(0, 1), (1, 2), (0, 2)]);
+        assert!(check_simple(3, &el).is_empty());
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let el = EdgeList::from_vec(vec![(1, 1)]);
+        assert_eq!(check_simple(3, &el), vec![Defect::SelfLoop(1)]);
+    }
+
+    #[test]
+    fn detects_parallel_edges_in_both_directions() {
+        let el = EdgeList::from_vec(vec![(0, 1), (1, 0)]);
+        assert_eq!(check_simple(2, &el), vec![Defect::ParallelEdge((0, 1))]);
+    }
+
+    #[test]
+    fn detects_out_of_range() {
+        let el = EdgeList::from_vec(vec![(0, 5)]);
+        assert_eq!(check_simple(3, &el), vec![Defect::OutOfRange((0, 5))]);
+    }
+
+    #[test]
+    fn expected_edges_formula() {
+        // x = 1: no clique edges; node 1 attaches to node 0; n-1 edges.
+        assert_eq!(expected_pa_edges(10, 1), 9);
+        // x = 3, n = 10: clique 3 + (10-3)*3 = 3 + 21 = 24.
+        assert_eq!(expected_pa_edges(10, 3), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > x")]
+    fn expected_edges_rejects_degenerate() {
+        let _ = expected_pa_edges(3, 3);
+    }
+
+    #[test]
+    fn pa_check_flags_wrong_count() {
+        let el = EdgeList::from_vec(vec![(0, 1)]);
+        let defects = check_pa_network(3, 1, &el);
+        assert_eq!(
+            defects,
+            vec![Defect::WrongEdgeCount {
+                found: 1,
+                expected: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Defect::SelfLoop(3).to_string(), "self-loop at node 3");
+        assert_eq!(
+            Defect::WrongEdgeCount {
+                found: 1,
+                expected: 2
+            }
+            .to_string(),
+            "edge count 1, expected 2"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Message buffering (aggregation), §3.5 of the paper.
+//!
+//! "If a Processor i has multiple messages destined to the same processor
+//! [...] Processor i can combine them into a single message by buffering
+//! them instead of sending them individually. Each processor can do so by
+//! maintaining P−1 buffers, one for each other processor."
+//!
+//! [`BufferedComm`] implements exactly that: `push` appends to the
+//! per-destination buffer and transfers it as one packet when it reaches
+//! the configured capacity. The flush discipline needed for deadlock
+//! avoidance (flush request buffers at end of the generation sweep; flush
+//! resolved buffers after every batch of processed incoming messages —
+//! §3.5.2) is expressed by the caller via [`BufferedComm::flush`] /
+//! [`BufferedComm::flush_all`].
+
+use crate::comm::Comm;
+
+/// A buffering layer over [`Comm`], one buffer per destination rank.
+pub struct BufferedComm<M> {
+    bufs: Vec<Vec<M>>,
+    capacity: usize,
+}
+
+impl<M: Send> BufferedComm<M> {
+    /// Create buffers for a world of `nranks` destinations, each flushing
+    /// automatically at `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(nranks: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            bufs: (0..nranks).map(|_| Vec::new()).collect(),
+            capacity,
+        }
+    }
+
+    /// The automatic flush threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queue one logical message for `dest`, transferring the buffer as a
+    /// single packet if it reaches capacity.
+    #[inline]
+    pub fn push(&mut self, comm: &mut Comm<M>, dest: usize, msg: M) {
+        let buf = &mut self.bufs[dest];
+        if buf.is_empty() {
+            buf.reserve(self.capacity);
+        }
+        buf.push(msg);
+        if buf.len() >= self.capacity {
+            self.flush(comm, dest);
+        }
+    }
+
+    /// Transfer any queued messages for `dest` immediately.
+    pub fn flush(&mut self, comm: &mut Comm<M>, dest: usize) {
+        if !self.bufs[dest].is_empty() {
+            let msgs = std::mem::take(&mut self.bufs[dest]);
+            comm.send_batch(dest, msgs);
+        }
+    }
+
+    /// Transfer every non-empty buffer (end-of-sweep flush and the RRP
+    /// resolved-message rule both reduce to this).
+    pub fn flush_all(&mut self, comm: &mut Comm<M>) {
+        for dest in 0..self.bufs.len() {
+            self.flush(comm, dest);
+        }
+    }
+
+    /// Number of messages currently queued for `dest`.
+    pub fn pending(&self, dest: usize) -> usize {
+        self.bufs[dest].len()
+    }
+
+    /// Total messages queued across all destinations.
+    pub fn pending_total(&self) -> usize {
+        self.bufs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+    use std::time::Duration;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BufferedComm::<u8>::new(2, 0);
+    }
+
+    #[test]
+    fn auto_flush_at_capacity() {
+        let world = World::new(2);
+        let stats = world.run(|mut comm| {
+            if comm.rank() == 0 {
+                let mut buf = BufferedComm::new(comm.nranks(), 4);
+                for i in 0..10u32 {
+                    buf.push(&mut comm, 1, i);
+                }
+                assert_eq!(buf.pending(1), 2, "two messages left below threshold");
+                buf.flush_all(&mut comm);
+                assert_eq!(buf.pending_total(), 0);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 10 {
+                    let pkt = comm.recv_timeout(Duration::from_secs(5)).unwrap();
+                    got.extend(pkt.msgs);
+                }
+                assert_eq!(got, (0..10u32).collect::<Vec<_>>());
+            }
+            comm.barrier();
+            comm.into_stats()
+        });
+        // 10 messages in 3 packets: two full (4) + one flush (2).
+        assert_eq!(stats[0].msgs_sent, 10);
+        assert_eq!(stats[0].packets_sent, 3);
+        assert_eq!(stats[1].packets_recv, 3);
+    }
+
+    #[test]
+    fn flush_of_empty_buffer_sends_nothing() {
+        let world = World::new(2);
+        let stats = world.run(|mut comm: crate::Comm<u8>| {
+            let mut buf = BufferedComm::new(comm.nranks(), 4);
+            buf.flush_all(&mut comm);
+            comm.barrier();
+            comm.into_stats()
+        });
+        assert_eq!(stats[0].packets_sent, 0);
+        assert_eq!(stats[1].packets_sent, 0);
+    }
+
+    #[test]
+    fn pending_counts_per_destination() {
+        let world = World::new(3);
+        world.run(|mut comm: crate::Comm<u8>| {
+            if comm.rank() == 0 {
+                let mut buf = BufferedComm::new(comm.nranks(), 100);
+                buf.push(&mut comm, 1, 1);
+                buf.push(&mut comm, 1, 2);
+                buf.push(&mut comm, 2, 3);
+                assert_eq!(buf.pending(1), 2);
+                assert_eq!(buf.pending(2), 1);
+                assert_eq!(buf.pending_total(), 3);
+                buf.flush_all(&mut comm);
+            } else {
+                let pkt = comm.recv_timeout(Duration::from_secs(5)).unwrap();
+                assert_eq!(pkt.src, 0);
+            }
+            comm.barrier();
+        });
+    }
+}

@@ -1,0 +1,71 @@
+//! A distributed-memory message-passing runtime for reproducing MPI
+//! algorithms on a single machine.
+//!
+//! The SC'13 preferential-attachment generator of Alam, Khan & Marathe is
+//! an MPI program: `P` processors with private memories exchanging
+//! `request` / `resolved` messages. This crate provides the equivalent
+//! substrate in safe Rust:
+//!
+//! * [`World::run`] spawns one OS thread per rank; each rank receives a
+//!   [`Comm`] handle. Rank state is strictly private — the only data paths
+//!   between ranks are typed channels (point-to-point, per-pair FIFO,
+//!   asynchronous), mirroring MPI two-sided semantics.
+//! * [`Comm`] offers point-to-point sends ([`Comm::send`],
+//!   [`Comm::send_batch`]) and receives ([`Comm::try_recv`],
+//!   [`Comm::recv_timeout`]), plus collectives ([`Comm::barrier`],
+//!   [`Comm::allreduce_sum`], [`Comm::allgather_u64`]) implemented on a
+//!   shared control plane — semantically the same global operations MPI
+//!   provides, kept separate from the data plane so they cannot leak
+//!   algorithm state.
+//! * [`TerminationHandle`] is a global outstanding-work counter, standing
+//!   in for the nonblocking-allreduce termination loop a production MPI
+//!   code would run (see DESIGN.md §2 for the substitution argument).
+//! * [`BufferedComm`] implements the paper's *message buffering*: logical
+//!   messages destined for the same rank are aggregated into one packet
+//!   (one "MPI send"), with explicit flush points so the deadlock-avoidance
+//!   rules of §3.5.2 can be expressed.
+//! * [`CommStats`] counts logical messages and physical packets per rank —
+//!   exactly the quantities Figure 7 of the paper plots — and
+//!   [`cost::CostModel`] converts per-rank load into a virtual-time
+//!   makespan for the scaling experiments (Figures 5 and 6), since real
+//!   wall-clock speedup cannot be observed on a single-core host.
+//!
+//! # Example
+//!
+//! ```
+//! use pa_mpsim::World;
+//!
+//! // Every rank sends its rank number to rank 0, which sums them.
+//! let world = World::new(4);
+//! let results: Vec<u64> = world.run(|mut comm| {
+//!     if comm.rank() == 0 {
+//!         let mut sum = 0;
+//!         let mut seen = 1; // itself
+//!         while seen < comm.nranks() {
+//!             if let Some(pkt) = comm.try_recv() {
+//!                 sum += pkt.msgs.iter().sum::<u64>();
+//!                 seen += 1;
+//!             }
+//!         }
+//!         sum
+//!     } else {
+//!         comm.send(0, comm.rank() as u64);
+//!         0
+//!     }
+//! });
+//! assert_eq!(results[0], 1 + 2 + 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod comm;
+mod control;
+pub mod cost;
+mod stats;
+
+pub use buffer::BufferedComm;
+pub use comm::{Comm, Packet, World};
+pub use control::TerminationHandle;
+pub use stats::CommStats;

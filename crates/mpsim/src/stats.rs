@@ -1,0 +1,122 @@
+//! Per-rank communication accounting.
+
+/// Communication statistics for a single rank.
+///
+/// A *message* is one logical unit handed to [`crate::Comm::send`] or
+/// aggregated by [`crate::BufferedComm`]; a *packet* is one physical
+/// channel transfer (one "MPI send" in the paper's terms). The paper's
+/// load-balance study (Figure 7) plots, per processor, the number of
+/// outgoing and incoming messages together with the node count; this
+/// struct captures the message/packet half of that.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Logical messages sent to other ranks.
+    pub msgs_sent: u64,
+    /// Logical messages received from other ranks.
+    pub msgs_recv: u64,
+    /// Physical packets (channel transfers) sent.
+    pub packets_sent: u64,
+    /// Physical packets received.
+    pub packets_recv: u64,
+    /// Logical messages sent, broken down by destination rank.
+    pub sent_to: Vec<u64>,
+    /// Logical messages received, broken down by source rank.
+    pub recv_from: Vec<u64>,
+}
+
+impl CommStats {
+    /// Empty statistics for a world of `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        Self {
+            sent_to: vec![0; nranks],
+            recv_from: vec![0; nranks],
+            ..Default::default()
+        }
+    }
+
+    /// Record `n` logical messages leaving in one packet towards `dest`.
+    #[inline]
+    pub(crate) fn on_send(&mut self, dest: usize, n: u64) {
+        self.msgs_sent += n;
+        self.packets_sent += 1;
+        self.sent_to[dest] += n;
+    }
+
+    /// Record a received packet of `n` logical messages from `src`.
+    #[inline]
+    pub(crate) fn on_recv(&mut self, src: usize, n: u64) {
+        self.msgs_recv += n;
+        self.packets_recv += 1;
+        self.recv_from[src] += n;
+    }
+
+    /// Total logical message traffic (sent + received); the communication
+    /// part of the paper's per-processor load measure (§4.6.3).
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent + self.msgs_recv
+    }
+
+    /// Merge another rank's statistics into this one (used when
+    /// aggregating whole-world totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.packets_sent += other.packets_sent;
+        self.packets_recv += other.packets_recv;
+        if self.sent_to.len() < other.sent_to.len() {
+            self.sent_to.resize(other.sent_to.len(), 0);
+            self.recv_from.resize(other.recv_from.len(), 0);
+        }
+        for (a, b) in self.sent_to.iter_mut().zip(&other.sent_to) {
+            *a += b;
+        }
+        for (a, b) in self.recv_from.iter_mut().zip(&other.recv_from) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv_accumulate() {
+        let mut s = CommStats::new(3);
+        s.on_send(1, 5);
+        s.on_send(1, 2);
+        s.on_send(2, 1);
+        s.on_recv(0, 4);
+        assert_eq!(s.msgs_sent, 8);
+        assert_eq!(s.packets_sent, 3);
+        assert_eq!(s.sent_to, vec![0, 7, 1]);
+        assert_eq!(s.msgs_recv, 4);
+        assert_eq!(s.packets_recv, 1);
+        assert_eq!(s.recv_from, vec![4, 0, 0]);
+        assert_eq!(s.total_msgs(), 12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CommStats::new(2);
+        a.on_send(0, 1);
+        let mut b = CommStats::new(2);
+        b.on_send(1, 3);
+        b.on_recv(0, 2);
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 4);
+        assert_eq!(a.packets_sent, 2);
+        assert_eq!(a.msgs_recv, 2);
+        assert_eq!(a.sent_to, vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_grows_vectors() {
+        let mut a = CommStats::new(1);
+        let mut b = CommStats::new(4);
+        b.on_send(3, 9);
+        a.merge(&b);
+        assert_eq!(a.sent_to.len(), 4);
+        assert_eq!(a.sent_to[3], 9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic pseudo-random number generation for the `prefattach`
+//! workspace.
+//!
+//! The parallel preferential-attachment algorithms of Alam, Khan & Marathe
+//! (SC'13) require every processor to draw random choices *independently*
+//! of the other processors. To make the generated networks reproducible —
+//! and, for the `x = 1` algorithm, **bit-identical regardless of the number
+//! of ranks or the partitioning scheme** — this crate provides
+//! *counter-based* generators keyed by `(seed, node, edge, attempt)` in
+//! addition to conventional sequential stream generators.
+//!
+//! Contents:
+//!
+//! * [`SplitMix64`] — tiny, fast stream generator; also the canonical seed
+//!   expander for the other generators.
+//! * [`Xoshiro256pp`] — general-purpose stream generator with 2²⁵⁶−1 period
+//!   and `jump()` support for cheap independent streams.
+//! * [`CounterRng`] and [`draw_key`] — stateless, counter-based draws: each
+//!   logical event `(seed, node, edge, attempt)` owns an independent short
+//!   stream, so the random choices a node makes do not depend on which rank
+//!   executes it or in which order.
+//! * [`Rng64`] — the minimal trait the workspace programs against, with
+//!   provided methods for unbiased range sampling ([`Rng64::gen_range`]),
+//!   floating-point draws ([`Rng64::next_f64`]) and Bernoulli trials
+//!   ([`Rng64::gen_bool`]).
+//!
+//! All generators implement `Clone` and are `Send`; none allocate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod splitmix;
+mod xoshiro;
+
+pub use counter::{draw_key, CounterRng};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256pp;
+
+/// Minimal random-source trait used throughout the workspace.
+///
+/// Implementors provide [`Rng64::next_u64`]; everything else is derived.
+/// The derived methods are deterministic functions of the `u64` stream, so
+/// two generators producing the same `u64` sequence behave identically.
+pub trait Rng64 {
+    /// Return the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in the half-open interval `[0, 1)`.
+    ///
+    /// Uses the upper 53 bits of one `u64` draw, the standard
+    /// dyadic-rational construction: every representable output is an
+    /// integer multiple of 2⁻⁵³.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 2^-53
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's unbiased method
+    /// (widening multiply with rejection of the biased residue band).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below: bound must be positive");
+        // Fast path: widening multiply maps [0, 2^64) onto [0, bound).
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // Reject draws falling in the short first interval so every
+            // output value has exactly floor(2^64 / bound) preimages.
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive-exclusive range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range [{lo}, {hi})");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    ///
+    /// Values of `p` outside `[0, 1]` are clamped by construction
+    /// (`p <= 0` never fires, `p >= 1` always fires).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake source for testing the provided methods.
+    struct Fixed(Vec<u64>, usize);
+    impl Rng64 for Fixed {
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = Fixed(vec![0, u64::MAX, 1 << 63, 12345], 0);
+        for _ in 0..8 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn f64_zero_and_max() {
+        let mut r = Fixed(vec![0], 0);
+        assert_eq!(r.next_f64(), 0.0);
+        let mut r = Fixed(vec![u64::MAX], 0);
+        let v = r.next_f64();
+        assert!(v < 1.0 && v > 0.9999999999999998);
+    }
+
+    #[test]
+    fn gen_below_covers_small_bounds() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn gen_below_one_is_always_zero() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10 {
+            assert_eq!(r.gen_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_below_zero_panics() {
+        let mut r = SplitMix64::new(1);
+        let _ = r.gen_below(0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let v = r.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut r = SplitMix64::new(1);
+        let _ = r.gen_range(5, 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..50 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_half_is_roughly_balanced() {
+        let mut r = SplitMix64::new(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_below_is_unbiased_over_small_modulus() {
+        // With bound = 3 a naive modulo would over-represent {0,1}.
+        // Lemire + rejection should give each residue ~ n/3.
+        let mut r = Xoshiro256pp::seed_from(1, 0);
+        let mut counts = [0u32; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[r.gen_below(3) as usize] += 1;
+        }
+        for &c in &counts {
+            let expect = n as f64 / 3.0;
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "counts = {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Xoshiro256++: Blackman & Vigna's general-purpose generator.
+
+use crate::splitmix::SplitMix64;
+use crate::Rng64;
+
+/// Xoshiro256++ generator: 256-bit state, period 2²⁵⁶ − 1.
+///
+/// The workspace's general-purpose stream generator — used where a rank or
+/// a benchmark needs a long sequence of draws that do *not* have to be
+/// reproducible across different rank counts (for that, use
+/// [`crate::CounterRng`]).
+///
+/// Independent streams for different ranks are obtained either with
+/// [`Xoshiro256pp::seed_from`] (hash-separated seeding) or with
+/// [`Xoshiro256pp::jump`] (polynomial jump of 2¹²⁸ steps, the method
+/// recommended by the authors for parallel use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed from a single `u64`, expanding with SplitMix64 as recommended
+    /// by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Seed an independent stream: stream `i` from seed `s` behaves as an
+    /// unrelated generator from stream `j != i`.
+    ///
+    /// The pair is mixed into a single seed with the SplitMix64 finalizer,
+    /// so `(seed, stream)` pairs never collide unless they are equal.
+    pub fn seed_from(seed: u64, stream: u64) -> Self {
+        // mix64 is a bijection; xor-with-constant keeps (s, 0) != (0, s).
+        let mixed = crate::splitmix::mix64(seed ^ crate::splitmix::mix64(stream ^ 0xA076_1D64_78BD_642F));
+        Self::new(mixed)
+    }
+
+    /// Jump forward 2¹²⁸ steps: equivalent to that many `next_u64` calls.
+    ///
+    /// Calling `jump` k times on generators cloned from one seed yields
+    /// 2¹²⁸-spaced, effectively independent subsequences.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180ec6d33cfd0aba,
+            0xd5a61266f0c9392c,
+            0xa9582618e03fc9aa,
+            0x39abdc4529b1661c,
+        ];
+        let mut s = [0u64; 4];
+        for &j in &JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+impl Rng64 for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::new(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut a = Xoshiro256pp::seed_from(7, 0);
+        let mut b = Xoshiro256pp::seed_from(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_zero_differs_from_plain_seed() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::seed_from(7, 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn jump_changes_state_and_keeps_determinism() {
+        let mut a = Xoshiro256pp::new(7);
+        let mut b = Xoshiro256pp::new(7);
+        a.jump();
+        b.jump();
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Xoshiro256pp::new(7);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_near_half() {
+        let mut r = Xoshiro256pp::new(2024);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn bit_balance() {
+        // Every bit position should be set roughly half the time.
+        let mut r = Xoshiro256pp::new(5);
+        let n = 20_000;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let v = r.next_u64();
+            for (b, c) in counts.iter_mut().enumerate() {
+                *c += ((v >> b) & 1) as u32;
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.03, "bit {b}: frac = {frac}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the pa-rng generators.
+
+use pa_rng::{draw_key, CounterRng, Rng64, SplitMix64, Xoshiro256pp};
+use proptest::prelude::*;
+
+proptest! {
+    /// gen_below always returns a value strictly below the bound.
+    #[test]
+    fn gen_below_in_bounds(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut r = SplitMix64::new(seed);
+        let v = r.gen_below(bound);
+        prop_assert!(v < bound);
+    }
+
+    /// gen_range stays inside [lo, hi) for arbitrary non-empty ranges.
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), lo in 0u64..u64::MAX - 1, span in 1u64..1u64 << 32) {
+        let hi = lo.saturating_add(span).max(lo + 1);
+        let mut r = Xoshiro256pp::new(seed);
+        let v = r.gen_range(lo, hi);
+        prop_assert!(v >= lo && v < hi);
+    }
+
+    /// next_f64 is always in [0, 1).
+    #[test]
+    fn unit_float_in_bounds(seed in any::<u64>()) {
+        let mut r = Xoshiro256pp::new(seed);
+        for _ in 0..8 {
+            let v = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    /// Counter draws are a pure function of the event tuple.
+    #[test]
+    fn counter_is_pure(seed in any::<u64>(), t in any::<u64>(), e in any::<u32>(), a in any::<u32>()) {
+        let mut r1 = CounterRng::for_event(seed, t, e, a);
+        let mut r2 = CounterRng::for_event(seed, t, e, a);
+        prop_assert_eq!(r1.next_u64(), r2.next_u64());
+        prop_assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    /// Distinct event tuples essentially never produce the same key.
+    #[test]
+    fn keys_differ_for_distinct_nodes(seed in any::<u64>(), t in 0u64..u64::MAX) {
+        prop_assert_ne!(draw_key(seed, t, 0, 0), draw_key(seed, t + 1, 0, 0));
+    }
+
+    /// Cloned generators replay identically (stream purity).
+    #[test]
+    fn clone_replays(seed in any::<u64>(), skip in 0usize..32) {
+        let mut a = Xoshiro256pp::new(seed);
+        for _ in 0..skip { let _ = a.next_u64(); }
+        let mut b = a.clone();
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// gen_bool(p) frequency tracks p within statistical tolerance.
+    #[test]
+    fn bernoulli_tracks_p(seed in any::<u64>(), p in 0.05f64..0.95) {
+        let mut r = Xoshiro256pp::new(seed);
+        let n = 4000;
+        let hits = (0..n).filter(|_| r.gen_bool(p)).count() as f64;
+        let mean = hits / n as f64;
+        // 5 sigma tolerance for a binomial proportion.
+        let sigma = (p * (1.0 - p) / n as f64).sqrt();
+        prop_assert!((mean - p).abs() < 5.0 * sigma + 0.01,
+            "p={p}, observed={mean}");
+    }
+}

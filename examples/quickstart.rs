@@ -1,0 +1,48 @@
+//! Quickstart: generate a preferential-attachment network in parallel
+//! and inspect it.
+//!
+//! ```text
+//! cargo run -p pa-bench --release --example quickstart
+//! ```
+
+use pa_core::{par, partition::Scheme, GenOptions, PaConfig};
+use pa_graph::{degrees, validate, Csr};
+
+fn main() {
+    // A 100k-node scale-free network, 4 edges per node, on 8 ranks.
+    let cfg = PaConfig::new(100_000, 4).with_seed(2024);
+    println!(
+        "generating PA network: n = {}, x = {}, p = {} ...",
+        cfg.n, cfg.x, cfg.p
+    );
+
+    let out = par::generate(&cfg, Scheme::Rrp, 8, &GenOptions::default());
+    let edges = out.edge_list();
+    println!("generated {} edges on {} ranks", edges.len(), out.ranks.len());
+
+    // The generator guarantees a simple graph with the exact edge count.
+    validate::assert_valid_pa_network(cfg.n, cfg.x, &edges);
+    println!("validated: no self-loops, no parallel edges, exact edge count");
+
+    // Degree statistics: scale-free networks have hubs far above the mean.
+    let deg = degrees::degree_sequence(cfg.n as usize, &edges);
+    let stats = degrees::degree_stats(&deg).unwrap();
+    println!(
+        "degrees: min = {}, mean = {:.2}, max = {} (hub/mean ratio {:.0}x)",
+        stats.min,
+        stats.mean,
+        stats.max,
+        stats.max as f64 / stats.mean
+    );
+
+    // PA networks are connected by construction.
+    let csr = Csr::from_edges(cfg.n as usize, &edges);
+    println!("connected components: {}", csr.connected_components());
+
+    // Per-rank traffic: the request/resolved protocol at work.
+    let totals = out.total_counters();
+    println!(
+        "protocol: {} direct edges, {} copied edges, {} remote requests, {} duplicate retries",
+        totals.direct_edges, totals.copy_edges, totals.requests_sent, totals.duplicate_retries
+    );
+}

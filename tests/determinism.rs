@@ -1,0 +1,79 @@
+//! Reproducibility guarantees across the whole stack.
+
+use pa_core::{er, par, partition::Scheme, seq, ws, GenOptions, PaConfig};
+use pa_rng::Xoshiro256pp;
+
+#[test]
+fn repeated_parallel_runs_are_identical_for_x1() {
+    let cfg = PaConfig::new(4_000, 1).with_seed(5);
+    let a = par::generate_x1(&cfg, Scheme::Rrp, 6, &GenOptions::default());
+    let b = par::generate_x1(&cfg, Scheme::Rrp, 6, &GenOptions::default());
+    // Commit *order* within a rank depends on message timing, but the
+    // edge *set* is a pure function of the seed.
+    assert_eq!(a.edge_list().canonicalized(), b.edge_list().canonicalized());
+}
+
+#[test]
+fn repeated_single_rank_runs_are_identical_for_any_x() {
+    for x in [2u64, 5] {
+        let cfg = PaConfig::new(3_000, x).with_seed(5);
+        let a = par::generate(&cfg, Scheme::Ucp, 1, &GenOptions::default());
+        let b = par::generate(&cfg, Scheme::Ucp, 1, &GenOptions::default());
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert_eq!(a.edge_list(), seq::copy_model(&cfg));
+    }
+}
+
+#[test]
+fn parallel_x_gt_1_runs_are_structurally_stable() {
+    // Message timing may reroute duplicate retries between runs, but the
+    // counts and validity never change.
+    let cfg = PaConfig::new(5_000, 4).with_seed(8);
+    let a = par::generate(&cfg, Scheme::Rrp, 6, &GenOptions::default());
+    let b = par::generate(&cfg, Scheme::Rrp, 6, &GenOptions::default());
+    assert_eq!(a.total_edges(), b.total_edges());
+    pa_graph::validate::assert_valid_pa_network(cfg.n, cfg.x, &a.edge_list());
+    pa_graph::validate::assert_valid_pa_network(cfg.n, cfg.x, &b.edge_list());
+}
+
+#[test]
+fn sequential_generators_are_deterministic() {
+    let cfg = PaConfig::new(2_000, 3).with_seed(77);
+    assert_eq!(seq::copy_model(&cfg), seq::copy_model(&cfg));
+    assert_eq!(
+        seq::batagelj_brandes(&cfg, &mut Xoshiro256pp::new(1)),
+        seq::batagelj_brandes(&cfg, &mut Xoshiro256pp::new(1))
+    );
+    assert_eq!(
+        seq::naive(&cfg, &mut Xoshiro256pp::new(1)),
+        seq::naive(&cfg, &mut Xoshiro256pp::new(1))
+    );
+}
+
+#[test]
+fn extension_generators_are_deterministic() {
+    let ercfg = er::ErConfig::new(3_000, 0.01).with_seed(4);
+    assert_eq!(er::generate_seq(&ercfg), er::generate_seq(&ercfg));
+    assert_eq!(
+        er::generate_par(&ercfg, 4).canonicalized(),
+        er::generate_seq(&ercfg).canonicalized()
+    );
+    let wscfg = ws::WsConfig::new(1_000, 4, 0.3);
+    assert_eq!(
+        ws::generate(&wscfg, &mut Xoshiro256pp::new(2)).canonicalized(),
+        ws::generate(&wscfg, &mut Xoshiro256pp::new(2)).canonicalized()
+    );
+}
+
+#[test]
+fn draw_streams_are_stable_across_releases() {
+    // Pin a few concrete draw values: if the RNG pipeline ever changes,
+    // every "bit-identical across P" guarantee silently becomes
+    // "identical to a different network", so fail loudly here instead.
+    let c = seq::draw_choice(0, 0.5, 1, 2, 0, 0);
+    assert_eq!(c.k, 1, "draw pipeline changed");
+    let c = seq::draw_choice(42, 0.5, 4, 100, 1, 0);
+    assert!(c.k >= 4 && c.k < 100);
+    let again = seq::draw_choice(42, 0.5, 4, 100, 1, 0);
+    assert_eq!(c, again);
+}

@@ -1,0 +1,116 @@
+//! Scheduling-chaos stress tests: drive the engines through adversarial
+//! configurations (unbuffered messages, single-node service intervals,
+//! heavy oversubscription, empty partitions) where any latent race or
+//! termination bug would surface as a hang, a panic, or an invalid
+//! graph.
+
+use pa_core::{par, partition::Scheme, seq, GenOptions, PaConfig};
+use pa_graph::validate::assert_valid_pa_network;
+use pa_rng::{Rng64, SplitMix64};
+
+#[test]
+fn randomized_option_sweep_keeps_graphs_valid() {
+    // Pseudo-random sweep over engine knobs and world shapes; the OS
+    // scheduler supplies different interleavings on every run.
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for trial in 0..12 {
+        let n = 500 + rng.gen_below(3_000);
+        let x = 1 + rng.gen_below(5);
+        let nranks = 1 + rng.gen_below(12) as usize;
+        let opts = GenOptions {
+            buffer_capacity: 1 + rng.gen_below(64) as usize,
+            service_interval: 1 + rng.gen_below(128) as usize,
+        };
+        let scheme = Scheme::ALL[rng.gen_below(3) as usize];
+        let cfg = PaConfig::new(n, x).with_seed(trial);
+        let out = par::generate(&cfg, scheme, nranks, &opts);
+        assert_eq!(
+            out.total_edges() as u64,
+            cfg.expected_edges(),
+            "trial {trial}: n={n} x={x} P={nranks} {scheme} {opts:?}"
+        );
+        assert_valid_pa_network(cfg.n, cfg.x, &out.edge_list());
+    }
+}
+
+#[test]
+fn fully_unbuffered_oversubscribed_world() {
+    // Every message is its own packet and every node a service round:
+    // maximal interleaving pressure.
+    let cfg = PaConfig::new(2_000, 3).with_seed(5);
+    let opts = GenOptions {
+        buffer_capacity: 1,
+        service_interval: 1,
+    };
+    let out = par::generate(&cfg, Scheme::Rrp, 16, &opts);
+    assert_valid_pa_network(cfg.n, cfg.x, &out.edge_list());
+}
+
+#[test]
+fn heavily_oversubscribed_x1_is_still_exact() {
+    // 64 ranks on one core; x = 1 output must still be bit-identical to
+    // the sequential generator.
+    let cfg = PaConfig::new(2_000, 1).with_seed(21);
+    let out = par::generate_x1(
+        &cfg,
+        Scheme::Rrp,
+        64,
+        &GenOptions {
+            buffer_capacity: 2,
+            service_interval: 3,
+        },
+    );
+    assert_eq!(
+        out.edge_list().canonicalized(),
+        seq::copy_model(&cfg).canonicalized()
+    );
+}
+
+#[test]
+fn worlds_with_mostly_empty_ranks_terminate() {
+    // n barely exceeds the seed clique; most ranks own nothing.
+    for x in [1u64, 4] {
+        let cfg = PaConfig::new(x + 3, x).with_seed(1);
+        let out = par::generate(&cfg, Scheme::Ucp, 32, &GenOptions::default());
+        assert_valid_pa_network(cfg.n, cfg.x, &out.edge_list());
+    }
+}
+
+#[test]
+fn repeated_runs_under_chaos_agree_for_x1() {
+    // Same configuration, five runs with different real schedules: the
+    // x = 1 edge set must never vary.
+    let cfg = PaConfig::new(3_000, 1).with_seed(8);
+    let opts = GenOptions {
+        buffer_capacity: 3,
+        service_interval: 2,
+    };
+    let reference = par::generate_x1(&cfg, Scheme::Rrp, 9, &opts)
+        .edge_list()
+        .canonicalized();
+    for run in 0..4 {
+        let again = par::generate_x1(&cfg, Scheme::Rrp, 9, &opts)
+            .edge_list()
+            .canonicalized();
+        assert_eq!(again, reference, "run {run} diverged");
+    }
+}
+
+#[test]
+fn extension_generators_survive_oversubscription() {
+    let er = pa_core::er::generate_par(
+        &pa_core::er::ErConfig::new(3_000, 0.003).with_seed(2),
+        24,
+    );
+    assert!(pa_graph::validate::check_simple(3_000, &er).is_empty());
+
+    let cl_cfg = pa_core::cl::ClConfig::new(pa_core::cl::power_law_weights(3_000, 3.0, 3.0), 2);
+    let cl = pa_core::cl::generate_par(&cl_cfg, 24);
+    assert!(pa_graph::validate::check_simple(3_000, &cl).is_empty());
+
+    let rmat_cfg = pa_core::rmat::RmatConfig::graph500(10)
+        .with_edges(10_000)
+        .with_seed(2);
+    let rmat = pa_core::rmat::generate_par(&rmat_cfg, 24);
+    assert_eq!(rmat.len(), 10_000);
+}
