@@ -17,8 +17,7 @@ fn merged_cdfs(a: &[u64], b: &[u64]) -> Vec<(u64, f64, f64)> {
         h
     };
     let (ha, hb) = (hist(a), hist(b));
-    let keys: std::collections::BTreeSet<u64> =
-        ha.keys().chain(hb.keys()).copied().collect();
+    let keys: std::collections::BTreeSet<u64> = ha.keys().chain(hb.keys()).copied().collect();
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let (mut ca, mut cb) = (0u64, 0u64);
     keys.into_iter()

@@ -46,10 +46,7 @@ pub fn expected_requests_per_rank<P: Partition>(p: f64, part: &P) -> Vec<f64> {
 pub fn expected_requests_sent_per_rank<P: Partition>(p: f64, x: u64, part: &P) -> Vec<f64> {
     (0..part.nranks())
         .map(|r| {
-            let nodes = part
-                .nodes_of(r)
-                .filter(|&t| t > x)
-                .count() as f64;
+            let nodes = part.nodes_of(r).filter(|&t| t > x).count() as f64;
             nodes * (1.0 - p) * x as f64
         })
         .collect()
@@ -83,9 +80,7 @@ mod tests {
         // telescoping identity; check numerically.
         let n = 5_000u64;
         let p = 0.5;
-        let total: f64 = (0..n)
-            .map(|k| expected_requests_for_node(n, p, k))
-            .sum();
+        let total: f64 = (0..n).map(|k| expected_requests_for_node(n, p, k)).sum();
         let expect = (1.0 - p) * (n as f64 - 1.0);
         assert!(
             (total / expect - 1.0).abs() < 1e-6,

@@ -131,7 +131,11 @@ mod tests {
         let samples = sample_power_law(2.5, 2, 300_000, &mut rng);
         let mle = fit_mle(&samples, 2);
         let (gamma, fit) = fit_loglog_slope(&samples, 2.0);
-        assert!(fit.r2 > 0.95, "log-log fit should be tight, r2 = {}", fit.r2);
+        assert!(
+            fit.r2 > 0.95,
+            "log-log fit should be tight, r2 = {}",
+            fit.r2
+        );
         assert!(
             (gamma - mle.gamma).abs() < 0.4,
             "binned slope {gamma} vs MLE {}",

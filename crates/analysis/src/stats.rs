@@ -34,7 +34,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LineFit {
     assert!(sxx > 0.0, "x values are all identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LineFit {
         slope,
         intercept,

@@ -13,6 +13,7 @@ fn bench_buffer_capacity(c: &mut Criterion) {
         let opts = GenOptions {
             buffer_capacity: cap,
             service_interval: 64,
+            ..GenOptions::default()
         };
         group.bench_with_input(BenchmarkId::new("rrp_p4", cap), &opts, |b, opts| {
             b.iter(|| par::generate(black_box(&cfg), Scheme::Rrp, 4, opts))
@@ -29,6 +30,7 @@ fn bench_service_interval(c: &mut Criterion) {
         let opts = GenOptions {
             buffer_capacity: 1024,
             service_interval: interval,
+            ..GenOptions::default()
         };
         group.bench_with_input(BenchmarkId::new("rrp_p4", interval), &opts, |b, opts| {
             b.iter(|| par::generate(black_box(&cfg), Scheme::Rrp, 4, opts))

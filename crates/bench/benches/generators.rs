@@ -17,17 +17,19 @@ fn bench_model_zoo(c: &mut Criterion) {
     group.bench_function("pa_parallel_p4", |b| {
         b.iter(|| par::generate(black_box(&pa_cfg), Scheme::Rrp, 4, &GenOptions::default()))
     });
+    let hub_opts = GenOptions::default().with_hub_cache(N / 4);
+    group.bench_function("pa_parallel_p4_hub_quarter", |b| {
+        b.iter(|| par::generate(black_box(&pa_cfg), Scheme::Rrp, 4, &hub_opts))
+    });
+    let nohub_opts = GenOptions::default().without_hub_cache();
+    group.bench_function("pa_parallel_p4_hub_off", |b| {
+        b.iter(|| par::generate(black_box(&pa_cfg), Scheme::Rrp, 4, &nohub_opts))
+    });
     group.bench_function("pa_sequential", |b| {
         b.iter(|| pa_core::seq::copy_model(black_box(&pa_cfg)))
     });
     group.bench_function("pa_approximate_yh_p4", |b| {
-        b.iter(|| {
-            approx_yh::generate(
-                black_box(&pa_cfg),
-                4,
-                &approx_yh::YhParams::default(),
-            )
-        })
+        b.iter(|| approx_yh::generate(black_box(&pa_cfg), 4, &approx_yh::YhParams::default()))
     });
 
     let er_cfg = er::ErConfig::new(N, 8.0 / N as f64).with_seed(1);

@@ -13,14 +13,7 @@ fn bench_engine_by_ranks(c: &mut Criterion) {
     group.throughput(Throughput::Elements(cfg.expected_edges()));
     for &ranks in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("rrp", ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                par::generate(
-                    black_box(&cfg),
-                    Scheme::Rrp,
-                    ranks,
-                    &GenOptions::default(),
-                )
-            })
+            b.iter(|| par::generate(black_box(&cfg), Scheme::Rrp, ranks, &GenOptions::default()))
         });
     }
     group.finish();

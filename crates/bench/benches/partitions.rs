@@ -11,17 +11,13 @@ fn bench_rank_lookup(c: &mut Criterion) {
     let n = 10_000_000u64;
     for scheme in Scheme::ALL {
         let part = build(scheme, n, 160);
-        group.bench_with_input(
-            BenchmarkId::new("lookup", scheme),
-            &part,
-            |b, part| {
-                let mut v = 0u64;
-                b.iter(|| {
-                    v = (v * 2_862_933_555_777_941_757 + 3_037_000_493) % n;
-                    black_box(part.rank_of(v))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lookup", scheme), &part, |b, part| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v * 2_862_933_555_777_941_757 + 3_037_000_493) % n;
+                black_box(part.rank_of(v))
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,61 @@
+//! Packet-pool microbenchmark: message batches streamed between two
+//! ranks with receive buffers recycled back to the sender's pool versus
+//! dropped (forcing a fresh allocation per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pa_mpsim::{Packet, World};
+use std::hint::black_box;
+
+const ROUNDS: usize = 200;
+const BATCH: usize = 512;
+
+/// Stream `ROUNDS` batches of `BATCH` words from rank 0 to rank 1.
+/// Returns the pool hit count so the two variants are distinguishable.
+fn stream(recycle: bool) -> u64 {
+    let world = World::new(2);
+    let hits = world.run(|mut comm| {
+        if comm.rank() == 0 {
+            for round in 0..ROUNDS {
+                let mut buf = comm.acquire_buffer(1);
+                for i in 0..BATCH {
+                    buf.push((round * BATCH + i) as u64);
+                }
+                comm.send_batch(1, buf);
+            }
+            0
+        } else {
+            let mut got = 0usize;
+            let mut q: Vec<Packet<u64>> = Vec::new();
+            while got < ROUNDS * BATCH {
+                comm.drain_recv(&mut q);
+                for pkt in q.drain(..) {
+                    got += pkt.msgs.len();
+                    black_box(&pkt.msgs);
+                    if recycle {
+                        comm.recycle(pkt.src, pkt.msgs);
+                    }
+                }
+            }
+            comm.stats().pool_misses
+        }
+    });
+    hits.into_iter().sum()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_pool");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((ROUNDS * BATCH) as u64));
+    for recycle in [true, false] {
+        let label = if recycle { "recycled" } else { "dropped" };
+        group.bench_with_input(
+            BenchmarkId::new("stream_2ranks", label),
+            &recycle,
+            |b, &recycle| b.iter(|| stream(black_box(recycle))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -52,10 +52,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        render_table(
-            &["n", "mean |D|", "max |D|", "5 ln n", "mean |S|"],
-            &rows
-        )
+        render_table(&["n", "mean |D|", "max |D|", "5 ln n", "mean |S|"], &rows)
     );
 
     // --- p sweep at fixed n. ---

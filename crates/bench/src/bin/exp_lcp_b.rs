@@ -32,9 +32,7 @@ fn main() {
     let model = CostModel::per_edge(x);
     // t_msg is already in per-edge node-work units under per_edge(x).
     let derived = eq10::b_for(cfg.p, model.t_msg);
-    println!(
-        "n = {n}, x = {x}, P = {ranks}; b derived from the cost model: {derived:.1}\n"
-    );
+    println!("n = {n}, x = {x}, P = {ranks}; b derived from the cost model: {derived:.1}\n");
 
     println!("csv,b,imbalance,speedup");
     let mut rows = Vec::new();
@@ -61,7 +59,13 @@ fn main() {
     let rrp_times: Vec<f64> = rrp.loads().iter().map(|l| model.rank_time(l)).collect();
     rows.push(vec![
         "RRP (ref)".into(),
-        { let (m, _) = stats::mean_std(&rrp_times); format!("{:.3}", rrp_times.iter().cloned().fold(f64::MIN, f64::max) / m) },
+        {
+            let (m, _) = stats::mean_std(&rrp_times);
+            format!(
+                "{:.3}",
+                rrp_times.iter().cloned().fold(f64::MIN, f64::max) / m
+            )
+        },
         format!("{:.1}", model.speedup(n, &rrp.loads())),
     ]);
 

@@ -48,8 +48,8 @@ fn main() {
     let mut lo = 1u64;
     while lo < n {
         let hi = (lo * 4).min(n);
-        let measured: f64 = (lo..hi).map(|k| lookups[k as usize] as f64).sum::<f64>()
-            / (hi - lo) as f64;
+        let measured: f64 =
+            (lo..hi).map(|k| lookups[k as usize] as f64).sum::<f64>() / (hi - lo) as f64;
         let predicted: f64 = (lo..hi)
             .map(|k| messages::expected_requests_for_node(n, p, k))
             .sum::<f64>()
@@ -95,10 +95,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        render_table(
-            &["rank", "measured incoming", "lemma upper bound"],
-            &rows
-        )
+        render_table(&["rank", "measured incoming", "lemma upper bound"], &rows)
     );
     println!(
         "expected: measured counts track the harmonic curve (slightly below\n\

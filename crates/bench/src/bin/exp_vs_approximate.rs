@@ -49,12 +49,7 @@ fn main() {
         "0.000".into(),
     ]];
 
-    let settings = [
-        (2048u64, 4usize),
-        (512, 16),
-        (64, 64),
-        (8, 512),
-    ];
+    let settings = [(2048u64, 4usize), (512, 16), (64, 64), (8, 512)];
     for (sync_interval, sample_size) in settings {
         let params = YhParams {
             sync_interval,

@@ -52,7 +52,10 @@ fn main() {
         "{}",
         render_table(&["rank", "exact (Eq. 10)", "LCP (linear)"], &rows)
     );
-    println!("max relative deviation of the linear approximation: {:.2}%", 100.0 * max_rel_err);
+    println!(
+        "max relative deviation of the linear approximation: {:.2}%",
+        100.0 * max_rel_err
+    );
     println!(
         "paper: Figure 3 plots the exact Eq. 10 solution against its linear\n\
          approximation; the approximation is what LCP deploys (O(1) rank\n\

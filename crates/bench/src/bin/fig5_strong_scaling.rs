@@ -59,10 +59,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        render_table(
-            &["P", "UCP speedup", "LCP speedup", "RRP speedup"],
-            &rows
-        )
+        render_table(&["P", "UCP speedup", "LCP speedup", "RRP speedup"], &rows)
     );
     println!(
         "paper: speedups grow almost linearly with P; LCP and RRP beat UCP\n\

@@ -81,7 +81,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["P", "UCP runtime (norm.)", "LCP runtime (norm.)", "RRP runtime (norm.)"],
+            &[
+                "P",
+                "UCP runtime (norm.)",
+                "LCP runtime (norm.)",
+                "RRP runtime (norm.)"
+            ],
             &rows
         )
     );

@@ -23,7 +23,9 @@ fn main() {
         "Table (§4.5)",
         "largest-network generation with the RRP scheme",
     );
-    println!("n = {n}, x = {x}, P = {ranks} (paper: n = 1e9, x = 5, P = 768 → 50B edges in 123 s)\n");
+    println!(
+        "n = {n}, x = {x}, P = {ranks} (paper: n = 1e9, x = 5, P = 768 → 50B edges in 123 s)\n"
+    );
 
     let cfg = PaConfig::new(n, x).with_seed(seed);
     let start = std::time::Instant::now();
@@ -36,7 +38,7 @@ fn main() {
     let paper_edges = 50_000_000_000f64;
     let paper_procs = 768.0;
     let our_cores = 1.0; // this host
-    // Per-core throughput scaled to the paper's processor count.
+                         // Per-core throughput scaled to the paper's processor count.
     let extrapolated = paper_edges / (throughput / our_cores * paper_procs);
 
     println!("csv,edges,wall_seconds,edges_per_second");
@@ -48,7 +50,11 @@ fn main() {
             &["quantity", "this run", "paper"],
             &[
                 vec!["edges".into(), edges.to_string(), "50B".into()],
-                vec!["processors".into(), format!("{ranks} ranks / 1 core"), "768".into()],
+                vec![
+                    "processors".into(),
+                    format!("{ranks} ranks / 1 core"),
+                    "768".into()
+                ],
                 vec!["wall time (s)".into(), format!("{wall:.1}"), "123".into()],
                 vec![
                     "edges/s/core".into(),

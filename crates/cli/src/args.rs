@@ -95,7 +95,9 @@ impl Args {
 
     /// String flag with default.
     pub fn str(&self, key: &str, default: &str) -> String {
-        self.raw(key).cloned().unwrap_or_else(|| default.to_string())
+        self.raw(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Required string flag.

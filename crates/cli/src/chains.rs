@@ -19,8 +19,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let dep = chains::summarize(&chains::dependency_lengths(seed, p, n));
     let sel = chains::summarize(&chains::selection_lengths(seed, p, n));
     let ln_n = (n as f64).ln();
-    writeln!(out, "dependency chains over n = {n}, p = {p} (seed {seed})")
-        .map_err(CliError::io)?;
+    writeln!(out, "dependency chains over n = {n}, p = {p} (seed {seed})").map_err(CliError::io)?;
     writeln!(
         out,
         "  dependency: mean {:.3} (bound 1/p = {:.3}), max {} (bound 5 ln n = {:.1})",

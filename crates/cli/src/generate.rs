@@ -25,7 +25,8 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 return Err(CliError::usage("--ranks must be positive"));
             }
             let cfg = validated(n, x, p, seed)?;
-            let result = par::generate(&cfg, scheme, ranks, &GenOptions::default());
+            let opts = parse_gen_options(args)?;
+            let result = par::generate(&cfg, scheme, ranks, &opts);
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
             (
                 n,
@@ -143,6 +144,44 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         started.elapsed().as_secs_f64()
     )
     .map_err(CliError::io)
+}
+
+/// Engine tuning knobs shared by the `pa` model: buffering, service
+/// cadence, idle-wait timing, and the hub cache.
+fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
+    let mut opts = GenOptions::default();
+    opts.buffer_capacity = args.u64("buffer-cap", opts.buffer_capacity as u64)? as usize;
+    if opts.buffer_capacity == 0 {
+        return Err(CliError::usage("--buffer-cap must be positive"));
+    }
+    opts.service_interval = args.u64("service-interval", opts.service_interval as u64)? as usize;
+    if opts.service_interval == 0 {
+        return Err(CliError::usage("--service-interval must be positive"));
+    }
+    let default_idle_us = opts.idle_wait.as_micros() as u64;
+    let idle_us = args.u64("idle-wait-us", default_idle_us)?;
+    if idle_us == 0 {
+        return Err(CliError::usage("--idle-wait-us must be positive"));
+    }
+    opts.idle_wait = std::time::Duration::from_micros(idle_us);
+    opts.idle_flush_interval =
+        args.u64("idle-flush-interval", opts.idle_flush_interval as u64)? as usize;
+    if opts.idle_flush_interval == 0 {
+        return Err(CliError::usage("--idle-flush-interval must be positive"));
+    }
+    match args.str("hub-cache", "auto").as_str() {
+        "auto" => {}
+        "off" => opts = opts.without_hub_cache(),
+        nodes => {
+            let nodes: u64 = nodes.parse().map_err(|_| {
+                CliError::usage(format!(
+                    "--hub-cache must be auto, off or a node count, got {nodes:?}"
+                ))
+            })?;
+            opts = opts.with_hub_cache(nodes);
+        }
+    }
+    Ok(opts)
 }
 
 fn validated(n: u64, x: u64, p: f64, seed: u64) -> Result<PaConfig, CliError> {

@@ -60,6 +60,11 @@ COMMANDS:
                --p <copy prob> (default 0.5)     --seed <u64> (default 0)
                --ranks <P> (default 4)           --scheme ucp|lcp|rrp (default rrp)
                --out <file> (default graph.pag)  --format pag|bin|txt (default pag)
+               pa tuning: --buffer-cap <msgs> (default 4096)
+                          --service-interval <nodes> (default 4096)
+                          --hub-cache auto|off|<nodes> (default auto)
+                          --idle-wait-us <µs> (default 200)
+                          --idle-flush-interval <waits> (default 16)
                er:   --p is the edge probability
                ws:   --x is half the lattice degree, --p the rewiring beta
                cl:   --gamma <exponent> (default 2.8), --x the mean degree

@@ -22,8 +22,8 @@ fn tmp(name: &str) -> String {
 fn generate_analyze_info_pipeline() {
     let path = tmp("pipeline.pag");
     let gen = exec(&[
-        "generate", "--model", "pa", "--n", "5000", "--x", "3", "--ranks", "4", "--scheme",
-        "lcp", "--seed", "7", "--out", &path,
+        "generate", "--model", "pa", "--n", "5000", "--x", "3", "--ranks", "4", "--scheme", "lcp",
+        "--seed", "7", "--out", &path,
     ])
     .unwrap();
     assert!(gen.contains("5000 nodes"));
@@ -50,11 +50,11 @@ fn generate_binary_and_text_formats() {
             format,
         ])
         .unwrap();
-        let report = exec(&[
-            "analyze", "--in", &path, "--format", format, "--n", "500",
-        ])
-        .unwrap();
-        assert!(report.contains("edges            997"), "{format}: {report}");
+        let report = exec(&["analyze", "--in", &path, "--format", format, "--n", "500"]).unwrap();
+        assert!(
+            report.contains("edges            997"),
+            "{format}: {report}"
+        );
     }
 }
 
@@ -140,8 +140,7 @@ fn pa_generation_via_cli_is_reproducible() {
     let b = tmp("repro_b.pag");
     for path in [&a, &b] {
         exec(&[
-            "generate", "--model", "pa", "--n", "3000", "--x", "1", "--seed", "99", "--out",
-            path,
+            "generate", "--model", "pa", "--n", "3000", "--x", "1", "--seed", "99", "--out", path,
         ])
         .unwrap();
     }
@@ -150,4 +149,105 @@ fn pa_generation_via_cli_is_reproducible() {
     let ea = pa_graph::EdgeList::concat(sa).canonicalized();
     let eb = pa_graph::EdgeList::concat(sb).canonicalized();
     assert_eq!(ea, eb);
+}
+
+#[test]
+fn pa_tuning_flags_do_not_change_the_network() {
+    // The engine knobs (buffering, cadence, hub cache) are pure
+    // performance levers; the generated network must be identical.
+    let base = tmp("tuned_base.pag");
+    let tuned = tmp("tuned_knobs.pag");
+    exec(&[
+        "generate", "--model", "pa", "--n", "4000", "--x", "3", "--seed", "13", "--ranks", "4",
+        "--out", &base,
+    ])
+    .unwrap();
+    exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "4000",
+        "--x",
+        "3",
+        "--seed",
+        "13",
+        "--ranks",
+        "4",
+        "--buffer-cap",
+        "64",
+        "--service-interval",
+        "16",
+        "--hub-cache",
+        "1000",
+        "--idle-wait-us",
+        "50",
+        "--idle-flush-interval",
+        "4",
+        "--out",
+        &tuned,
+    ])
+    .unwrap();
+    let (_, sa) = pa_graph::container::read_file(&base).unwrap();
+    let (_, sb) = pa_graph::container::read_file(&tuned).unwrap();
+    assert_eq!(
+        pa_graph::EdgeList::concat(sa).canonicalized(),
+        pa_graph::EdgeList::concat(sb).canonicalized()
+    );
+}
+
+#[test]
+fn hub_cache_flag_accepts_off_and_rejects_garbage() {
+    let path = tmp("huboff.pag");
+    exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "1000",
+        "--x",
+        "2",
+        "--hub-cache",
+        "off",
+        "--out",
+        &path,
+    ])
+    .unwrap();
+    let err = exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "1000",
+        "--hub-cache",
+        "sometimes",
+        "--out",
+        &path,
+    ])
+    .unwrap_err();
+    assert!(err.contains("--hub-cache"), "{err}");
+}
+
+#[test]
+fn zero_valued_tuning_flags_are_rejected() {
+    for flag in [
+        "--buffer-cap",
+        "--service-interval",
+        "--idle-wait-us",
+        "--idle-flush-interval",
+    ] {
+        let err = exec(&[
+            "generate",
+            "--model",
+            "pa",
+            "--n",
+            "1000",
+            flag,
+            "0",
+            "--out",
+            &tmp("zero.pag"),
+        ])
+        .unwrap_err();
+        assert!(err.contains(flag), "{flag}: {err}");
+    }
 }

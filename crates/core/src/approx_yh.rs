@@ -176,7 +176,11 @@ fn draw_candidate(
     }
     if total == 0 {
         // Nothing known yet: uniform over existing nodes.
-        return if t > 0 { Some(rng.gen_range(0, t)) } else { None };
+        return if t > 0 {
+            Some(rng.gen_range(0, t))
+        } else {
+            None
+        };
     }
     let mut pick = rng.gen_below(total);
     if pick < local_mass {
@@ -220,7 +224,12 @@ fn exchange_samples(
         Vec::new()
     } else {
         let stride = (local_list.len() / sample_size).max(1);
-        local_list.iter().step_by(stride).take(sample_size).copied().collect()
+        local_list
+            .iter()
+            .step_by(stride)
+            .take(sample_size)
+            .copied()
+            .collect()
     };
     let me = comm.rank();
     for dest in 0..nranks {
@@ -285,7 +294,14 @@ mod tests {
         // point of the paper's exact algorithm.
         let n = 20_000u64;
         let cfg = PaConfig::new(n, 4).with_seed(5);
-        let approx = generate(&cfg, 4, &YhParams { sync_interval: 256, sample_size: 16 });
+        let approx = generate(
+            &cfg,
+            4,
+            &YhParams {
+                sync_interval: 256,
+                sample_size: 16,
+            },
+        );
         let exact = crate::seq::copy_model(&cfg);
         let da = pa_graph::degrees::degree_sequence(n as usize, &approx);
         let de = pa_graph::degrees::degree_sequence(n as usize, &exact);
@@ -309,8 +325,14 @@ mod tests {
             let da = pa_graph::degrees::degree_sequence(n as usize, &approx);
             pa_analysis_ks(&da, &de)
         };
-        let loose = ks_for(&YhParams { sync_interval: 1024, sample_size: 4 });
-        let tight = ks_for(&YhParams { sync_interval: 8, sample_size: 1024 });
+        let loose = ks_for(&YhParams {
+            sync_interval: 1024,
+            sample_size: 4,
+        });
+        let tight = ks_for(&YhParams {
+            sync_interval: 8,
+            sample_size: 1024,
+        });
         assert!(
             tight < loose,
             "tight params should approximate better: tight {tight} vs loose {loose}"

@@ -23,11 +23,7 @@ pub fn dependency_lengths(seed: u64, p: f64, n: u64) -> Vec<u32> {
     len[1] = 1;
     for t in 2..n {
         let c = draw_choice(seed, p, 1, t, 0, 0);
-        len[t as usize] = if c.direct {
-            1
-        } else {
-            1 + len[c.k as usize]
-        };
+        len[t as usize] = if c.direct { 1 } else { 1 + len[c.k as usize] };
     }
     len
 }
@@ -145,10 +141,8 @@ mod tests {
         let n = 50_000u64;
         let sel = selection_lengths(3, 0.5, n);
         let s = summarize(&sel);
-        let predicted: f64 = (1..n)
-            .map(|t| 1.0 + math::harmonic(t - 1))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let predicted: f64 =
+            (1..n).map(|t| 1.0 + math::harmonic(t - 1)).sum::<f64>() / (n - 1) as f64;
         assert!(
             (s.mean / predicted - 1.0).abs() < 0.05,
             "mean {} vs predicted {predicted}",

@@ -253,7 +253,10 @@ mod tests {
         let m = generate_seq(&cfg).len() as f64;
         let p = w / n as f64;
         let expect = p * (n * (n - 1) / 2) as f64;
-        assert!((m - expect).abs() < 6.0 * expect.sqrt(), "m = {m} vs {expect}");
+        assert!(
+            (m - expect).abs() < 6.0 * expect.sqrt(),
+            "m = {m} vs {expect}"
+        );
     }
 
     #[test]

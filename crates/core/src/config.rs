@@ -81,6 +81,10 @@ impl PaConfig {
     }
 }
 
+/// Default hub-cache size in *nodes* when [`GenOptions::hub_cache_nodes`]
+/// is `None` (the cache holds `min(hub_cache_nodes, n) · x` slots).
+pub const DEFAULT_HUB_CACHE_NODES: u64 = 4096;
+
 /// Tuning knobs for the parallel engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenOptions {
@@ -92,6 +96,20 @@ pub struct GenOptions {
     /// incoming-message queue. Small values favour latency (shorter
     /// dependency waits), large values favour throughput.
     pub service_interval: usize,
+    /// Number of low-label "hub" nodes whose committed `F` slots every
+    /// rank replicates (general engine only). Lemma 3.4 concentrates
+    /// request traffic on exactly these nodes, so a small cache absorbs a
+    /// large share of remote lookups without changing the output. `None`
+    /// uses [`DEFAULT_HUB_CACHE_NODES`]; `Some(0)` disables the cache.
+    pub hub_cache_nodes: Option<u64>,
+    /// How long the completion loop blocks on an empty message queue
+    /// before re-checking the termination predicate.
+    pub idle_wait: std::time::Duration,
+    /// Flush outgoing buffers after this many consecutive *idle*
+    /// completion-loop iterations (iterations that saw traffic always
+    /// flush). Larger values spare quiescent ranks the per-iteration
+    /// flush scan.
+    pub idle_flush_interval: usize,
 }
 
 impl Default for GenOptions {
@@ -99,19 +117,54 @@ impl Default for GenOptions {
         Self {
             buffer_capacity: 4096,
             service_interval: 4096,
+            hub_cache_nodes: None,
+            idle_wait: std::time::Duration::from_micros(200),
+            idle_flush_interval: 16,
         }
     }
 }
 
 impl GenOptions {
+    /// Replace the hub-cache size (in nodes); `0` disables the cache.
+    #[must_use]
+    pub fn with_hub_cache(mut self, nodes: u64) -> Self {
+        self.hub_cache_nodes = Some(nodes);
+        self
+    }
+
+    /// Disable the hub cache, restoring the paper's pure request/resolved
+    /// protocol (useful when measuring the uncached message-count laws).
+    #[must_use]
+    pub fn without_hub_cache(self) -> Self {
+        self.with_hub_cache(0)
+    }
+
+    /// Effective hub-cache size in nodes for an `n`-node run.
+    pub fn hub_nodes(&self, n: u64) -> u64 {
+        self.hub_cache_nodes
+            .unwrap_or(DEFAULT_HUB_CACHE_NODES)
+            .min(n)
+    }
+
     /// Validate option values.
     ///
     /// # Panics
     ///
-    /// Panics if either knob is zero.
+    /// Panics if any knob that must be positive is zero.
     pub fn validate(&self) {
         assert!(self.buffer_capacity > 0, "buffer_capacity must be positive");
-        assert!(self.service_interval > 0, "service_interval must be positive");
+        assert!(
+            self.service_interval > 0,
+            "service_interval must be positive"
+        );
+        assert!(
+            !self.idle_wait.is_zero(),
+            "idle_wait must be positive (a zero wait busy-spins)"
+        );
+        assert!(
+            self.idle_flush_interval > 0,
+            "idle_flush_interval must be positive"
+        );
     }
 }
 
@@ -167,5 +220,24 @@ mod tests {
     fn extreme_p_values_allowed() {
         let _ = PaConfig::new(10, 1).with_p(0.0);
         let _ = PaConfig::new(10, 1).with_p(1.0);
+    }
+
+    #[test]
+    fn hub_cache_size_resolution() {
+        let opts = GenOptions::default();
+        assert_eq!(opts.hub_nodes(1_000_000), DEFAULT_HUB_CACHE_NODES);
+        assert_eq!(opts.hub_nodes(100), 100, "capped at n");
+        assert_eq!(opts.with_hub_cache(64).hub_nodes(1_000_000), 64);
+        assert_eq!(opts.without_hub_cache().hub_nodes(1_000_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle_flush_interval")]
+    fn zero_idle_flush_interval_panics() {
+        GenOptions {
+            idle_flush_interval: 0,
+            ..GenOptions::default()
+        }
+        .validate();
     }
 }

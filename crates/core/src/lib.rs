@@ -59,10 +59,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod chains;
 pub mod approx_yh;
-mod config;
+pub mod chains;
 pub mod cl;
+mod config;
 pub mod er;
 pub mod math;
 pub mod par;
@@ -71,7 +71,7 @@ pub mod rmat;
 pub mod seq;
 pub mod ws;
 
-pub use config::{GenOptions, PaConfig};
+pub use config::{GenOptions, PaConfig, DEFAULT_HUB_CACHE_NODES};
 
 /// A node identifier (re-exported from `pa-graph`).
 pub type Node = pa_graph::Node;

@@ -35,17 +35,15 @@ pub fn distributed_degrees<P: Partition>(part: &P, rank_edges: &[EdgeList]) -> V
         let rank = comm.rank();
         let mut deg = vec![0u64; part.size_of(rank) as usize];
         let mut buf = BufferedComm::new(comm.nranks(), 4096);
-        let credit = |deg: &mut Vec<u64>,
-                          buf: &mut BufferedComm<Node>,
-                          comm: &mut Comm<Node>,
-                          v: Node| {
-            let owner = part.rank_of(v);
-            if owner == rank {
-                deg[part.local_index(v) as usize] += 1;
-            } else {
-                buf.push(comm, owner, v);
-            }
-        };
+        let credit =
+            |deg: &mut Vec<u64>, buf: &mut BufferedComm<Node>, comm: &mut Comm<Node>, v: Node| {
+                let owner = part.rank_of(v);
+                if owner == rank {
+                    deg[part.local_index(v) as usize] += 1;
+                } else {
+                    buf.push(comm, owner, v);
+                }
+            };
         for (u, v) in rank_edges[rank].iter() {
             credit(&mut deg, &mut buf, &mut comm, u);
             credit(&mut deg, &mut buf, &mut comm, v);
@@ -93,8 +91,7 @@ mod tests {
             let rank_edges: Vec<_> = out.ranks.iter().map(|r| r.edges.clone()).collect();
             let per_rank = distributed_degrees(&part, &rank_edges);
             let merged = merge_degrees(&part, &per_rank);
-            let reference =
-                pa_graph::degrees::degree_sequence(cfg.n as usize, &out.edge_list());
+            let reference = pa_graph::degrees::degree_sequence(cfg.n as usize, &out.edge_list());
             assert_eq!(merged, reference, "{scheme}");
         }
     }

@@ -8,15 +8,14 @@
 //! the seed — bit-identical for every rank count and partitioning scheme
 //! — which the test suite exploits heavily.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::time::Duration;
 
 use pa_graph::EdgeList;
-use pa_mpsim::{BufferedComm, Comm, TerminationHandle};
+use pa_mpsim::{BufferedComm, Comm, Packet, TerminationHandle};
 
 use super::msg::Msg1;
 use super::output::{EngineCounters, RankOutput};
+use super::waiters::{Taken, WaiterTable};
 use crate::partition::Partition;
 use crate::{GenOptions, Node, PaConfig, NILL};
 
@@ -26,17 +25,16 @@ enum Waiter {
     Remote { t: Node, src: usize },
 }
 
-const IDLE_WAIT: Duration = Duration::from_micros(200);
-
 pub(super) struct Engine1<'a, P: Partition> {
     cfg: &'a PaConfig,
     part: &'a P,
     rank: usize,
     /// `F_t` per local node (by local index).
     f: Vec<Node>,
-    queues: HashMap<u64, Vec<Waiter>>,
-    queued_waiters: u64,
+    waiters: WaiterTable<Waiter>,
     local_events: VecDeque<(Node, Node)>,
+    /// Reusable scratch for batched packet receives.
+    rxq: Vec<Packet<Msg1>>,
     req_buf: BufferedComm<Msg1>,
     res_buf: BufferedComm<Msg1>,
     term: TerminationHandle,
@@ -59,9 +57,9 @@ impl<'a, P: Partition> Engine1<'a, P> {
             part,
             rank,
             f: vec![NILL; size],
-            queues: HashMap::new(),
-            queued_waiters: 0,
+            waiters: WaiterTable::new(size),
             local_events: VecDeque::new(),
+            rxq: Vec::new(),
             req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
             res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
             term: comm.termination(),
@@ -109,20 +107,33 @@ impl<'a, P: Partition> Engine1<'a, P> {
         self.req_buf.flush_all(comm);
         self.res_buf.flush_all(comm);
 
+        // Completion loop; flush policy as in engine2: progress flushes
+        // immediately, idle iterations only every `idle_flush_interval`.
+        let mut idle_iters = 0usize;
         while !self.term.is_done() {
-            let progressed = self.service(comm);
-            self.req_buf.flush_all(comm);
-            self.res_buf.flush_all(comm);
-            if !progressed && !self.term.is_done() {
-                if let Some(pkt) = comm.recv_timeout(IDLE_WAIT) {
-                    self.handle_packet(comm, pkt.src, pkt.msgs);
+            if self.service(comm) {
+                idle_iters = 0;
+                self.req_buf.flush_all(comm);
+                self.res_buf.flush_all(comm);
+            } else if !self.term.is_done() {
+                idle_iters += 1;
+                if idle_iters >= opts.idle_flush_interval {
+                    idle_iters = 0;
+                    self.req_buf.flush_all(comm);
+                    self.res_buf.flush_all(comm);
+                }
+                if let Some(pkt) = comm.recv_timeout(opts.idle_wait) {
+                    idle_iters = 0;
+                    let mut msgs = pkt.msgs;
+                    self.handle_msgs(comm, pkt.src, &mut msgs);
+                    comm.recycle(pkt.src, msgs);
                     self.drain_local(comm);
                     self.req_buf.flush_all(comm);
                     self.res_buf.flush_all(comm);
                 }
             }
         }
-        debug_assert!(self.queues.is_empty());
+        debug_assert!(self.waiters.is_empty());
     }
 
     /// Algorithm 3.1 lines 3–9 for node `t`.
@@ -135,10 +146,12 @@ impl<'a, P: Partition> Engine1<'a, P> {
         }
         let owner = self.part.rank_of(c.k);
         if owner == self.rank {
-            let fk = self.f[self.part.local_index(c.k) as usize];
+            let kslot = self.part.local_index(c.k) as usize;
+            let fk = self.f[kslot];
             if fk == NILL {
                 self.counters.local_deferred += 1;
-                self.push_waiter(self.part.local_index(c.k), Waiter::Local { t });
+                self.waiters.push(kslot, Waiter::Local { t });
+                self.note_waiter_high_water();
             } else {
                 self.counters.local_immediate += 1;
                 self.counters.copy_edges += 1;
@@ -150,30 +163,37 @@ impl<'a, P: Partition> Engine1<'a, P> {
         }
     }
 
-    fn push_waiter(&mut self, slot: u64, w: Waiter) {
-        self.queues.entry(slot).or_default().push(w);
-        self.queued_waiters += 1;
-        self.counters.max_queued_waiters =
-            self.counters.max_queued_waiters.max(self.queued_waiters);
+    #[inline]
+    fn note_waiter_high_water(&mut self) {
+        self.counters.max_queued_waiters = self.counters.max_queued_waiters.max(self.waiters.len());
     }
 
     /// Set `F_t = v`, emit the edge and notify waiters (lines 16–19).
     fn commit(&mut self, comm: &mut Comm<Msg1>, t: Node, v: Node) {
-        let slot = self.part.local_index(t);
-        debug_assert_eq!(self.f[slot as usize], NILL);
-        self.f[slot as usize] = v;
+        let slot = self.part.local_index(t) as usize;
+        debug_assert_eq!(self.f[slot], NILL);
+        self.f[slot] = v;
         self.edges.push(t, v);
         self.term.complete(1);
-        if let Some(waiters) = self.queues.remove(&slot) {
-            self.queued_waiters -= waiters.len() as u64;
-            for w in waiters {
-                match w {
-                    Waiter::Remote { t, src } => {
-                        self.res_buf.push(comm, src, Msg1::Resolved { t, v });
-                    }
-                    Waiter::Local { t } => self.local_events.push_back((t, v)),
+        match self.waiters.take(slot) {
+            Taken::None => {}
+            Taken::One(w) => self.notify(comm, w, v),
+            Taken::Many(list) => {
+                for &w in &list {
+                    self.notify(comm, w, v);
                 }
+                self.waiters.recycle(list);
             }
+        }
+    }
+
+    #[inline]
+    fn notify(&mut self, comm: &mut Comm<Msg1>, w: Waiter, v: Node) {
+        match w {
+            Waiter::Remote { t, src } => {
+                self.res_buf.push(comm, src, Msg1::Resolved { t, v });
+            }
+            Waiter::Local { t } => self.local_events.push_back((t, v)),
         }
     }
 
@@ -184,16 +204,18 @@ impl<'a, P: Partition> Engine1<'a, P> {
         }
     }
 
-    fn handle_packet(&mut self, comm: &mut Comm<Msg1>, src: usize, msgs: Vec<Msg1>) {
-        for msg in msgs {
+    fn handle_msgs(&mut self, comm: &mut Comm<Msg1>, src: usize, msgs: &mut Vec<Msg1>) {
+        for msg in msgs.drain(..) {
             match msg {
                 Msg1::Request { t, k } => {
                     // Lines 11–15.
                     debug_assert_eq!(self.part.rank_of(k), self.rank);
-                    let fk = self.f[self.part.local_index(k) as usize];
+                    let kslot = self.part.local_index(k) as usize;
+                    let fk = self.f[kslot];
                     if fk == NILL {
                         self.counters.requests_queued += 1;
-                        self.push_waiter(self.part.local_index(k), Waiter::Remote { t, src });
+                        self.waiters.push(kslot, Waiter::Remote { t, src });
+                        self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
                         self.res_buf.push(comm, src, Msg1::Resolved { t, v: fk });
@@ -208,13 +230,18 @@ impl<'a, P: Partition> Engine1<'a, P> {
         }
     }
 
+    /// Batched receive of all pending packets; buffers go back to their
+    /// senders' pools. Returns whether any packet arrived.
     fn service(&mut self, comm: &mut Comm<Msg1>) -> bool {
-        let mut any = false;
-        while let Some(pkt) = comm.try_recv() {
-            any = true;
-            self.handle_packet(comm, pkt.src, pkt.msgs);
+        let mut q = std::mem::take(&mut self.rxq);
+        comm.drain_recv(&mut q);
+        let any = !q.is_empty();
+        for mut pkt in q.drain(..) {
+            self.handle_msgs(comm, pkt.src, &mut pkt.msgs);
+            comm.recycle(pkt.src, pkt.msgs);
             self.drain_local(comm);
         }
+        self.rxq = q;
         any
     }
 }

@@ -1,14 +1,28 @@
 //! The general parallel engine — Algorithm 3.2 (`x ≥ 1`).
 //!
-//! Every rank sweeps its own nodes in ascending order. For each edge
-//! `(t, e)` it draws the copy-model choice; direct choices commit
-//! immediately, copy choices either resolve locally, park in a local
-//! queue, or become a `request` message to the owner of `k`. Incoming
-//! requests are answered immediately when the slot is known or parked in
-//! a per-slot queue otherwise; a commit drains the slot's queue, sending
-//! `resolved` messages (buffered, with the §3.5.2 flush discipline).
-//! Duplicate edges are rejected both at creation (line 7) and on late
-//! resolution (line 22), re-drawing with an incremented attempt counter.
+//! Every rank sweeps its own nodes in ascending order. A node's `x` edge
+//! slots are driven **in slot order**: slot `(t, e)` runs its draw/retry
+//! loop only once slots `(t, 0..e)` have committed. Direct choices commit
+//! immediately; copy choices either resolve from the local `F` table, from
+//! the replicated hub cache, park in a waiter slot, or become a `request`
+//! message to the owner of `k`. Incoming requests are answered immediately
+//! when the slot is known or parked in the dense waiter table otherwise; a
+//! commit drains the slot's waiters, sending `resolved` messages
+//! (buffered, with the §3.5.2 flush discipline). Duplicate edges are
+//! rejected against the committed prefix of the row, re-drawing with an
+//! incremented attempt counter.
+//!
+//! **Determinism.** In-order slots give every attempt of `(t, e)` exactly
+//! the visibility the sequential generator has at the same point: the
+//! committed values of `(t, 0..e)` and the unique committed `F_k(l)`
+//! (requests and cache hits both return committed-only values). Every
+//! attempt therefore accepts or rejects identically, so the engine emits
+//! the *same edge set as `seq::copy_model`* for every rank count,
+//! partitioning scheme, message timing, and hub-cache setting — the
+//! property the determinism suite pins down. The cost is that one node's
+//! remote lookups serialize; parallelism across the many nodes of a rank
+//! is untouched, and low-label lookups — the common case, by Lemma 3.4 —
+//! are absorbed by the hub cache anyway.
 //!
 //! Termination: every uncommitted slot is registered with the global
 //! outstanding-work detector; a `request` in flight always belongs to an
@@ -16,15 +30,16 @@
 //! remains and all ranks can stop (see `pa-mpsim` docs).
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
 
-use pa_mpsim::{BufferedComm, Comm, TerminationHandle};
+use pa_mpsim::{BufferedComm, Comm, Packet, TerminationHandle};
 
+use super::hubcache::HubCache;
 use super::msg::Msg;
 use super::output::EngineCounters;
 use super::sink::EdgeSink;
+use super::waiters::{Taken, WaiterTable};
 use crate::partition::Partition;
-use crate::{Node, PaConfig, GenOptions, NILL};
+use crate::{GenOptions, Node, PaConfig, NILL};
 
 /// Someone waiting for a local slot to resolve.
 #[derive(Debug, Clone, Copy)]
@@ -35,9 +50,15 @@ enum Waiter {
     Remote { t: Node, e: u32, src: usize },
 }
 
-/// How long the completion loop blocks on an empty queue before
-/// re-checking the termination predicate.
-const IDLE_WAIT: Duration = Duration::from_micros(200);
+/// What `try_slot` did with the current slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotOutcome {
+    /// The slot committed; the node may advance.
+    Committed,
+    /// The slot parked (local waiter or remote request); the node resumes
+    /// when the answer arrives.
+    Waiting,
+}
 
 pub(super) struct Engine<'a, P: Partition, S: EdgeSink> {
     cfg: &'a PaConfig,
@@ -47,11 +68,20 @@ pub(super) struct Engine<'a, P: Partition, S: EdgeSink> {
     f: Vec<Node>,
     /// Per-slot retry counters (`attempt` in the draw key).
     attempts: Vec<u32>,
+    /// Next edge index each local node must commit (in-order discipline).
+    next_e: Vec<u32>,
     /// Waiters per local slot index.
-    queues: HashMap<u64, Vec<Waiter>>,
-    queued_waiters: u64,
+    waiters: WaiterTable<Waiter>,
+    /// Replicated low-label slots (see `hubcache`).
+    hub: HubCache,
+    /// Slots parked for a hub broadcast that has not arrived yet, keyed
+    /// by the hub slot `k·x + l`. Sparse by construction — only slots a
+    /// lookup raced ahead of — so a map beats a dense table here.
+    hub_waiters: HashMap<u64, Vec<(Node, u32)>>,
     /// Locally produced resolutions awaiting processing `(t, e, v)`.
     local_events: VecDeque<(Node, u32, Node)>,
+    /// Reusable scratch for batched packet receives.
+    rxq: Vec<Packet<Msg>>,
     req_buf: BufferedComm<Msg>,
     res_buf: BufferedComm<Msg>,
     term: TerminationHandle,
@@ -73,15 +103,24 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         let x = cfg.x;
         let size = part.size_of(rank);
         let slots = (size * x) as usize;
+        // A single rank resolves everything locally; skip the replica.
+        let hub = if comm.nranks() > 1 {
+            HubCache::new(cfg, opts.hub_nodes(cfg.n))
+        } else {
+            HubCache::disabled(cfg)
+        };
         let mut engine = Engine {
             cfg,
             part,
             rank,
             f: vec![NILL; slots],
             attempts: vec![0; slots],
-            queues: HashMap::new(),
-            queued_waiters: 0,
+            next_e: vec![0; size as usize],
+            waiters: WaiterTable::new(slots),
+            hub,
+            hub_waiters: HashMap::new(),
             local_events: VecDeque::new(),
+            rxq: Vec::new(),
             req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
             res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
             term: comm.termination(),
@@ -124,9 +163,7 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         let mut since_service = 0usize;
         let part = self.part;
         for t in part.nodes_of(self.rank).filter(|&t| t > x) {
-            for e in 0..x as u32 {
-                self.start_edge(comm, t, e);
-            }
+            self.advance_node(comm, t);
             self.drain_local(comm);
             since_service += 1;
             if since_service >= opts.service_interval {
@@ -145,22 +182,43 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         self.res_buf.flush_all(comm);
 
         // --- Completion loop: service traffic until global quiescence. ---
+        // Iterations that made progress flush immediately; quiescent ranks
+        // only re-scan their buffers every `idle_flush_interval` waits.
+        let mut idle_iters = 0usize;
         while !self.term.is_done() {
-            let progressed = self.service(comm);
-            self.req_buf.flush_all(comm);
-            self.res_buf.flush_all(comm);
-            if !progressed && !self.term.is_done() {
-                if let Some(pkt) = comm.recv_timeout(IDLE_WAIT) {
-                    self.handle_packet(comm, pkt.src, pkt.msgs);
+            if self.service(comm) {
+                idle_iters = 0;
+                self.req_buf.flush_all(comm);
+                self.res_buf.flush_all(comm);
+            } else if !self.term.is_done() {
+                idle_iters += 1;
+                if idle_iters >= opts.idle_flush_interval {
+                    idle_iters = 0;
+                    self.req_buf.flush_all(comm);
+                    self.res_buf.flush_all(comm);
+                }
+                if let Some(pkt) = comm.recv_timeout(opts.idle_wait) {
+                    idle_iters = 0;
+                    let mut msgs = pkt.msgs;
+                    self.handle_msgs(comm, pkt.src, &mut msgs);
+                    comm.recycle(pkt.src, msgs);
                     self.drain_local(comm);
                     self.req_buf.flush_all(comm);
                     self.res_buf.flush_all(comm);
                 }
             }
         }
+        // Requests and resolved messages are always flushed before the
+        // slot they belong to can commit, so termination implies both are
+        // gone; only hub broadcasts (not tracked by the termination
+        // counter) may remain buffered, and with every slot committed
+        // everywhere they carry no information — drop them.
         debug_assert_eq!(self.req_buf.pending_total(), 0);
-        debug_assert_eq!(self.res_buf.pending_total(), 0);
-        debug_assert!(self.queues.is_empty(), "waiters left after termination");
+        debug_assert!(self.waiters.is_empty(), "waiters left after termination");
+        debug_assert!(
+            self.hub_waiters.is_empty(),
+            "hub waiters left after termination"
+        );
     }
 
     /// Slot index of `(t, e)` on this rank.
@@ -176,100 +234,159 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         self.f[row..row + self.cfg.x as usize].contains(&v)
     }
 
-    /// Drive edge `(t, e)` forward from its current attempt until it
-    /// commits, parks in a queue, or goes remote.
-    fn start_edge(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32) {
+    /// Drive node `t` forward: run each slot from `next_e` in order until
+    /// one parks (local wait or remote request) or the node completes.
+    fn advance_node(&mut self, comm: &mut Comm<Msg>, t: Node) {
+        let li = self.part.local_index(t) as usize;
+        while self.next_e[li] < self.cfg.x as u32 {
+            let e = self.next_e[li];
+            if self.try_slot(comm, t, e) == SlotOutcome::Waiting {
+                return;
+            }
+        }
+    }
+
+    /// The attempt loop for the *current* slot `(t, e)` (Alg. 3.2 lines
+    /// 5–15, under the in-order discipline).
+    fn try_slot(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32) -> SlotOutcome {
         let x = self.cfg.x;
         loop {
             let slot = self.slot(t, e);
             let attempt = self.attempts[slot];
             self.attempts[slot] += 1;
             let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, x, t, e, attempt);
-            if c.direct {
-                // Alg. 3.2 lines 6–10: connect to k unless duplicate.
-                if self.row_contains(t, c.k) {
-                    self.counters.duplicate_retries += 1;
-                    continue;
+            let (v, direct) = if c.direct {
+                (c.k, true)
+            } else {
+                // Copy branch: we need the committed F_k(l).
+                let owner = self.part.rank_of(c.k);
+                if owner == self.rank {
+                    let kslot = self.slot(c.k, c.l as u32);
+                    let fk = self.f[kslot];
+                    if fk == NILL {
+                        self.counters.local_deferred += 1;
+                        self.waiters.push(kslot, Waiter::Local { t, e });
+                        self.note_waiter_high_water();
+                        return SlotOutcome::Waiting;
+                    }
+                    self.counters.local_immediate += 1;
+                    (fk, false)
+                } else if self.hub.covers(c.k) {
+                    match self.hub.get(c.k, c.l as u32) {
+                        Some(v) => {
+                            // Hub hit: the committed value, no round trip.
+                            self.counters.hub_hits += 1;
+                            (v, false)
+                        }
+                        None => {
+                            // The owner broadcasts every covered commit,
+                            // so the value is already on its way; park for
+                            // it rather than duplicating it with a
+                            // request/resolved round trip.
+                            self.counters.hub_deferred += 1;
+                            self.hub_waiters
+                                .entry(c.k * x + c.l)
+                                .or_default()
+                                .push((t, e));
+                            return SlotOutcome::Waiting;
+                        }
+                    }
+                } else {
+                    // Alg. 3.2 line 14: ask the owner of k.
+                    self.counters.requests_sent += 1;
+                    self.req_buf.push(
+                        comm,
+                        owner,
+                        Msg::Request {
+                            t,
+                            e,
+                            k: c.k,
+                            l: c.l as u32,
+                        },
+                    );
+                    return SlotOutcome::Waiting;
                 }
+            };
+            if self.row_contains(t, v) {
+                self.counters.duplicate_retries += 1;
+                continue;
+            }
+            if direct {
                 self.counters.direct_edges += 1;
-                self.commit(comm, t, e, c.k);
-                return;
-            }
-            // Copy branch: we need F_k(l).
-            let owner = self.part.rank_of(c.k);
-            if owner == self.rank {
-                let kslot = self.slot(c.k, c.l as u32);
-                let fk = self.f[kslot];
-                if fk == NILL {
-                    self.counters.local_deferred += 1;
-                    self.push_waiter(kslot as u64, Waiter::Local { t, e });
-                    return;
-                }
-                if self.row_contains(t, fk) {
-                    self.counters.duplicate_retries += 1;
-                    continue;
-                }
-                self.counters.local_immediate += 1;
+            } else {
                 self.counters.copy_edges += 1;
-                self.commit(comm, t, e, fk);
-                return;
             }
-            // Alg. 3.2 line 14: ask the owner of k.
-            self.counters.requests_sent += 1;
-            self.req_buf.push(
-                comm,
-                owner,
-                Msg::Request {
-                    t,
-                    e,
-                    k: c.k,
-                    l: c.l as u32,
-                },
-            );
-            return;
+            self.commit(comm, t, e, v);
+            return SlotOutcome::Committed;
         }
     }
 
-    fn push_waiter(&mut self, slot: u64, w: Waiter) {
-        self.queues.entry(slot).or_default().push(w);
-        self.queued_waiters += 1;
-        self.counters.max_queued_waiters =
-            self.counters.max_queued_waiters.max(self.queued_waiters);
+    #[inline]
+    fn note_waiter_high_water(&mut self) {
+        self.counters.max_queued_waiters = self.counters.max_queued_waiters.max(self.waiters.len());
     }
 
-    /// Record `F_t(e) = v`, emit the edge, and notify waiters.
+    /// Record `F_t(e) = v`, emit the edge, broadcast hub commits, and
+    /// notify waiters.
     fn commit(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
         let slot = self.slot(t, e);
+        let li = self.part.local_index(t) as usize;
         debug_assert_eq!(self.f[slot], NILL, "double commit of ({t},{e})");
+        debug_assert_eq!(self.next_e[li], e, "out-of-order commit of ({t},{e})");
         debug_assert!(!self.row_contains(t, v), "duplicate committed at ({t},{e})");
         self.f[slot] = v;
+        self.next_e[li] = e + 1;
         self.edges.emit(t, v);
         self.term.complete(1);
-        if let Some(waiters) = self.queues.remove(&(slot as u64)) {
-            self.queued_waiters -= waiters.len() as u64;
-            for w in waiters {
-                match w {
-                    Waiter::Remote { t, e, src } => {
-                        self.res_buf.push(comm, src, Msg::Resolved { t, e, v });
-                    }
-                    Waiter::Local { t, e } => {
-                        self.local_events.push_back((t, e, v));
-                    }
+        // Replicate committed hub slots to every other rank (node x's row
+        // is pre-seeded in every cache, so it needs no traffic).
+        if t > self.cfg.x && self.hub.covers(t) {
+            for dest in 0..comm.nranks() {
+                if dest != self.rank {
+                    self.res_buf.push(comm, dest, Msg::Hub { k: t, l: e, v });
                 }
+            }
+        }
+        match self.waiters.take(slot) {
+            Taken::None => {}
+            Taken::One(w) => self.notify(comm, w, v),
+            Taken::Many(list) => {
+                for &w in &list {
+                    self.notify(comm, w, v);
+                }
+                self.waiters.recycle(list);
             }
         }
     }
 
-    /// A resolution for local slot `(t, e)`: commit unless duplicate
-    /// (Alg. 3.2 lines 21–29).
+    #[inline]
+    fn notify(&mut self, comm: &mut Comm<Msg>, w: Waiter, v: Node) {
+        match w {
+            Waiter::Remote { t, e, src } => {
+                self.res_buf.push(comm, src, Msg::Resolved { t, e, v });
+            }
+            Waiter::Local { t, e } => {
+                self.local_events.push_back((t, e, v));
+            }
+        }
+    }
+
+    /// A resolution for the current slot `(t, e)`: commit unless duplicate
+    /// (Alg. 3.2 lines 21–29), then push the node onward.
     fn handle_resolved(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
+        debug_assert_eq!(
+            self.next_e[self.part.local_index(t) as usize],
+            e,
+            "resolution for a non-current slot"
+        );
         if self.row_contains(t, v) {
             self.counters.duplicate_retries += 1;
-            self.start_edge(comm, t, e);
         } else {
             self.counters.copy_edges += 1;
             self.commit(comm, t, e, v);
         }
+        // Re-enters the attempt loop on duplicate, or starts slot e+1.
+        self.advance_node(comm, t);
     }
 
     /// Cascade local resolutions until quiescent.
@@ -279,8 +396,8 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         }
     }
 
-    fn handle_packet(&mut self, comm: &mut Comm<Msg>, src: usize, msgs: Vec<Msg>) {
-        for msg in msgs {
+    fn handle_msgs(&mut self, comm: &mut Comm<Msg>, src: usize, msgs: &mut Vec<Msg>) {
+        for msg in msgs.drain(..) {
             match msg {
                 Msg::Request { t, e, k, l } => {
                     // Alg. 3.2 lines 16–20.
@@ -289,7 +406,8 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
                     let fk = self.f[kslot];
                     if fk == NILL {
                         self.counters.requests_queued += 1;
-                        self.push_waiter(kslot as u64, Waiter::Remote { t, e, src });
+                        self.waiters.push(kslot, Waiter::Remote { t, e, src });
+                        self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
                         self.res_buf.push(comm, src, Msg::Resolved { t, e, v: fk });
@@ -299,18 +417,36 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
                     debug_assert_eq!(self.part.rank_of(t), self.rank);
                     self.handle_resolved(comm, t, e, v);
                 }
+                Msg::Hub { k, l, v } => {
+                    self.counters.hub_updates += 1;
+                    self.hub.insert(k, l, v);
+                    // Wake every slot that raced ahead of this broadcast;
+                    // the value is exactly what a `resolved` would carry.
+                    if let Some(parked) = self.hub_waiters.remove(&(k * self.cfg.x + u64::from(l)))
+                    {
+                        for (t, e) in parked {
+                            self.counters.hub_hits += 1;
+                            self.handle_resolved(comm, t, e, v);
+                        }
+                    }
+                }
             }
         }
     }
 
-    /// Drain all currently pending packets; returns whether any arrived.
+    /// Drain all currently pending packets in one batched receive;
+    /// returns whether any arrived. Packet buffers go back to their
+    /// senders' pools.
     fn service(&mut self, comm: &mut Comm<Msg>) -> bool {
-        let mut any = false;
-        while let Some(pkt) = comm.try_recv() {
-            any = true;
-            self.handle_packet(comm, pkt.src, pkt.msgs);
+        let mut q = std::mem::take(&mut self.rxq);
+        comm.drain_recv(&mut q);
+        let any = !q.is_empty();
+        for mut pkt in q.drain(..) {
+            self.handle_msgs(comm, pkt.src, &mut pkt.msgs);
+            comm.recycle(pkt.src, pkt.msgs);
             self.drain_local(comm);
         }
+        self.rxq = q;
         any
     }
 }

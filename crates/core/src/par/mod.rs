@@ -15,9 +15,11 @@
 mod degrees;
 mod engine1;
 mod engine2;
+mod hubcache;
 mod msg;
 mod output;
 mod sink;
+mod waiters;
 
 pub use degrees::{distributed_degrees, merge_degrees};
 pub use msg::{Msg, Msg1};
@@ -53,20 +55,18 @@ pub fn generate(
 ///
 /// Panics on invalid `cfg`/`opts`, or if the partition's node count does
 /// not match `cfg.n`.
-pub fn generate_with<P: Partition>(
-    cfg: &PaConfig,
-    part: &P,
-    opts: &GenOptions,
-) -> ParallelOutput {
+pub fn generate_with<P: Partition>(cfg: &PaConfig, part: &P, opts: &GenOptions) -> ParallelOutput {
     cfg.validate();
     opts.validate();
-    assert_eq!(part.num_nodes(), cfg.n, "partition does not cover cfg.n nodes");
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
     let world = World::new(part.nranks());
     let ranks = world.run(|mut comm| {
         let rank = comm.rank();
-        let sink = EdgeList::with_capacity(
-            (part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize,
-        );
+        let sink = EdgeList::with_capacity((part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize);
         let (edges, counters) = engine2::Engine::run(cfg, part, opts, &mut comm, sink);
         RankOutput {
             rank,
@@ -134,8 +134,7 @@ where
     let world = World::new(nranks);
     world.run(|mut comm| {
         let rank = comm.rank();
-        let (sink, counters) =
-            engine2::Engine::run(cfg, &part, opts, &mut comm, make_sink(rank));
+        let (sink, counters) = engine2::Engine::run(cfg, &part, opts, &mut comm, make_sink(rank));
         StreamRankOutput {
             rank,
             sink,
@@ -179,6 +178,7 @@ mod tests {
         GenOptions {
             buffer_capacity: 16,
             service_interval: 8,
+            ..GenOptions::default()
         }
     }
 
@@ -203,10 +203,7 @@ mod tests {
         let cfg = PaConfig::new(2000, 1).with_seed(5);
         let a = generate_x1(&cfg, Scheme::Rrp, 4, &opts());
         let b = generate(&cfg, Scheme::Rrp, 4, &opts());
-        assert_eq!(
-            a.edge_list().canonicalized(),
-            b.edge_list().canonicalized()
-        );
+        assert_eq!(a.edge_list().canonicalized(), b.edge_list().canonicalized());
     }
 
     #[test]
@@ -274,6 +271,7 @@ mod tests {
             &GenOptions {
                 buffer_capacity: 512,
                 service_interval: 64,
+                ..GenOptions::default()
             },
         );
         let unbuffered = generate(
@@ -283,6 +281,7 @@ mod tests {
             &GenOptions {
                 buffer_capacity: 1,
                 service_interval: 1,
+                ..GenOptions::default()
             },
         );
         assert_eq!(
@@ -290,9 +289,7 @@ mod tests {
             unbuffered.edge_list().canonicalized()
         );
         // Unbuffered sends at least as many packets.
-        let pk = |o: &ParallelOutput| {
-            o.ranks.iter().map(|r| r.comm.packets_sent).sum::<u64>()
-        };
+        let pk = |o: &ParallelOutput| o.ranks.iter().map(|r| r.comm.packets_sent).sum::<u64>();
         assert!(pk(&unbuffered) >= pk(&buffered));
     }
 

@@ -48,6 +48,18 @@ pub enum Msg {
         /// The resolved attachment target.
         v: Node,
     },
+    /// `⟨hub, k, l, v⟩` — owner broadcast of a committed hub slot:
+    /// `F_k(l) = v`, for the receivers' replicated hub caches. Carries
+    /// exactly the committed value a `resolved` for `(k, l)` would carry,
+    /// which is why consuming it preserves the output bit-for-bit.
+    Hub {
+        /// The hub node whose slot committed.
+        k: Node,
+        /// Which of `k`'s edges committed.
+        l: u32,
+        /// The committed attachment target.
+        v: Node,
+    },
 }
 
 #[cfg(test)]
@@ -59,6 +71,12 @@ mod tests {
         // Traffic volume matters: keep messages within four words.
         assert!(std::mem::size_of::<Msg>() <= 32);
         assert!(std::mem::size_of::<Msg1>() <= 24);
+    }
+
+    #[test]
+    fn hub_broadcast_fits_the_packet_word_budget() {
+        let m = Msg::Hub { k: 1, l: 0, v: 0 };
+        assert!(std::mem::size_of_val(&m) <= 32);
     }
 
     #[test]

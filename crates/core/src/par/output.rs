@@ -36,6 +36,14 @@ pub struct EngineCounters {
     pub duplicate_retries: u64,
     /// Peak number of waiters parked in this rank's queues.
     pub max_queued_waiters: u64,
+    /// Copy lookups answered by the replicated hub cache (each one is a
+    /// request/resolved round trip that never hit the network).
+    pub hub_hits: u64,
+    /// Of those, lookups that arrived before the owner's broadcast and
+    /// parked for it instead of sending a request.
+    pub hub_deferred: u64,
+    /// Hub broadcast entries installed into this rank's replica.
+    pub hub_updates: u64,
 }
 
 /// Everything one rank produced.
@@ -111,6 +119,9 @@ impl ParallelOutput {
             total.requests_queued += c.requests_queued;
             total.duplicate_retries += c.duplicate_retries;
             total.max_queued_waiters = total.max_queued_waiters.max(c.max_queued_waiters);
+            total.hub_hits += c.hub_hits;
+            total.hub_deferred += c.hub_deferred;
+            total.hub_updates += c.hub_updates;
         }
         total
     }

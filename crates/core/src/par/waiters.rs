@@ -1,0 +1,152 @@
+//! Dense per-slot waiter storage for the parallel engines.
+//!
+//! Both engines park "waiters" (deferred local edges and unanswered remote
+//! requests) against an *uncommitted local slot*. Slot indices are already
+//! dense `0..local_slots` integers, so a `HashMap<u64, Vec<Waiter>>` pays
+//! hashing plus a heap `Vec` per occupied slot for nothing. [`WaiterTable`]
+//! stores one inline entry per slot and spills to a recycled `Vec` only for
+//! the rare slot with two or more waiters, keeping `start_edge`/`commit`
+//! free of hashing and steady-state allocation.
+
+/// Per-slot storage: empty, one inline waiter, or a spill list.
+#[derive(Debug, Clone)]
+enum Entry<W> {
+    Empty,
+    One(W),
+    Many(Vec<W>),
+}
+
+/// Waiters taken from a slot by [`WaiterTable::take`].
+#[derive(Debug)]
+pub(super) enum Taken<W> {
+    /// Nobody was waiting.
+    None,
+    /// Exactly one waiter.
+    One(W),
+    /// Two or more waiters, in arrival order. Hand the spent `Vec` back
+    /// via [`WaiterTable::recycle`] to keep its allocation in play.
+    Many(Vec<W>),
+}
+
+/// Flat waiter table over the rank's local slot indices.
+#[derive(Debug)]
+pub(super) struct WaiterTable<W> {
+    slots: Vec<Entry<W>>,
+    /// Spill `Vec`s recovered by [`WaiterTable::recycle`], reused on the
+    /// next slot that grows past one waiter.
+    spare: Vec<Vec<W>>,
+    len: u64,
+}
+
+impl<W: Copy> WaiterTable<W> {
+    /// Table covering `nslots` local slots, all empty.
+    pub fn new(nslots: usize) -> Self {
+        Self {
+            slots: (0..nslots).map(|_| Entry::Empty).collect(),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Total parked waiters across all slots.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no waiter is parked anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Park `w` on `slot` (FIFO per slot).
+    pub fn push(&mut self, slot: usize, w: W) {
+        self.len += 1;
+        let entry = &mut self.slots[slot];
+        match entry {
+            Entry::Empty => *entry = Entry::One(w),
+            Entry::One(first) => {
+                let first = *first;
+                let mut list = self.spare.pop().unwrap_or_default();
+                list.push(first);
+                list.push(w);
+                *entry = Entry::Many(list);
+            }
+            Entry::Many(list) => list.push(w),
+        }
+    }
+
+    /// Remove and return every waiter parked on `slot`.
+    pub fn take(&mut self, slot: usize) -> Taken<W> {
+        match std::mem::replace(&mut self.slots[slot], Entry::Empty) {
+            Entry::Empty => Taken::None,
+            Entry::One(w) => {
+                self.len -= 1;
+                Taken::One(w)
+            }
+            Entry::Many(list) => {
+                self.len -= list.len() as u64;
+                Taken::Many(list)
+            }
+        }
+    }
+
+    /// Return a spill list obtained from [`Taken::Many`] for reuse.
+    pub fn recycle(&mut self, mut list: Vec<W>) {
+        list.clear();
+        self.spare.push(list);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_waiter_round_trip() {
+        let mut t: WaiterTable<u32> = WaiterTable::new(4);
+        assert!(t.is_empty());
+        t.push(2, 7);
+        assert_eq!(t.len(), 1);
+        match t.take(2) {
+            Taken::One(7) => {}
+            other => panic!("expected One(7), got {other:?}"),
+        }
+        assert!(t.is_empty());
+        assert!(matches!(t.take(2), Taken::None));
+    }
+
+    #[test]
+    fn spill_preserves_fifo_order() {
+        let mut t: WaiterTable<u32> = WaiterTable::new(2);
+        for w in 0..5 {
+            t.push(1, w);
+        }
+        assert_eq!(t.len(), 5);
+        match t.take(1) {
+            Taken::Many(list) => {
+                assert_eq!(list, vec![0, 1, 2, 3, 4]);
+                t.recycle(list);
+            }
+            other => panic!("expected Many, got {other:?}"),
+        }
+        assert!(t.is_empty());
+        // The recycled spill list is reused by the next multi-waiter slot.
+        t.push(0, 8);
+        t.push(0, 9);
+        match t.take(0) {
+            Taken::Many(list) => assert_eq!(list, vec![8, 9]),
+            other => panic!("expected Many, got {other:?}"),
+        }
+        assert_eq!(t.spare.len(), 0, "spare list was taken for reuse");
+    }
+
+    #[test]
+    fn independent_slots_do_not_interfere() {
+        let mut t: WaiterTable<u8> = WaiterTable::new(3);
+        t.push(0, 1);
+        t.push(2, 2);
+        assert!(matches!(t.take(1), Taken::None));
+        assert!(matches!(t.take(0), Taken::One(1)));
+        assert!(matches!(t.take(2), Taken::One(2)));
+    }
+}

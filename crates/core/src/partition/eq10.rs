@@ -184,7 +184,11 @@ mod tests {
         let per_node = crate::math::harmonic(n - 1) + DEFAULT_B + 1.0;
         for (i, w) in bounds.windows(2).enumerate() {
             let l = block_load(n, DEFAULT_B, w[0], w[1]);
-            let tol = if i == p - 1 { p as f64 * per_node } else { per_node };
+            let tol = if i == p - 1 {
+                p as f64 * per_node
+            } else {
+                per_node
+            };
             assert!(
                 (l - target).abs() <= tol,
                 "block {i}: load {l} vs target {target}"

@@ -74,7 +74,14 @@ mod tests {
 
     #[test]
     fn contract_small_cases() {
-        for (n, p) in [(1u64, 1usize), (10, 1), (10, 3), (10, 10), (10, 16), (100, 7)] {
+        for (n, p) in [
+            (1u64, 1usize),
+            (10, 1),
+            (10, 3),
+            (10, 10),
+            (10, 16),
+            (100, 7),
+        ] {
             check_contract(&Rrp::new(n, p));
         }
     }

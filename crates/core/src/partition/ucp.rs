@@ -94,7 +94,14 @@ mod tests {
 
     #[test]
     fn contract_small_cases() {
-        for (n, p) in [(1u64, 1usize), (10, 1), (10, 3), (10, 10), (7, 4), (100, 16)] {
+        for (n, p) in [
+            (1u64, 1usize),
+            (10, 1),
+            (10, 3),
+            (10, 10),
+            (7, 4),
+            (100, 16),
+        ] {
             check_contract(&Ucp::new(n, p));
         }
     }

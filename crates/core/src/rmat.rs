@@ -66,7 +66,10 @@ impl RmatConfig {
     ///
     /// Panics if any probability is negative or `a + b + c > 1`.
     pub fn with_probs(mut self, a: f64, b: f64, c: f64) -> Self {
-        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0, "probabilities must be non-negative");
+        assert!(
+            a >= 0.0 && b >= 0.0 && c >= 0.0,
+            "probabilities must be non-negative"
+        );
         assert!(a + b + c <= 1.0 + 1e-12, "a + b + c must not exceed 1");
         self.a = a;
         self.b = b;
@@ -190,7 +193,10 @@ mod tests {
     fn simplify_yields_valid_simple_graph() {
         let cfg = RmatConfig::graph500(9).with_edges(20_000).with_seed(4);
         let el = generate_seq(&cfg).simplify();
-        assert!(el.len() < 20_000, "dedup must remove something at this density");
+        assert!(
+            el.len() < 20_000,
+            "dedup must remove something at this density"
+        );
         assert!(pa_graph::validate::check_simple(cfg.n(), &el).is_empty());
     }
 

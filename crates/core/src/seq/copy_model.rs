@@ -178,7 +178,10 @@ mod tests {
         assert_valid_pa_network(500, 2, &edges);
         for (t, v) in edges.iter() {
             if t > 2 {
-                assert!(v < 2, "with p=0 and x=2 all copies resolve to seeds, got ({t},{v})");
+                assert!(
+                    v < 2,
+                    "with p=0 and x=2 all copies resolve to seeds, got ({t},{v})"
+                );
             }
         }
     }

@@ -22,16 +22,13 @@ pub fn generate(cfg: &PaConfig, rng: &mut impl Rng64) -> EdgeList {
     let mut degree = vec![0u64; n as usize];
     let mut total_degree = 0u64;
 
-    let add_edge = |edges: &mut EdgeList,
-                        degree: &mut Vec<u64>,
-                        total: &mut u64,
-                        u: Node,
-                        v: Node| {
-        edges.push(u, v);
-        degree[u as usize] += 1;
-        degree[v as usize] += 1;
-        *total += 2;
-    };
+    let add_edge =
+        |edges: &mut EdgeList, degree: &mut Vec<u64>, total: &mut u64, u: Node, v: Node| {
+            edges.push(u, v);
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+            *total += 2;
+        };
 
     for i in 1..x {
         for j in 0..i {

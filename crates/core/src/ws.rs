@@ -34,7 +34,12 @@ impl WsConfig {
         assert!(k.is_multiple_of(2), "k must be even");
         assert!(k > 0 && k < n, "need 0 < k < n");
         assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
-        Self { n, k, beta, seed: 0 }
+        Self {
+            n,
+            k,
+            beta,
+            seed: 0,
+        }
     }
 
     /// Replace the seed.

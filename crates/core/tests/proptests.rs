@@ -6,11 +6,7 @@ use pa_core::{chains, par, seq, GenOptions, PaConfig};
 use proptest::prelude::*;
 
 fn any_scheme() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::Ucp),
-        Just(Scheme::Lcp),
-        Just(Scheme::Rrp),
-    ]
+    prop_oneof![Just(Scheme::Ucp), Just(Scheme::Lcp), Just(Scheme::Rrp),]
 }
 
 proptest! {
@@ -69,7 +65,7 @@ proptest! {
     ) {
         let cfg = PaConfig::new(n, 1).with_seed(seed);
         let reference = seq::copy_model(&cfg).canonicalized();
-        let opts = GenOptions { buffer_capacity: 8, service_interval: 4 };
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4, ..GenOptions::default() };
         let out = par::generate_x1(&cfg, scheme, nranks, &opts);
         prop_assert_eq!(out.edge_list().canonicalized(), reference);
     }
@@ -86,7 +82,7 @@ proptest! {
     ) {
         prop_assume!(n > x);
         let cfg = PaConfig::new(n, x).with_seed(seed);
-        let opts = GenOptions { buffer_capacity: 8, service_interval: 4 };
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4, ..GenOptions::default() };
         let out = par::generate(&cfg, scheme, nranks, &opts);
         let edges = out.edge_list();
         prop_assert_eq!(edges.len() as u64, cfg.expected_edges());

@@ -1,0 +1,349 @@
+//! Offline micro-benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the `criterion` API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`, `bench_function`, `bench_with_input` and
+//! `Bencher::iter`. It is wired in via a dependency rename
+//! (`criterion = { package = "pa-crit", ... }`) so bench code keeps the
+//! upstream import paths.
+//!
+//! Each benchmark warms up once, then runs up to `sample_size` iterations
+//! bounded by a wall-clock budget, reporting the mean per-iteration time and
+//! (when a throughput is set) the implied rate. Set `PA_BENCH_JSON=<path>` to
+//! also write the results as a JSON array — used to record `BENCH_PR*.json`
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget for one benchmark's measurement loop.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical elements (edges, messages, draws, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs the measurement loop for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size as u64 || start.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    mean_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn per_sec(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        (self.mean_ns > 0.0).then(|| units as f64 * 1e9 / self.mean_ns)
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1}",
+            escape(&self.group),
+            escape(&self.bench),
+            self.mean_ns
+        );
+        if let Some(rate) = self.per_sec() {
+            let unit = match self.throughput {
+                Some(Throughput::Elements(_)) => "elements",
+                Some(Throughput::Bytes(_)) => "bytes",
+                None => unreachable!(),
+            };
+            s.push_str(&format!(",\"per_sec\":{rate:.1},\"unit\":\"{unit}\""));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            crit: self,
+            name: name.into(),
+            sample_size: 60,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(String::new(), id.id, 60, None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: String,
+        bench: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        let rec = Record {
+            group,
+            bench,
+            mean_ns,
+            throughput,
+        };
+        let label = if rec.group.is_empty() {
+            rec.bench.clone()
+        } else {
+            format!("{}/{}", rec.group, rec.bench)
+        };
+        match rec.per_sec() {
+            Some(rate) => println!(
+                "bench {label:<48} {:>14} /iter  {:>14.0} per sec ({} iters)",
+                fmt_ns(mean_ns),
+                rate,
+                b.iters
+            ),
+            None => println!(
+                "bench {label:<48} {:>14} /iter  ({} iters)",
+                fmt_ns(mean_ns),
+                b.iters
+            ),
+        }
+        self.records.push(rec);
+    }
+
+    /// Print the footer and, when `PA_BENCH_JSON` is set, dump results there.
+    pub fn final_summary(self) {
+        println!("completed {} benchmarks", self.records.len());
+        if let Ok(path) = std::env::var("PA_BENCH_JSON") {
+            let body: Vec<String> = self.records.iter().map(Record::to_json).collect();
+            let json = format!("[\n  {}\n]\n", body.join(",\n  "));
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {err}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Report a rate alongside the mean iteration time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.crit.run_one(
+            self.name.clone(),
+            id.id,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.crit.run_one(
+            self.name.clone(),
+            id.id,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (scope marker; all work already happened eagerly).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + up to 5 timed iterations.
+        assert!((2..=6).contains(&calls));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].per_sec().is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats_param() {
+        assert_eq!(BenchmarkId::new("gen", 8).id, "gen/8");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let r = Record {
+            group: "g\"x".into(),
+            bench: "b".into(),
+            mean_ns: 1.0,
+            throughput: None,
+        };
+        assert!(r.to_json().contains("g\\\"x"));
+    }
+}

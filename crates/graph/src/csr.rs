@@ -27,7 +27,10 @@ impl Csr {
     pub fn from_edges(n: usize, edges: &EdgeList) -> Self {
         let mut counts = vec![0usize; n + 1];
         for (u, v) in edges.iter() {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of bounds for n={n}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of bounds for n={n}"
+            );
             counts[u as usize + 1] += 1;
             counts[v as usize + 1] += 1;
         }

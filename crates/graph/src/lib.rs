@@ -27,8 +27,8 @@ pub mod container;
 mod csr;
 pub mod degrees;
 mod edgelist;
-pub mod metrics;
 pub mod io;
+pub mod metrics;
 mod unionfind;
 pub mod validate;
 

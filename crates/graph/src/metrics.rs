@@ -39,7 +39,11 @@ pub fn triangle_count(g: &Csr) -> u64 {
             for &b in &out[i + 1..] {
                 // Is there an oriented edge a->b or b->a? Both have
                 // higher rank than v; the edge is oriented by rank.
-                let (lo, hi) = if rank_of(a) < rank_of(b) { (a, b) } else { (b, a) };
+                let (lo, hi) = if rank_of(a) < rank_of(b) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 if oriented[lo as usize].binary_search(&hi).is_ok() {
                     triangles += 1;
                 }
@@ -117,11 +121,7 @@ pub fn double_sweep_diameter(g: &Csr, start: Node) -> Option<u64> {
         return None;
     }
     let second = g.bfs_distances(far as Node);
-    second
-        .iter()
-        .filter(|&&d| d != u64::MAX)
-        .max()
-        .copied()
+    second.iter().filter(|&&d| d != u64::MAX).max().copied()
 }
 
 /// K-core decomposition: `out[v]` is the largest `k` such that `v`
@@ -198,10 +198,7 @@ mod tests {
         );
         // K4 has 4 triangles.
         assert_eq!(
-            triangle_count(&graph(
-                4,
-                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
-            )),
+            triangle_count(&graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])),
             4
         );
         // Two disjoint triangles.
@@ -213,9 +210,7 @@ mod tests {
 
     #[test]
     fn transitivity_of_clique_is_one() {
-        let k5: Vec<(Node, Node)> = (0..5)
-            .flat_map(|i| (0..i).map(move |j| (i, j)))
-            .collect();
+        let k5: Vec<(Node, Node)> = (0..5).flat_map(|i| (0..i).map(move |j| (i, j))).collect();
         let g = graph(5, &k5);
         assert!((transitivity(&g) - 1.0).abs() < 1e-12);
     }
@@ -261,10 +256,7 @@ mod tests {
     #[test]
     fn core_numbers_on_known_graph() {
         // K4 plus a pendant node attached to node 0.
-        let g = graph(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
-        );
+        let g = graph(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)]);
         let core = core_numbers(&g);
         assert_eq!(core, vec![3, 3, 3, 3, 1]);
     }

@@ -43,12 +43,18 @@ impl<M: Send> BufferedComm<M> {
 
     /// Queue one logical message for `dest`, transferring the buffer as a
     /// single packet if it reaches capacity.
+    ///
+    /// The first push after a flush draws the backing buffer from `comm`'s
+    /// packet pool, so steady-state buffered traffic recycles allocations
+    /// between sender and receiver instead of growing the heap.
     #[inline]
     pub fn push(&mut self, comm: &mut Comm<M>, dest: usize, msg: M) {
-        let buf = &mut self.bufs[dest];
-        if buf.is_empty() {
-            buf.reserve(self.capacity);
+        if self.bufs[dest].capacity() == 0 {
+            let mut pooled = comm.acquire_buffer(dest);
+            pooled.reserve(self.capacity);
+            self.bufs[dest] = pooled;
         }
+        let buf = &mut self.bufs[dest];
         buf.push(msg);
         if buf.len() >= self.capacity {
             self.flush(comm, dest);
@@ -134,6 +140,41 @@ mod tests {
         });
         assert_eq!(stats[0].packets_sent, 0);
         assert_eq!(stats[1].packets_sent, 0);
+    }
+
+    #[test]
+    fn push_draws_buffers_from_packet_pool() {
+        // Receiver recycles every packet; after the first round trip the
+        // sender's pushes are served by pooled buffers.
+        let world = World::new(2);
+        let stats = world.run(|mut comm: crate::Comm<u32>| {
+            let rounds = 20u32;
+            if comm.rank() == 0 {
+                let mut buf = BufferedComm::new(comm.nranks(), 4);
+                for r in 0..rounds {
+                    for i in 0..4u32 {
+                        buf.push(&mut comm, 1, r * 4 + i);
+                    }
+                    // Wait for the ack so the buffer is back in the pool.
+                    let pkt = comm.recv_timeout(Duration::from_secs(5)).unwrap();
+                    comm.recycle(pkt.src, pkt.msgs);
+                }
+            } else {
+                for _ in 0..rounds {
+                    let pkt = comm.recv_timeout(Duration::from_secs(5)).unwrap();
+                    comm.recycle(pkt.src, pkt.msgs);
+                    comm.send(0, 1);
+                }
+            }
+            comm.barrier();
+            comm.into_stats()
+        });
+        assert!(
+            stats[0].pool_hits >= 15,
+            "sender pool hits = {}",
+            stats[0].pool_hits
+        );
+        assert!(stats[1].bufs_recycled >= 15);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The world (rank spawner) and per-rank communicator.
 
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
+use crate::channel::{channel, Receiver, Sender};
 use crate::control::{ControlPlane, ReduceOp};
 use crate::stats::CommStats;
 use crate::TerminationHandle;
@@ -56,18 +56,39 @@ impl World {
     {
         let plane = ControlPlane::new(self.nranks);
         type Channels<M> = (Vec<Sender<Packet<M>>>, Vec<Receiver<Packet<M>>>);
-        let (senders, receivers): Channels<M> = (0..self.nranks).map(|_| unbounded()).unzip();
+        let (senders, receivers): Channels<M> = (0..self.nranks).map(|_| channel()).unzip();
+
+        // Packet-pool freelists, one channel per ordered (src, dest) pair:
+        // rank `src` *acquires* buffers destined for `dest` from its end,
+        // and rank `dest` *returns* drained buffers to the same queue. Rank
+        // `src` thus keeps the receiver for every pair it originates.
+        let mut pool_rx_rows: Vec<Vec<Receiver<Vec<M>>>> = Vec::with_capacity(self.nranks);
+        let mut pool_tx_cols: Vec<Vec<Sender<Vec<M>>>> =
+            (0..self.nranks).map(|_| Vec::new()).collect();
+        for _src in 0..self.nranks {
+            let mut row = Vec::with_capacity(self.nranks);
+            for col in pool_tx_cols.iter_mut() {
+                let (tx, rx) = channel();
+                row.push(rx);
+                col.push(tx);
+            }
+            pool_rx_rows.push(row);
+        }
 
         let mut results: Vec<Option<T>> = (0..self.nranks).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = receivers
                 .into_iter()
+                .zip(pool_rx_rows)
+                .zip(pool_tx_cols)
                 .enumerate()
-                .map(|(rank, rx)| {
+                .map(|(rank, ((rx, pool_rx), pool_tx))| {
                     let comm = Comm {
                         rank,
                         senders: senders.clone(),
                         rx,
+                        pool_rx,
+                        pool_tx,
                         plane: plane.clone(),
                         stats: CommStats::new(self.nranks),
                     };
@@ -93,6 +114,10 @@ pub struct Comm<M> {
     rank: usize,
     senders: Vec<Sender<Packet<M>>>,
     rx: Receiver<Packet<M>>,
+    /// Freelist ends this rank draws send buffers from, indexed by dest.
+    pool_rx: Vec<Receiver<Vec<M>>>,
+    /// Freelist ends this rank returns received buffers to, indexed by src.
+    pool_tx: Vec<Sender<Vec<M>>>,
     plane: std::sync::Arc<ControlPlane>,
     stats: CommStats,
 }
@@ -110,42 +135,84 @@ impl<M: Send> Comm<M> {
         self.senders.len()
     }
 
-    /// Send one logical message to `dest` as its own packet.
+    /// Send one logical message to `dest` as its own packet, drawing the
+    /// packet buffer from the pool so ad-hoc sends don't allocate in steady
+    /// state.
     ///
     /// For high-volume traffic prefer [`crate::BufferedComm`], which
     /// aggregates messages per destination (the paper's message buffering).
     pub fn send(&mut self, dest: usize, msg: M) {
-        self.send_batch(dest, vec![msg]);
+        let mut buf = self.acquire_buffer(dest);
+        buf.push(msg);
+        self.send_batch(dest, buf);
     }
 
     /// Send a batch of logical messages to `dest` as a single packet.
     ///
     /// Empty batches are dropped (no packet is transferred or counted).
+    /// Sends to a rank that already returned are parked, not errors —
+    /// mirroring MPI, where the library buffers such traffic rather than
+    /// failing the sender.
     pub fn send_batch(&mut self, dest: usize, msgs: Vec<M>) {
         if msgs.is_empty() {
             return;
         }
         self.stats.on_send(dest, msgs.len() as u64);
-        // The receiver can only disappear if its thread already returned;
-        // in a correct program no traffic targets finished ranks, so this
-        // is a hard error worth surfacing.
-        self.senders[dest]
-            .send(Packet {
-                src: self.rank,
-                msgs,
-            })
-            .expect("send to a rank that already terminated");
+        self.senders[dest].send(Packet {
+            src: self.rank,
+            msgs,
+        });
+    }
+
+    /// Take a recycled send buffer for `dest` from the packet pool, or
+    /// allocate a fresh one on pool miss.
+    pub fn acquire_buffer(&mut self, dest: usize) -> Vec<M> {
+        match self.pool_rx[dest].try_recv() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty());
+                self.stats.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.stats.pool_misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a drained packet buffer to the rank it came from, making its
+    /// allocation available to that rank's next send to us.
+    ///
+    /// Call this with `Packet::src` and the (consumed) `Packet::msgs` after
+    /// processing a received packet. Zero-capacity buffers are dropped.
+    pub fn recycle(&mut self, src: usize, mut buf: Vec<M>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.stats.bufs_recycled += 1;
+        self.pool_tx[src].send(buf);
     }
 
     /// Non-blocking receive: the next pending packet, if any.
     pub fn try_recv(&mut self) -> Option<Packet<M>> {
-        match self.rx.try_recv() {
-            Ok(pkt) => {
-                self.stats.on_recv(pkt.src, pkt.msgs.len() as u64);
-                Some(pkt)
-            }
-            Err(_) => None,
+        let pkt = self.rx.try_recv()?;
+        self.stats.on_recv(pkt.src, pkt.msgs.len() as u64);
+        Some(pkt)
+    }
+
+    /// Drain every packet currently queued into `out` under a single lock
+    /// acquisition; returns how many packets were appended.
+    ///
+    /// This is the batched receive the engines use in their service loops:
+    /// one lock per poll instead of one per packet.
+    pub fn drain_recv(&mut self, out: &mut Vec<Packet<M>>) -> usize {
+        let start = out.len();
+        self.rx.drain_into(out);
+        for pkt in &out[start..] {
+            self.stats.on_recv(pkt.src, pkt.msgs.len() as u64);
         }
+        out.len() - start
     }
 
     /// Blocking receive with a timeout; `None` on timeout.
@@ -153,16 +220,9 @@ impl<M: Send> Comm<M> {
     /// The PA engines use this instead of spinning when they run out of
     /// local work, so oversubscribed hosts don't burn cycles polling.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Packet<M>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(pkt) => {
-                self.stats.on_recv(pkt.src, pkt.msgs.len() as u64);
-                Some(pkt)
-            }
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => {
-                unreachable!("self-sender is held alive by this Comm")
-            }
-        }
+        let pkt = self.rx.recv_timeout(timeout)?;
+        self.stats.on_recv(pkt.src, pkt.msgs.len() as u64);
+        Some(pkt)
     }
 
     /// Global barrier: returns once every rank has entered.
@@ -322,9 +382,7 @@ mod tests {
     #[test]
     fn broadcast_delivers_roots_value() {
         let world = World::new(4);
-        let out = world.run(|comm: Comm<()>| {
-            comm.broadcast_u64(2, (comm.rank() as u64 + 1) * 100)
-        });
+        let out = world.run(|comm: Comm<()>| comm.broadcast_u64(2, (comm.rank() as u64 + 1) * 100));
         assert_eq!(out, vec![300, 300, 300, 300]);
     }
 
@@ -371,6 +429,94 @@ mod tests {
         });
         assert_eq!(out[0], 0);
         assert_eq!(out[1] + out[2], 20);
+    }
+
+    #[test]
+    fn pool_recycles_buffers_back_to_sender() {
+        // Ping-pong: rank 0 sends, rank 1 drains and recycles, so rank 0's
+        // later sends must find pooled buffers (hits) instead of allocating.
+        let world = World::new(2);
+        let stats = world.run(|mut comm: Comm<u64>| {
+            let rounds = 50u64;
+            if comm.rank() == 0 {
+                for i in 0..rounds {
+                    comm.send(1, i);
+                    // Wait for the ack so the recycled buffer is back.
+                    let pkt = comm.recv_timeout(Duration::from_secs(5)).unwrap();
+                    comm.recycle(pkt.src, pkt.msgs);
+                }
+            } else {
+                let mut got = 0u64;
+                let mut inbox = Vec::new();
+                while got < rounds {
+                    if comm.drain_recv(&mut inbox) == 0 {
+                        if let Some(pkt) = comm.recv_timeout(Duration::from_secs(5)) {
+                            inbox.push(pkt);
+                        }
+                    }
+                    for pkt in inbox.drain(..) {
+                        assert_eq!(pkt.msgs, vec![got]);
+                        got += 1;
+                        comm.send(0, 1); // ack
+                        comm.recycle(pkt.src, pkt.msgs);
+                    }
+                }
+            }
+            comm.barrier();
+            comm.into_stats()
+        });
+        // Round 1 allocates; nearly every later acquire must hit the pool.
+        assert!(
+            stats[0].pool_hits >= 40,
+            "rank 0 pool hits = {}",
+            stats[0].pool_hits
+        );
+        assert!(stats[1].bufs_recycled >= 40);
+        assert_eq!(stats[0].msgs_sent, 50);
+    }
+
+    #[test]
+    fn drain_recv_takes_all_pending_packets() {
+        let world = World::new(2);
+        let out = world.run(|mut comm: Comm<u64>| {
+            if comm.rank() == 0 {
+                for i in 0..10u64 {
+                    comm.send(1, i);
+                }
+                comm.barrier(); // traffic is in flight before rank 1 drains
+                0
+            } else {
+                comm.barrier();
+                let mut inbox = Vec::new();
+                let mut got = 0usize;
+                while got < 10 {
+                    let n = comm.drain_recv(&mut inbox);
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
+                    got += n;
+                }
+                let stats = comm.stats();
+                assert_eq!(stats.packets_recv, 10);
+                assert_eq!(stats.msgs_recv, 10);
+                inbox.iter().map(|p| p.msgs.len()).sum()
+            }
+        });
+        assert_eq!(out[1], 10);
+    }
+
+    #[test]
+    fn send_to_finished_rank_is_parked_not_fatal() {
+        // Rank 1 exits immediately; rank 0's late send must not panic.
+        let world = World::new(2);
+        let out = world.run(|mut comm: Comm<u8>| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(10));
+                comm.send(1, 1);
+            }
+            comm.rank()
+        });
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! channels; this keeps algorithm state strictly rank-private while giving
 //! the same observable behaviour as the MPI calls (see DESIGN.md §2).
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Reduction operators supported by [`ControlPlane::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +62,12 @@ impl ControlPlane {
     /// combined result, and wait until everyone has read it before the
     /// next round can start. All ranks must call with the same `op`.
     pub(crate) fn collective(&self, rank: usize, val: u64, op: ReduceOp) -> (u64, Vec<u64>) {
-        let mut g = self.inner.lock();
+        let mut g = lock(&self.inner);
         // A rank may only enter while the round is in its gathering phase;
         // if the previous round is still draining (some ranks have not yet
         // read the result), wait for it to complete.
         while g.departed != 0 {
-            self.cv.wait(&mut g);
+            g = wait(&self.cv, g);
         }
         let my_round = g.round;
         g.slots[rank] = val;
@@ -85,7 +84,7 @@ impl ControlPlane {
             self.cv.notify_all();
         } else {
             while g.arrived != self.nranks && g.round == my_round {
-                self.cv.wait(&mut g);
+                g = wait(&self.cv, g);
             }
         }
         let out = (g.result, g.snapshot.clone());
@@ -104,6 +103,16 @@ impl ControlPlane {
             plane: Arc::clone(self),
         }
     }
+}
+
+/// Lock, shrugging off poisoning: a panicking rank already fails the run
+/// via its joined thread, so cascading poison panics only obscure it.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A global outstanding-work counter shared by all ranks.
@@ -182,8 +191,7 @@ mod tests {
                     s.spawn(move || {
                         let mut results = Vec::new();
                         for round in 0..200u64 {
-                            let (sum, _) =
-                                plane.collective(r, round + r as u64, ReduceOp::Sum);
+                            let (sum, _) = plane.collective(r, round + r as u64, ReduceOp::Sum);
                             results.push(sum);
                         }
                         results

@@ -12,11 +12,16 @@
 //!   asynchronous), mirroring MPI two-sided semantics.
 //! * [`Comm`] offers point-to-point sends ([`Comm::send`],
 //!   [`Comm::send_batch`]) and receives ([`Comm::try_recv`],
-//!   [`Comm::recv_timeout`]), plus collectives ([`Comm::barrier`],
-//!   [`Comm::allreduce_sum`], [`Comm::allgather_u64`]) implemented on a
-//!   shared control plane — semantically the same global operations MPI
-//!   provides, kept separate from the data plane so they cannot leak
-//!   algorithm state.
+//!   [`Comm::recv_timeout`], batched [`Comm::drain_recv`]), plus
+//!   collectives ([`Comm::barrier`], [`Comm::allreduce_sum`],
+//!   [`Comm::allgather_u64`]) implemented on a shared control plane —
+//!   semantically the same global operations MPI provides, kept separate
+//!   from the data plane so they cannot leak algorithm state.
+//! * A **packet pool** recycles send-buffer allocations between each
+//!   (sender, receiver) pair: receivers hand drained packet buffers back
+//!   via [`Comm::recycle`] and senders reuse them through
+//!   [`Comm::acquire_buffer`], so steady-state traffic runs
+//!   allocation-free. [`CommStats`] counts pool hits and misses.
 //! * [`TerminationHandle`] is a global outstanding-work counter, standing
 //!   in for the nonblocking-allreduce termination loop a production MPI
 //!   code would run (see DESIGN.md §2 for the substitution argument).
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod channel;
 mod comm;
 mod control;
 pub mod cost;

@@ -22,6 +22,12 @@ pub struct CommStats {
     pub sent_to: Vec<u64>,
     /// Logical messages received, broken down by source rank.
     pub recv_from: Vec<u64>,
+    /// Send-buffer acquisitions served from the packet pool.
+    pub pool_hits: u64,
+    /// Send-buffer acquisitions that had to allocate (pool empty).
+    pub pool_misses: u64,
+    /// Received packet buffers returned to their sender's pool.
+    pub bufs_recycled: u64,
 }
 
 impl CommStats {
@@ -63,6 +69,9 @@ impl CommStats {
         self.msgs_recv += other.msgs_recv;
         self.packets_sent += other.packets_sent;
         self.packets_recv += other.packets_recv;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.bufs_recycled += other.bufs_recycled;
         if self.sent_to.len() < other.sent_to.len() {
             self.sent_to.resize(other.sent_to.len(), 0);
             self.recv_from.resize(other.recv_from.len(), 0);

@@ -1,0 +1,141 @@
+//! Offline property-testing shim.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of the `proptest` API the workspace actually uses —
+//! `proptest!`, `prop_assert*`, `prop_assume!`, `prop_oneof!`, `any`,
+//! integer/float range strategies, tuples, `prop_map` and
+//! `prop::collection::vec`. It is wired in via a dependency rename
+//! (`proptest = { package = "pa-ptest", ... }`) so test code keeps the
+//! upstream import paths.
+//!
+//! Sampling is deterministic: each test derives its RNG stream from the test
+//! name, so failures reproduce across runs. There is no shrinking — a failing
+//! case panics with the sampled values available via `prop_assert!` messages.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop` (only `collection` is provided).
+    pub mod collection {
+        //! Strategies for collections.
+        pub use crate::strategy::vec;
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, vec as prop_vec, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Defines `#[test]` functions whose arguments are sampled from strategies.
+///
+/// Supports the upstream grammar subset:
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(arg in strategy, ...) { body } ... }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __passed < __config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < 256 * __config.cases.max(1),
+                                "{}: too many prop_assume! rejections",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -35,7 +35,8 @@ impl Xoshiro256pp {
     /// so `(seed, stream)` pairs never collide unless they are equal.
     pub fn seed_from(seed: u64, stream: u64) -> Self {
         // mix64 is a bijection; xor-with-constant keeps (s, 0) != (0, s).
-        let mixed = crate::splitmix::mix64(seed ^ crate::splitmix::mix64(stream ^ 0xA076_1D64_78BD_642F));
+        let mixed =
+            crate::splitmix::mix64(seed ^ crate::splitmix::mix64(stream ^ 0xA076_1D64_78BD_642F));
         Self::new(mixed)
     }
 
@@ -70,10 +71,7 @@ impl Rng64 for Xoshiro256pp {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

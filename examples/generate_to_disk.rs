@@ -13,7 +13,12 @@ fn main() -> std::io::Result<()> {
     let cfg = PaConfig::new(50_000, 3).with_seed(99);
     let dir = std::env::temp_dir().join("prefattach_shards");
     std::fs::create_dir_all(&dir)?;
-    println!("generating n = {}, x = {} and sharding to {}", cfg.n, cfg.x, dir.display());
+    println!(
+        "generating n = {}, x = {} and sharding to {}",
+        cfg.n,
+        cfg.x,
+        dir.display()
+    );
 
     // Generate; each RankOutput holds exactly the edges of its partition.
     let out = par::generate(&cfg, Scheme::Lcp, 8, &GenOptions::default());

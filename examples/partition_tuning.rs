@@ -42,7 +42,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["scheme", "mean load", "std/mean", "max/min", "speedup (model)"],
+            &[
+                "scheme",
+                "mean load",
+                "std/mean",
+                "max/min",
+                "speedup (model)"
+            ],
             &rows
         )
     );

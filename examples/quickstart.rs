@@ -18,7 +18,11 @@ fn main() {
 
     let out = par::generate(&cfg, Scheme::Rrp, 8, &GenOptions::default());
     let edges = out.edge_list();
-    println!("generated {} edges on {} ranks", edges.len(), out.ranks.len());
+    println!(
+        "generated {} edges on {} ranks",
+        edges.len(),
+        out.ranks.len()
+    );
 
     // The generator guarantees a simple graph with the exact edge count.
     validate::assert_valid_pa_network(cfg.n, cfg.x, &edges);

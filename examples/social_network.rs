@@ -15,7 +15,10 @@ fn main() {
     // chosen by preferential attachment (popular accounts attract more
     // followers — the rich-get-richer mechanism).
     let cfg = PaConfig::new(500_000, 5).with_seed(7);
-    println!("generating follower graph (n = {}, x = {}) ...", cfg.n, cfg.x);
+    println!(
+        "generating follower graph (n = {}, x = {}) ...",
+        cfg.n, cfg.x
+    );
     let out = par::generate(&cfg, Scheme::Rrp, 8, &GenOptions::default());
     let edges = out.edge_list();
     let n = cfg.n as usize;
@@ -73,5 +76,8 @@ fn main() {
         .map(|&v| csr.clustering_coefficient(v))
         .sum::<f64>()
         / sample.len() as f64;
-    println!("mean clustering coefficient over {} mid-degree accounts: {cc:.4}", sample.len());
+    println!(
+        "mean clustering coefficient over {} mid-degree accounts: {cc:.4}",
+        sample.len()
+    );
 }

@@ -25,15 +25,46 @@ fn repeated_single_rank_runs_are_identical_for_any_x() {
 }
 
 #[test]
-fn parallel_x_gt_1_runs_are_structurally_stable() {
-    // Message timing may reroute duplicate retries between runs, but the
-    // counts and validity never change.
+fn parallel_x_gt_1_edge_set_is_a_pure_function_of_the_seed() {
+    // In-order slot commits give every attempt the sequential generator's
+    // exact visibility, so for any x the edge set equals the sequential
+    // copy model bit-for-bit — for every rank count, every scheme, and
+    // with the hub cache on or off.
     let cfg = PaConfig::new(5_000, 4).with_seed(8);
-    let a = par::generate(&cfg, Scheme::Rrp, 6, &GenOptions::default());
-    let b = par::generate(&cfg, Scheme::Rrp, 6, &GenOptions::default());
-    assert_eq!(a.total_edges(), b.total_edges());
-    pa_graph::validate::assert_valid_pa_network(cfg.n, cfg.x, &a.edge_list());
-    pa_graph::validate::assert_valid_pa_network(cfg.n, cfg.x, &b.edge_list());
+    let reference = seq::copy_model(&cfg).canonicalized();
+    for nranks in [1usize, 2, 4, 8] {
+        for scheme in Scheme::ALL {
+            for (label, opts) in [
+                ("hub on", GenOptions::default()),
+                ("hub off", GenOptions::default().without_hub_cache()),
+            ] {
+                let out = par::generate(&cfg, scheme, nranks, &opts);
+                assert_eq!(
+                    out.edge_list().canonicalized(),
+                    reference,
+                    "x=4 must be bit-identical: P={nranks} {scheme} ({label})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hub_cache_size_never_changes_the_network() {
+    // Sweep cache sizes from empty through full replication: the cache
+    // only short-circuits request/resolved round trips with already
+    // committed values, so the output must be untouched.
+    let cfg = PaConfig::new(4_000, 3).with_seed(19);
+    let reference = seq::copy_model(&cfg).canonicalized();
+    for hub_nodes in [0u64, 1, 64, 1_000, 4_000] {
+        let opts = GenOptions::default().with_hub_cache(hub_nodes);
+        let out = par::generate(&cfg, Scheme::Ucp, 4, &opts);
+        assert_eq!(
+            out.edge_list().canonicalized(),
+            reference,
+            "hub_cache_nodes = {hub_nodes}"
+        );
+    }
 }
 
 #[test]

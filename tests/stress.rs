@@ -20,6 +20,7 @@ fn randomized_option_sweep_keeps_graphs_valid() {
         let opts = GenOptions {
             buffer_capacity: 1 + rng.gen_below(64) as usize,
             service_interval: 1 + rng.gen_below(128) as usize,
+            ..GenOptions::default()
         };
         let scheme = Scheme::ALL[rng.gen_below(3) as usize];
         let cfg = PaConfig::new(n, x).with_seed(trial);
@@ -41,6 +42,7 @@ fn fully_unbuffered_oversubscribed_world() {
     let opts = GenOptions {
         buffer_capacity: 1,
         service_interval: 1,
+        ..GenOptions::default()
     };
     let out = par::generate(&cfg, Scheme::Rrp, 16, &opts);
     assert_valid_pa_network(cfg.n, cfg.x, &out.edge_list());
@@ -58,6 +60,7 @@ fn heavily_oversubscribed_x1_is_still_exact() {
         &GenOptions {
             buffer_capacity: 2,
             service_interval: 3,
+            ..GenOptions::default()
         },
     );
     assert_eq!(
@@ -84,6 +87,7 @@ fn repeated_runs_under_chaos_agree_for_x1() {
     let opts = GenOptions {
         buffer_capacity: 3,
         service_interval: 2,
+        ..GenOptions::default()
     };
     let reference = par::generate_x1(&cfg, Scheme::Rrp, 9, &opts)
         .edge_list()
@@ -98,10 +102,7 @@ fn repeated_runs_under_chaos_agree_for_x1() {
 
 #[test]
 fn extension_generators_survive_oversubscription() {
-    let er = pa_core::er::generate_par(
-        &pa_core::er::ErConfig::new(3_000, 0.003).with_seed(2),
-        24,
-    );
+    let er = pa_core::er::generate_par(&pa_core::er::ErConfig::new(3_000, 0.003).with_seed(2), 24);
     assert!(pa_graph::validate::check_simple(3_000, &er).is_empty());
 
     let cl_cfg = pa_core::cl::ClConfig::new(pa_core::cl::power_law_weights(3_000, 3.0, 3.0), 2);
