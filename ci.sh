@@ -12,7 +12,25 @@ cargo test -q --workspace
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> pagen streaming smoke run"
+# Stream a small network to disk and check the file holds exactly the
+# edge count the run reported (16 bytes per binary edge).
+smoke_out="$(mktemp /tmp/pagen_smoke_XXXXXX.bin)"
+trap 'rm -f "$smoke_out"' EXIT
+report="$(cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
+echo "    $report"
+reported_edges="$(echo "$report" | sed -n 's/.* \([0-9]\+\) edges.*/\1/p')"
+file_bytes="$(stat -c %s "$smoke_out")"
+if [ -z "$reported_edges" ] || [ "$file_bytes" -ne "$((reported_edges * 16))" ]; then
+    echo "smoke run mismatch: reported $reported_edges edges, file is $file_bytes bytes" >&2
+    exit 1
+fi
 
 echo "CI OK"

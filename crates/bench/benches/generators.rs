@@ -25,6 +25,20 @@ fn bench_model_zoo(c: &mut Criterion) {
     group.bench_function("pa_parallel_p4_hub_off", |b| {
         b.iter(|| par::generate(black_box(&pa_cfg), Scheme::Rrp, 4, &nohub_opts))
     });
+    group.bench_function("pa_streaming_count_p4", |b| {
+        // Same engine, zero-materialization path: edges fold into a
+        // per-rank counter instead of an edge vector, isolating the
+        // allocation/commit cost of materialized output.
+        b.iter(|| {
+            par::generate_streaming(
+                black_box(&pa_cfg),
+                Scheme::Rrp,
+                4,
+                &GenOptions::default(),
+                |_| par::CountSink::default(),
+            )
+        })
+    });
     group.bench_function("pa_sequential", |b| {
         b.iter(|| pa_core::seq::copy_model(black_box(&pa_cfg)))
     });

@@ -14,27 +14,35 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let format = args.str("format", "pag");
 
     let started = std::time::Instant::now();
+
+    // The PA model writing a raw edge file needs no global view of the
+    // edges, so it streams each rank straight to disk instead of
+    // materializing per-rank edge vectors (see `stream_pa_to_disk`).
+    if model == "pa" && matches!(format.as_str(), "bin" | "txt") {
+        let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
+        args.finish()?;
+        let total_edges = stream_pa_to_disk(&cfg, scheme, ranks, &opts, &path, &format)?;
+        return writeln!(
+            out,
+            "generated {model}: {} nodes, {total_edges} edges in {:.2}s -> {path} ({format}, streamed)",
+            cfg.n,
+            started.elapsed().as_secs_f64()
+        )
+        .map_err(CliError::io);
+    }
+
     let (n, shards, attrs): (u64, Vec<EdgeList>, Vec<(String, String)>) = match model.as_str() {
         "pa" => {
-            let n = args.u64("n", 100_000)?;
-            let x = args.u64("x", 4)?;
-            let p = args.f64("p", 0.5)?;
-            let ranks = args.u64("ranks", 4)? as usize;
-            let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
-            if ranks == 0 {
-                return Err(CliError::usage("--ranks must be positive"));
-            }
-            let cfg = validated(n, x, p, seed)?;
-            let opts = parse_gen_options(args)?;
+            let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
             let result = par::generate(&cfg, scheme, ranks, &opts);
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
             (
-                n,
+                cfg.n,
                 shards,
                 vec![
                     ("model".into(), "preferential-attachment".into()),
-                    ("x".into(), x.to_string()),
-                    ("p".into(), p.to_string()),
+                    ("x".into(), cfg.x.to_string()),
+                    ("p".into(), cfg.p.to_string()),
                     ("scheme".into(), scheme.to_string()),
                     ("ranks".into(), ranks.to_string()),
                 ],
@@ -144,6 +152,101 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         started.elapsed().as_secs_f64()
     )
     .map_err(CliError::io)
+}
+
+/// Parse the `pa` model's parameters: config, scheme, rank count, knobs.
+fn parse_pa_params(
+    args: &Args,
+    seed: u64,
+) -> Result<(PaConfig, Scheme, usize, GenOptions), CliError> {
+    let n = args.u64("n", 100_000)?;
+    let x = args.u64("x", 4)?;
+    let p = args.f64("p", 0.5)?;
+    let ranks = args.u64("ranks", 4)? as usize;
+    let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
+    if ranks == 0 {
+        return Err(CliError::usage("--ranks must be positive"));
+    }
+    let cfg = validated(n, x, p, seed)?;
+    let opts = parse_gen_options(args)?;
+    if let Some(hub) = opts.hub_cache_nodes {
+        if hub > n {
+            return Err(CliError::usage(format!(
+                "--hub-cache {hub} exceeds n = {n} (use auto or off)"
+            )));
+        }
+    }
+    Ok((cfg, scheme, ranks, opts))
+}
+
+/// Stream a PA network to `path` without ever materializing the edges:
+/// each rank writes its own `{path}.part{rank}` through a chunked
+/// [`par::StreamingWriterSink`], and the parts are concatenated in rank
+/// order afterwards. Peak resident memory is the engines' `O(n/P)` slot
+/// state plus one write chunk per rank, regardless of edge count.
+///
+/// Returns the total number of edges written.
+fn stream_pa_to_disk(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    ranks: usize,
+    opts: &GenOptions,
+    path: &str,
+    format: &str,
+) -> Result<u64, CliError> {
+    let edge_format = match format {
+        "bin" => io::EdgeFormat::Binary,
+        "txt" => io::EdgeFormat::Text,
+        other => unreachable!("stream_pa_to_disk called with format {other:?}"),
+    };
+    let part_path = |rank: usize| format!("{path}.part{rank}");
+
+    // Pre-create the per-rank files so creation errors surface before any
+    // rank spawns; each rank thread then takes its own handle.
+    let mut files = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let f = std::fs::File::create(part_path(rank)).map_err(CliError::io)?;
+        files.push(std::sync::Mutex::new(Some(f)));
+    }
+
+    let outputs = par::generate_streaming(cfg, scheme, ranks, opts, |rank| {
+        let f = files[rank]
+            .lock()
+            .expect("file handoff poisoned")
+            .take()
+            .expect("sink built twice for one rank");
+        par::StreamingWriterSink::new(f, edge_format)
+    });
+
+    let cleanup = |err: CliError| {
+        for rank in 0..ranks {
+            let _ = std::fs::remove_file(part_path(rank));
+        }
+        err
+    };
+
+    let mut total_edges = 0u64;
+    for o in outputs {
+        total_edges += o.sink.finish().map_err(|e| cleanup(CliError::io(e)))?;
+    }
+
+    // Concatenate the parts in rank order into the final file.
+    let merged = std::fs::File::create(path).map_err(|e| cleanup(CliError::io(e)))?;
+    let mut merged = std::io::BufWriter::new(merged);
+    for rank in 0..ranks {
+        let mut part =
+            std::fs::File::open(part_path(rank)).map_err(|e| cleanup(CliError::io(e)))?;
+        std::io::copy(&mut part, &mut merged).map_err(|e| cleanup(CliError::io(e)))?;
+    }
+    merged
+        .into_inner()
+        .map_err(|e| cleanup(CliError::io(e.into_error())))?
+        .sync_all()
+        .map_err(|e| cleanup(CliError::io(e)))?;
+    for rank in 0..ranks {
+        std::fs::remove_file(part_path(rank)).map_err(CliError::io)?;
+    }
+    Ok(total_edges)
 }
 
 /// Engine tuning knobs shared by the `pa` model: buffering, service

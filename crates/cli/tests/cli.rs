@@ -59,6 +59,49 @@ fn generate_binary_and_text_formats() {
 }
 
 #[test]
+fn streamed_binary_output_matches_materialized_run() {
+    // pa + bin routes through the streaming writer: the file must hold
+    // exactly the edge set a materialized run produces, the reported
+    // count must match the file size, and no part files may remain.
+    let bin = tmp("streamed.bin");
+    let pag = tmp("streamed.pag");
+    let common = [
+        "--model", "pa", "--n", "3000", "--x", "3", "--ranks", "4", "--scheme", "rrp", "--seed",
+        "11",
+    ];
+    let mut gen_bin: Vec<&str> = vec!["generate"];
+    gen_bin.extend_from_slice(&common);
+    gen_bin.extend_from_slice(&["--out", &bin, "--format", "bin"]);
+    let msg = exec(&gen_bin).unwrap();
+    assert!(msg.contains("streamed"), "{msg}");
+
+    let mut gen_pag: Vec<&str> = vec!["generate"];
+    gen_pag.extend_from_slice(&common);
+    gen_pag.extend_from_slice(&["--out", &pag, "--format", "pag"]);
+    exec(&gen_pag).unwrap();
+
+    let streamed = pa_graph::io::read_binary_file(&bin).unwrap();
+    let (_, shards) = pa_graph::container::read_file(&pag).unwrap();
+    let materialized = pa_graph::EdgeList::concat(shards);
+    assert_eq!(streamed.canonicalized(), materialized.canonicalized());
+
+    let file_len = std::fs::metadata(&bin).unwrap().len();
+    assert_eq!(file_len, streamed.len() as u64 * 16);
+    let reported = msg
+        .split_whitespace()
+        .find_map(|w| w.parse::<u64>().ok().filter(|&e| e > 3000))
+        .unwrap();
+    assert_eq!(reported, streamed.len() as u64);
+
+    for rank in 0..4 {
+        assert!(
+            !std::path::Path::new(&format!("{bin}.part{rank}")).exists(),
+            "part file {rank} left behind"
+        );
+    }
+}
+
+#[test]
 fn all_models_generate() {
     for (model, extra) in [
         ("er", vec!["--p", "0.002"]),

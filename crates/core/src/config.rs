@@ -152,7 +152,11 @@ impl GenOptions {
     ///
     /// Panics if any knob that must be positive is zero.
     pub fn validate(&self) {
-        assert!(self.buffer_capacity > 0, "buffer_capacity must be positive");
+        assert!(
+            self.buffer_capacity > 0,
+            "buffer_capacity must be positive (1 disables aggregation; \
+             0 would make every flush a no-op and the run could not send)"
+        );
         assert!(
             self.service_interval > 0,
             "service_interval must be positive"
@@ -165,6 +169,31 @@ impl GenOptions {
             self.idle_flush_interval > 0,
             "idle_flush_interval must be positive"
         );
+    }
+
+    /// Validate option values against a concrete run of `n` nodes.
+    ///
+    /// Everything [`GenOptions::validate`] checks, plus the knobs whose
+    /// legal range depends on the network size. The generate entry points
+    /// call this so misconfigurations fail before any rank spawns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a positive knob is zero, or if an *explicit*
+    /// `hub_cache_nodes` exceeds `n` (there are only `n` nodes to cache;
+    /// asking for more is a unit mix-up — e.g. passing a slot count where
+    /// a node count is expected. The `None` default is capped at `n`
+    /// silently instead).
+    pub fn validate_for(&self, n: u64) {
+        self.validate();
+        if let Some(hub) = self.hub_cache_nodes {
+            assert!(
+                hub <= n,
+                "hub_cache_nodes = {hub} exceeds the network size n = {n}; \
+                 the hub cache replicates low-label *nodes*, so at most n make sense \
+                 (use None to auto-size, or Some(0) to disable)"
+            );
+        }
     }
 }
 
@@ -239,5 +268,41 @@ mod tests {
             ..GenOptions::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_capacity must be positive")]
+    fn zero_buffer_capacity_panics() {
+        GenOptions {
+            buffer_capacity: 0,
+            ..GenOptions::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the network size")]
+    fn hub_cache_larger_than_n_panics() {
+        GenOptions::default().with_hub_cache(101).validate_for(100);
+    }
+
+    #[test]
+    fn validate_for_accepts_boundary_and_default_hub_sizes() {
+        // Explicit cache of exactly n nodes is legal ...
+        GenOptions::default().with_hub_cache(100).validate_for(100);
+        // ... as are the disabled cache and the auto-sized default, even
+        // when the default exceeds n (it caps silently).
+        GenOptions::default().without_hub_cache().validate_for(100);
+        GenOptions::default().validate_for(DEFAULT_HUB_CACHE_NODES / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_capacity must be positive")]
+    fn validate_for_also_checks_size_independent_knobs() {
+        GenOptions {
+            buffer_capacity: 0,
+            ..GenOptions::default()
+        }
+        .validate_for(100);
     }
 }

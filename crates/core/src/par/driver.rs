@@ -1,0 +1,202 @@
+//! The unified engine driver.
+//!
+//! Algorithms 3.1 and 3.2 are one message-driven state machine: sweep the
+//! rank's nodes in ascending order, service incoming traffic every few
+//! nodes, flush `resolved` buffers promptly (§3.5.2), park on an empty
+//! queue instead of spinning, and loop until the global outstanding-work
+//! detector reports quiescence. PR-1 carried that loop twice — once per
+//! engine, copy-pasted and hard-wired to the concrete `pa_mpsim::Comm`.
+//!
+//! [`run`] is that loop written once, generic over
+//!
+//! * the [`Transport`] carrying the messages (threaded world, loopback,
+//!   eventually a real MPI binding), and
+//! * a [`Strategy`] supplying the algorithm-specific state machine: the
+//!   `x = 1` two-field message path ([`super::engine1`]) and the general
+//!   in-order-slots path ([`super::engine2`]) are thin impls.
+//!
+//! The loop structure — and with it the determinism argument (in-order
+//! slot commits giving every attempt the sequential generator's exact
+//! visibility) — therefore lives in exactly one place.
+
+use pa_mpsim::{BufferedComm, Packet, Transport};
+
+use crate::partition::Partition;
+use crate::{GenOptions, Node};
+
+/// The driver's communication bundle, handed to every [`Strategy`] hook.
+///
+/// Owns the two outgoing message buffers of §3.5 (requests and
+/// resolutions, with their distinct flush disciplines) and the
+/// termination handle; borrows the transport.
+pub(super) struct Net<'t, M, T: Transport<M>> {
+    pub comm: &'t mut T,
+    req: BufferedComm<M>,
+    res: BufferedComm<M>,
+    term: pa_mpsim::TerminationHandle,
+}
+
+impl<'t, M: Send, T: Transport<M>> Net<'t, M, T> {
+    /// Queue a `request`-class message for `dest` (flushed at sweep end).
+    #[inline]
+    pub fn send_req(&mut self, dest: usize, msg: M) {
+        self.req.push(&mut *self.comm, dest, msg);
+    }
+
+    /// Queue a `resolved`-class message for `dest` (flushed after every
+    /// processed batch — the §3.5.2 no-linger rule).
+    #[inline]
+    pub fn send_res(&mut self, dest: usize, msg: M) {
+        self.res.push(&mut *self.comm, dest, msg);
+    }
+
+    /// Mark `n` units of outstanding work resolved.
+    #[inline]
+    pub fn complete(&self, n: u64) {
+        self.term.complete(n);
+    }
+
+    fn flush_res(&mut self) {
+        self.res.flush_all(&mut *self.comm);
+    }
+
+    fn flush_all(&mut self) {
+        self.req.flush_all(&mut *self.comm);
+        self.res.flush_all(&mut *self.comm);
+    }
+}
+
+/// The algorithm-specific half of an engine; [`run`] supplies the loop.
+///
+/// Hook order per rank: [`Strategy::register`] (seed edges + pending-slot
+/// count) → barrier → [`Strategy::attach_seed_node`] (the deterministic
+/// first attachment) → sweep ([`Strategy::start_node`] +
+/// [`Strategy::drain_local`] per node) → completion loop
+/// ([`Strategy::handle_msgs`] on traffic) → [`Strategy::finish`].
+pub(super) trait Strategy {
+    /// The wire message type of this algorithm.
+    type Msg: Send + 'static;
+
+    /// Emit this rank's deterministic seed edges (the clique rows it
+    /// owns) and return the number of *pending slots* to register with
+    /// the termination detector.
+    fn register(&mut self) -> u64;
+
+    /// Commit the deterministic first attaching node (node `x`) if this
+    /// rank owns it. Runs after the registration barrier, so completions
+    /// are never observed before every rank has added its work.
+    fn attach_seed_node<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>);
+
+    /// Drive node `t` as far as it goes without remote answers.
+    fn start_node<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>, t: Node);
+
+    /// Cascade locally produced resolutions until quiescent.
+    fn drain_local<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>);
+
+    /// Process one received batch of messages (drain `msgs`).
+    fn handle_msgs<T: Transport<Self::Msg>>(
+        &mut self,
+        net: &mut Net<'_, Self::Msg, T>,
+        src: usize,
+        msgs: &mut Vec<Self::Msg>,
+    );
+
+    /// Post-termination invariant checks (debug assertions).
+    fn finish(&mut self) {}
+}
+
+/// Run `algo` to global quiescence on this rank; returns it with every
+/// local slot committed and every waiter drained.
+pub(super) fn run<P, T, A>(part: &P, x: u64, opts: &GenOptions, comm: &mut T, mut algo: A) -> A
+where
+    P: Partition,
+    T: Transport<A::Msg>,
+    A: Strategy,
+{
+    let rank = comm.rank();
+    let mut net = Net {
+        req: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+        res: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
+        term: comm.termination(),
+        comm,
+    };
+
+    // --- Initialization: seed edges and slot registration. ---
+    let pending = algo.register();
+    net.term.add(pending);
+    // No rank may observe the counter before everyone registered.
+    net.comm.barrier();
+    algo.attach_seed_node(&mut net);
+
+    // --- Generation sweep over local nodes in ascending order. ---
+    let mut rxq: Vec<Packet<A::Msg>> = Vec::new();
+    let mut since_service = 0usize;
+    for t in part.nodes_of(rank).filter(|&t| t > x) {
+        algo.start_node(&mut net, t);
+        algo.drain_local(&mut net);
+        since_service += 1;
+        if since_service >= opts.service_interval {
+            since_service = 0;
+            service(&mut algo, &mut net, &mut rxq);
+            // §3.5.2: resolved messages must not linger in buffers.
+            net.flush_res();
+            // Let other ranks advance their sweeps: on an oversubscribed
+            // host this keeps per-rank progress in lockstep, as it would
+            // be with one core per rank.
+            std::thread::yield_now();
+        }
+    }
+    // End-of-sweep flush: requests may now wait for nobody.
+    net.flush_all();
+
+    // --- Completion loop: service traffic until global quiescence. ---
+    // Iterations that made progress flush immediately; quiescent ranks
+    // only re-scan their buffers every `idle_flush_interval` waits, and
+    // park on the transport instead of spinning (see the Transport
+    // receive contract).
+    let mut idle_iters = 0usize;
+    while !net.term.is_done() {
+        if service(&mut algo, &mut net, &mut rxq) {
+            idle_iters = 0;
+            net.flush_all();
+        } else if !net.term.is_done() {
+            idle_iters += 1;
+            if idle_iters >= opts.idle_flush_interval {
+                idle_iters = 0;
+                net.flush_all();
+            }
+            if let Some(pkt) = net.comm.recv_timeout(opts.idle_wait) {
+                idle_iters = 0;
+                let mut msgs = pkt.msgs;
+                algo.handle_msgs(&mut net, pkt.src, &mut msgs);
+                net.comm.recycle(pkt.src, msgs);
+                algo.drain_local(&mut net);
+                net.flush_all();
+            }
+        }
+    }
+    // Requests and resolved messages are always flushed before the slot
+    // they belong to can commit, so termination implies both are gone
+    // (only untracked hub broadcasts may remain buffered; with every slot
+    // committed everywhere they carry no information — drop them).
+    debug_assert_eq!(net.req.pending_total(), 0);
+    algo.finish();
+    algo
+}
+
+/// Drain all currently pending packets in one batched receive; returns
+/// whether any arrived. Packet buffers go back to their senders' pools.
+fn service<T, A>(algo: &mut A, net: &mut Net<'_, A::Msg, T>, rxq: &mut Vec<Packet<A::Msg>>) -> bool
+where
+    T: Transport<A::Msg>,
+    A: Strategy,
+{
+    net.comm.drain_recv(rxq);
+    let any = !rxq.is_empty();
+    for mut pkt in rxq.drain(..) {
+        algo.handle_msgs(net, pkt.src, &mut pkt.msgs);
+        net.comm.recycle(pkt.src, pkt.msgs);
+        algo.drain_local(net);
+    }
+    any
+}

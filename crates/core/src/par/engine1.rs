@@ -1,23 +1,26 @@
-//! The `x = 1` parallel engine — Algorithm 3.1, exactly as the paper
-//! states it.
+//! The `x = 1` strategy — Algorithm 3.1, exactly as the paper states it.
 //!
-//! Structurally a simplification of the general engine: one attachment
+//! Structurally a simplification of the general strategy: one attachment
 //! slot per node, no duplicate checks (a single edge cannot collide), and
 //! the two-field message types `⟨request, t, k⟩` / `⟨resolved, t, v⟩`.
 //! Because no retries exist, the generated edge set is a pure function of
 //! the seed — bit-identical for every rank count and partitioning scheme
 //! — which the test suite exploits heavily.
+//!
+//! The service/flush/park/termination loop lives in [`super::driver`];
+//! this module only supplies the per-node state machine.
 
 use std::collections::VecDeque;
 
-use pa_graph::EdgeList;
-use pa_mpsim::{BufferedComm, Comm, Packet, TerminationHandle};
+use pa_mpsim::Transport;
 
+use super::driver::{Net, Strategy};
 use super::msg::Msg1;
-use super::output::{EngineCounters, RankOutput};
+use super::output::EngineCounters;
+use super::sink::EdgeSink;
 use super::waiters::{Taken, WaiterTable};
 use crate::partition::Partition;
-use crate::{GenOptions, Node, PaConfig, NILL};
+use crate::{Node, PaConfig, NILL};
 
 #[derive(Debug, Clone, Copy)]
 enum Waiter {
@@ -25,7 +28,7 @@ enum Waiter {
     Remote { t: Node, src: usize },
 }
 
-pub(super) struct Engine1<'a, P: Partition> {
+pub(super) struct X1<'a, P: Partition, S: EdgeSink> {
     cfg: &'a PaConfig,
     part: &'a P,
     rank: usize,
@@ -33,115 +36,91 @@ pub(super) struct Engine1<'a, P: Partition> {
     f: Vec<Node>,
     waiters: WaiterTable<Waiter>,
     local_events: VecDeque<(Node, Node)>,
-    /// Reusable scratch for batched packet receives.
-    rxq: Vec<Packet<Msg1>>,
-    req_buf: BufferedComm<Msg1>,
-    res_buf: BufferedComm<Msg1>,
-    term: TerminationHandle,
-    edges: EdgeList,
+    edges: S,
     counters: EngineCounters,
 }
 
-impl<'a, P: Partition> Engine1<'a, P> {
-    pub(super) fn run(
-        cfg: &'a PaConfig,
-        part: &'a P,
-        opts: &GenOptions,
-        comm: &mut Comm<Msg1>,
-    ) -> RankOutput {
+impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
+    pub(super) fn new(cfg: &'a PaConfig, part: &'a P, rank: usize, sink: S) -> Self {
         assert_eq!(cfg.x, 1, "Algorithm 3.1 requires x = 1");
-        let rank = comm.rank();
         let size = part.size_of(rank) as usize;
-        let mut engine = Engine1 {
+        X1 {
             cfg,
             part,
             rank,
             f: vec![NILL; size],
             waiters: WaiterTable::new(size),
             local_events: VecDeque::new(),
-            rxq: Vec::new(),
-            req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
-            res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
-            term: comm.termination(),
-            edges: EdgeList::with_capacity(size),
+            edges: sink,
             counters: EngineCounters {
                 nodes: size as u64,
                 ..Default::default()
             },
-        };
-        engine.generate(comm, opts);
-        RankOutput {
-            rank,
-            edges: engine.edges,
-            counters: engine.counters,
-            comm: comm.stats().clone(),
         }
     }
 
-    fn generate(&mut self, comm: &mut Comm<Msg1>, opts: &GenOptions) {
+    /// The sink and counters, after [`super::driver::run`] returns.
+    pub(super) fn into_parts(self) -> (S, EngineCounters) {
+        (self.edges, self.counters)
+    }
+
+    #[inline]
+    fn note_waiter_high_water(&mut self) {
+        self.counters.max_queued_waiters = self.counters.max_queued_waiters.max(self.waiters.len());
+    }
+
+    /// Set `F_t = v`, emit the edge and notify waiters (lines 16–19).
+    fn commit<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>, t: Node, v: Node) {
+        let slot = self.part.local_index(t) as usize;
+        debug_assert_eq!(self.f[slot], NILL);
+        self.f[slot] = v;
+        self.edges.emit(t, v);
+        net.complete(1);
+        match self.waiters.take(slot) {
+            Taken::None => {}
+            Taken::One(w) => self.notify(net, w, v),
+            Taken::Many(list) => {
+                for &w in &list {
+                    self.notify(net, w, v);
+                }
+                self.waiters.recycle(list);
+            }
+        }
+    }
+
+    #[inline]
+    fn notify<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>, w: Waiter, v: Node) {
+        match w {
+            Waiter::Remote { t, src } => {
+                net.send_res(src, Msg1::Resolved { t, v });
+            }
+            Waiter::Local { t } => self.local_events.push_back((t, v)),
+        }
+    }
+}
+
+impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
+    type Msg = Msg1;
+
+    fn register(&mut self) -> u64 {
         // Node 0 contributes no slot; every other local node one.
         let seeds_here = u64::from(self.part.rank_of(0) == self.rank);
-        self.term.add(self.part.size_of(self.rank) - seeds_here);
-        comm.barrier();
+        self.part.size_of(self.rank) - seeds_here
+    }
 
+    fn attach_seed_node<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>) {
         // Node 1 attaches to node 0 (the x = 1 boundary case).
         if self.part.num_nodes() > 1 && self.part.rank_of(1) == self.rank {
-            self.commit(comm, 1, 0);
+            self.commit(net, 1, 0);
         }
-
-        let mut since_service = 0usize;
-        let part = self.part;
-        for t in part.nodes_of(self.rank).filter(|&t| t > 1) {
-            self.start_node(comm, t);
-            self.drain_local(comm);
-            since_service += 1;
-            if since_service >= opts.service_interval {
-                since_service = 0;
-                self.service(comm);
-                self.res_buf.flush_all(comm);
-                // Keep per-rank sweep progress in lockstep when ranks
-                // share cores (see engine2).
-                std::thread::yield_now();
-            }
-        }
-        self.req_buf.flush_all(comm);
-        self.res_buf.flush_all(comm);
-
-        // Completion loop; flush policy as in engine2: progress flushes
-        // immediately, idle iterations only every `idle_flush_interval`.
-        let mut idle_iters = 0usize;
-        while !self.term.is_done() {
-            if self.service(comm) {
-                idle_iters = 0;
-                self.req_buf.flush_all(comm);
-                self.res_buf.flush_all(comm);
-            } else if !self.term.is_done() {
-                idle_iters += 1;
-                if idle_iters >= opts.idle_flush_interval {
-                    idle_iters = 0;
-                    self.req_buf.flush_all(comm);
-                    self.res_buf.flush_all(comm);
-                }
-                if let Some(pkt) = comm.recv_timeout(opts.idle_wait) {
-                    idle_iters = 0;
-                    let mut msgs = pkt.msgs;
-                    self.handle_msgs(comm, pkt.src, &mut msgs);
-                    comm.recycle(pkt.src, msgs);
-                    self.drain_local(comm);
-                    self.req_buf.flush_all(comm);
-                    self.res_buf.flush_all(comm);
-                }
-            }
-        }
-        debug_assert!(self.waiters.is_empty());
     }
 
     /// Algorithm 3.1 lines 3–9 for node `t`.
-    fn start_node(&mut self, comm: &mut Comm<Msg1>, t: Node) {
+    fn start_node<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>, t: Node) {
         let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, 1, t, 0, 0);
         if c.direct {
             self.counters.direct_edges += 1;
-            self.commit(comm, t, c.k);
+            self.commit(net, t, c.k);
             return;
         }
         let owner = self.part.rank_of(c.k);
@@ -155,56 +134,27 @@ impl<'a, P: Partition> Engine1<'a, P> {
             } else {
                 self.counters.local_immediate += 1;
                 self.counters.copy_edges += 1;
-                self.commit(comm, t, fk);
+                self.commit(net, t, fk);
             }
         } else {
             self.counters.requests_sent += 1;
-            self.req_buf.push(comm, owner, Msg1::Request { t, k: c.k });
+            net.send_req(owner, Msg1::Request { t, k: c.k });
         }
     }
 
-    #[inline]
-    fn note_waiter_high_water(&mut self) {
-        self.counters.max_queued_waiters = self.counters.max_queued_waiters.max(self.waiters.len());
-    }
-
-    /// Set `F_t = v`, emit the edge and notify waiters (lines 16–19).
-    fn commit(&mut self, comm: &mut Comm<Msg1>, t: Node, v: Node) {
-        let slot = self.part.local_index(t) as usize;
-        debug_assert_eq!(self.f[slot], NILL);
-        self.f[slot] = v;
-        self.edges.push(t, v);
-        self.term.complete(1);
-        match self.waiters.take(slot) {
-            Taken::None => {}
-            Taken::One(w) => self.notify(comm, w, v),
-            Taken::Many(list) => {
-                for &w in &list {
-                    self.notify(comm, w, v);
-                }
-                self.waiters.recycle(list);
-            }
-        }
-    }
-
-    #[inline]
-    fn notify(&mut self, comm: &mut Comm<Msg1>, w: Waiter, v: Node) {
-        match w {
-            Waiter::Remote { t, src } => {
-                self.res_buf.push(comm, src, Msg1::Resolved { t, v });
-            }
-            Waiter::Local { t } => self.local_events.push_back((t, v)),
-        }
-    }
-
-    fn drain_local(&mut self, comm: &mut Comm<Msg1>) {
+    fn drain_local<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>) {
         while let Some((t, v)) = self.local_events.pop_front() {
             self.counters.copy_edges += 1;
-            self.commit(comm, t, v);
+            self.commit(net, t, v);
         }
     }
 
-    fn handle_msgs(&mut self, comm: &mut Comm<Msg1>, src: usize, msgs: &mut Vec<Msg1>) {
+    fn handle_msgs<T: Transport<Msg1>>(
+        &mut self,
+        net: &mut Net<'_, Msg1, T>,
+        src: usize,
+        msgs: &mut Vec<Msg1>,
+    ) {
         for msg in msgs.drain(..) {
             match msg {
                 Msg1::Request { t, k } => {
@@ -218,30 +168,19 @@ impl<'a, P: Partition> Engine1<'a, P> {
                         self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
-                        self.res_buf.push(comm, src, Msg1::Resolved { t, v: fk });
+                        net.send_res(src, Msg1::Resolved { t, v: fk });
                     }
                 }
                 Msg1::Resolved { t, v } => {
                     debug_assert_eq!(self.part.rank_of(t), self.rank);
                     self.counters.copy_edges += 1;
-                    self.commit(comm, t, v);
+                    self.commit(net, t, v);
                 }
             }
         }
     }
 
-    /// Batched receive of all pending packets; buffers go back to their
-    /// senders' pools. Returns whether any packet arrived.
-    fn service(&mut self, comm: &mut Comm<Msg1>) -> bool {
-        let mut q = std::mem::take(&mut self.rxq);
-        comm.drain_recv(&mut q);
-        let any = !q.is_empty();
-        for mut pkt in q.drain(..) {
-            self.handle_msgs(comm, pkt.src, &mut pkt.msgs);
-            comm.recycle(pkt.src, pkt.msgs);
-            self.drain_local(comm);
-        }
-        self.rxq = q;
-        any
+    fn finish(&mut self) {
+        debug_assert!(self.waiters.is_empty(), "waiters left after termination");
     }
 }

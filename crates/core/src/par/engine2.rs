@@ -1,4 +1,4 @@
-//! The general parallel engine — Algorithm 3.2 (`x ≥ 1`).
+//! The general strategy — Algorithm 3.2 (`x ≥ 1`).
 //!
 //! Every rank sweeps its own nodes in ascending order. A node's `x` edge
 //! slots are driven **in slot order**: slot `(t, e)` runs its draw/retry
@@ -24,15 +24,16 @@
 //! is untouched, and low-label lookups — the common case, by Lemma 3.4 —
 //! are absorbed by the hub cache anyway.
 //!
-//! Termination: every uncommitted slot is registered with the global
-//! outstanding-work detector; a `request` in flight always belongs to an
-//! uncommitted slot, so "outstanding = 0" implies no meaningful traffic
-//! remains and all ranks can stop (see `pa-mpsim` docs).
+//! The service/flush/park/termination loop — and the termination argument
+//! (a `request` in flight always belongs to an uncommitted slot) — lives
+//! in [`super::driver`]; this module only supplies the per-slot state
+//! machine.
 
 use std::collections::{HashMap, VecDeque};
 
-use pa_mpsim::{BufferedComm, Comm, Packet, TerminationHandle};
+use pa_mpsim::Transport;
 
+use super::driver::{Net, Strategy};
 use super::hubcache::HubCache;
 use super::msg::Msg;
 use super::output::EngineCounters;
@@ -60,10 +61,11 @@ enum SlotOutcome {
     Waiting,
 }
 
-pub(super) struct Engine<'a, P: Partition, S: EdgeSink> {
+pub(super) struct General<'a, P: Partition, S: EdgeSink> {
     cfg: &'a PaConfig,
     part: &'a P,
     rank: usize,
+    nranks: usize,
     /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
     f: Vec<Node>,
     /// Per-slot retry counters (`attempt` in the draw key).
@@ -80,39 +82,33 @@ pub(super) struct Engine<'a, P: Partition, S: EdgeSink> {
     hub_waiters: HashMap<u64, Vec<(Node, u32)>>,
     /// Locally produced resolutions awaiting processing `(t, e, v)`.
     local_events: VecDeque<(Node, u32, Node)>,
-    /// Reusable scratch for batched packet receives.
-    rxq: Vec<Packet<Msg>>,
-    req_buf: BufferedComm<Msg>,
-    res_buf: BufferedComm<Msg>,
-    term: TerminationHandle,
     edges: S,
     counters: EngineCounters,
 }
 
-impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
-    /// Run the engine on this rank, delivering every created edge to
-    /// `sink`; returns the sink and the algorithm counters.
-    pub(super) fn run(
+impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
+    pub(super) fn new(
         cfg: &'a PaConfig,
         part: &'a P,
+        rank: usize,
+        nranks: usize,
         opts: &GenOptions,
-        comm: &mut Comm<Msg>,
         sink: S,
-    ) -> (S, EngineCounters) {
-        let rank = comm.rank();
+    ) -> Self {
         let x = cfg.x;
         let size = part.size_of(rank);
         let slots = (size * x) as usize;
         // A single rank resolves everything locally; skip the replica.
-        let hub = if comm.nranks() > 1 {
+        let hub = if nranks > 1 {
             HubCache::new(cfg, opts.hub_nodes(cfg.n))
         } else {
             HubCache::disabled(cfg)
         };
-        let mut engine = Engine {
+        General {
             cfg,
             part,
             rank,
+            nranks,
             f: vec![NILL; slots],
             attempts: vec![0; slots],
             next_e: vec![0; size as usize],
@@ -120,105 +116,17 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
             hub,
             hub_waiters: HashMap::new(),
             local_events: VecDeque::new(),
-            rxq: Vec::new(),
-            req_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
-            res_buf: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
-            term: comm.termination(),
             edges: sink,
             counters: EngineCounters {
                 nodes: size,
                 ..Default::default()
             },
-        };
-        engine.generate(comm, opts);
-        (engine.edges, engine.counters)
+        }
     }
 
-    fn generate(&mut self, comm: &mut Comm<Msg>, opts: &GenOptions) {
-        let x = self.cfg.x;
-        // --- Initialization: seed clique and slot registration. ---
-        // Clique edges are emitted by the owner of their higher endpoint.
-        let local_seeds = (0..x).filter(|&v| self.part.rank_of(v) == self.rank);
-        let mut seeds_here = 0u64;
-        for i in local_seeds {
-            seeds_here += 1;
-            for j in 0..i {
-                self.edges.emit(i, j);
-            }
-        }
-        // Every local node t >= x owns x yet-uncommitted slots.
-        let pending_slots = (self.part.size_of(self.rank) - seeds_here) * x;
-        self.term.add(pending_slots);
-        // No rank may observe the counter before everyone registered.
-        comm.barrier();
-
-        // Node x attaches deterministically to all seed nodes.
-        if self.part.num_nodes() > x && self.part.rank_of(x) == self.rank {
-            for e in 0..x {
-                self.commit(comm, x, e as u32, e);
-            }
-        }
-
-        // --- Generation sweep over local nodes in ascending order. ---
-        let mut since_service = 0usize;
-        let part = self.part;
-        for t in part.nodes_of(self.rank).filter(|&t| t > x) {
-            self.advance_node(comm, t);
-            self.drain_local(comm);
-            since_service += 1;
-            if since_service >= opts.service_interval {
-                since_service = 0;
-                self.service(comm);
-                // §3.5.2: resolved messages must not linger in buffers.
-                self.res_buf.flush_all(comm);
-                // Let other ranks advance their sweeps: on an
-                // oversubscribed host this keeps the per-rank progress in
-                // lockstep, as it would be with one core per rank.
-                std::thread::yield_now();
-            }
-        }
-        // End-of-sweep flush: requests may now wait for nobody.
-        self.req_buf.flush_all(comm);
-        self.res_buf.flush_all(comm);
-
-        // --- Completion loop: service traffic until global quiescence. ---
-        // Iterations that made progress flush immediately; quiescent ranks
-        // only re-scan their buffers every `idle_flush_interval` waits.
-        let mut idle_iters = 0usize;
-        while !self.term.is_done() {
-            if self.service(comm) {
-                idle_iters = 0;
-                self.req_buf.flush_all(comm);
-                self.res_buf.flush_all(comm);
-            } else if !self.term.is_done() {
-                idle_iters += 1;
-                if idle_iters >= opts.idle_flush_interval {
-                    idle_iters = 0;
-                    self.req_buf.flush_all(comm);
-                    self.res_buf.flush_all(comm);
-                }
-                if let Some(pkt) = comm.recv_timeout(opts.idle_wait) {
-                    idle_iters = 0;
-                    let mut msgs = pkt.msgs;
-                    self.handle_msgs(comm, pkt.src, &mut msgs);
-                    comm.recycle(pkt.src, msgs);
-                    self.drain_local(comm);
-                    self.req_buf.flush_all(comm);
-                    self.res_buf.flush_all(comm);
-                }
-            }
-        }
-        // Requests and resolved messages are always flushed before the
-        // slot they belong to can commit, so termination implies both are
-        // gone; only hub broadcasts (not tracked by the termination
-        // counter) may remain buffered, and with every slot committed
-        // everywhere they carry no information — drop them.
-        debug_assert_eq!(self.req_buf.pending_total(), 0);
-        debug_assert!(self.waiters.is_empty(), "waiters left after termination");
-        debug_assert!(
-            self.hub_waiters.is_empty(),
-            "hub waiters left after termination"
-        );
+    /// The sink and counters, after [`super::driver::run`] returns.
+    pub(super) fn into_parts(self) -> (S, EngineCounters) {
+        (self.edges, self.counters)
     }
 
     /// Slot index of `(t, e)` on this rank.
@@ -236,11 +144,11 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
 
     /// Drive node `t` forward: run each slot from `next_e` in order until
     /// one parks (local wait or remote request) or the node completes.
-    fn advance_node(&mut self, comm: &mut Comm<Msg>, t: Node) {
+    fn advance_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node) {
         let li = self.part.local_index(t) as usize;
         while self.next_e[li] < self.cfg.x as u32 {
             let e = self.next_e[li];
-            if self.try_slot(comm, t, e) == SlotOutcome::Waiting {
+            if self.try_slot(net, t, e) == SlotOutcome::Waiting {
                 return;
             }
         }
@@ -248,7 +156,12 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
 
     /// The attempt loop for the *current* slot `(t, e)` (Alg. 3.2 lines
     /// 5–15, under the in-order discipline).
-    fn try_slot(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32) -> SlotOutcome {
+    fn try_slot<T: Transport<Msg>>(
+        &mut self,
+        net: &mut Net<'_, Msg, T>,
+        t: Node,
+        e: u32,
+    ) -> SlotOutcome {
         let x = self.cfg.x;
         loop {
             let slot = self.slot(t, e);
@@ -294,8 +207,7 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
                 } else {
                     // Alg. 3.2 line 14: ask the owner of k.
                     self.counters.requests_sent += 1;
-                    self.req_buf.push(
-                        comm,
+                    net.send_req(
                         owner,
                         Msg::Request {
                             t,
@@ -316,7 +228,7 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
             } else {
                 self.counters.copy_edges += 1;
             }
-            self.commit(comm, t, e, v);
+            self.commit(net, t, e, v);
             return SlotOutcome::Committed;
         }
     }
@@ -328,7 +240,7 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
 
     /// Record `F_t(e) = v`, emit the edge, broadcast hub commits, and
     /// notify waiters.
-    fn commit(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
+    fn commit<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node, e: u32, v: Node) {
         let slot = self.slot(t, e);
         let li = self.part.local_index(t) as usize;
         debug_assert_eq!(self.f[slot], NILL, "double commit of ({t},{e})");
@@ -337,22 +249,22 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         self.f[slot] = v;
         self.next_e[li] = e + 1;
         self.edges.emit(t, v);
-        self.term.complete(1);
+        net.complete(1);
         // Replicate committed hub slots to every other rank (node x's row
         // is pre-seeded in every cache, so it needs no traffic).
         if t > self.cfg.x && self.hub.covers(t) {
-            for dest in 0..comm.nranks() {
+            for dest in 0..self.nranks {
                 if dest != self.rank {
-                    self.res_buf.push(comm, dest, Msg::Hub { k: t, l: e, v });
+                    net.send_res(dest, Msg::Hub { k: t, l: e, v });
                 }
             }
         }
         match self.waiters.take(slot) {
             Taken::None => {}
-            Taken::One(w) => self.notify(comm, w, v),
+            Taken::One(w) => self.notify(net, w, v),
             Taken::Many(list) => {
                 for &w in &list {
-                    self.notify(comm, w, v);
+                    self.notify(net, w, v);
                 }
                 self.waiters.recycle(list);
             }
@@ -360,10 +272,10 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
     }
 
     #[inline]
-    fn notify(&mut self, comm: &mut Comm<Msg>, w: Waiter, v: Node) {
+    fn notify<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, w: Waiter, v: Node) {
         match w {
             Waiter::Remote { t, e, src } => {
-                self.res_buf.push(comm, src, Msg::Resolved { t, e, v });
+                net.send_res(src, Msg::Resolved { t, e, v });
             }
             Waiter::Local { t, e } => {
                 self.local_events.push_back((t, e, v));
@@ -373,7 +285,13 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
 
     /// A resolution for the current slot `(t, e)`: commit unless duplicate
     /// (Alg. 3.2 lines 21–29), then push the node onward.
-    fn handle_resolved(&mut self, comm: &mut Comm<Msg>, t: Node, e: u32, v: Node) {
+    fn handle_resolved<T: Transport<Msg>>(
+        &mut self,
+        net: &mut Net<'_, Msg, T>,
+        t: Node,
+        e: u32,
+        v: Node,
+    ) {
         debug_assert_eq!(
             self.next_e[self.part.local_index(t) as usize],
             e,
@@ -383,20 +301,57 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
             self.counters.duplicate_retries += 1;
         } else {
             self.counters.copy_edges += 1;
-            self.commit(comm, t, e, v);
+            self.commit(net, t, e, v);
         }
         // Re-enters the attempt loop on duplicate, or starts slot e+1.
-        self.advance_node(comm, t);
+        self.advance_node(net, t);
+    }
+}
+
+impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
+    type Msg = Msg;
+
+    fn register(&mut self) -> u64 {
+        let x = self.cfg.x;
+        // Clique edges are emitted by the owner of their higher endpoint.
+        let local_seeds = (0..x).filter(|&v| self.part.rank_of(v) == self.rank);
+        let mut seeds_here = 0u64;
+        for i in local_seeds {
+            seeds_here += 1;
+            for j in 0..i {
+                self.edges.emit(i, j);
+            }
+        }
+        // Every local node t >= x owns x yet-uncommitted slots.
+        (self.part.size_of(self.rank) - seeds_here) * x
     }
 
-    /// Cascade local resolutions until quiescent.
-    fn drain_local(&mut self, comm: &mut Comm<Msg>) {
-        while let Some((t, e, v)) = self.local_events.pop_front() {
-            self.handle_resolved(comm, t, e, v);
+    fn attach_seed_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>) {
+        // Node x attaches deterministically to all seed nodes.
+        let x = self.cfg.x;
+        if self.part.num_nodes() > x && self.part.rank_of(x) == self.rank {
+            for e in 0..x {
+                self.commit(net, x, e as u32, e);
+            }
         }
     }
 
-    fn handle_msgs(&mut self, comm: &mut Comm<Msg>, src: usize, msgs: &mut Vec<Msg>) {
+    fn start_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node) {
+        self.advance_node(net, t);
+    }
+
+    fn drain_local<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>) {
+        while let Some((t, e, v)) = self.local_events.pop_front() {
+            self.handle_resolved(net, t, e, v);
+        }
+    }
+
+    fn handle_msgs<T: Transport<Msg>>(
+        &mut self,
+        net: &mut Net<'_, Msg, T>,
+        src: usize,
+        msgs: &mut Vec<Msg>,
+    ) {
         for msg in msgs.drain(..) {
             match msg {
                 Msg::Request { t, e, k, l } => {
@@ -410,12 +365,12 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
                         self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
-                        self.res_buf.push(comm, src, Msg::Resolved { t, e, v: fk });
+                        net.send_res(src, Msg::Resolved { t, e, v: fk });
                     }
                 }
                 Msg::Resolved { t, e, v } => {
                     debug_assert_eq!(self.part.rank_of(t), self.rank);
-                    self.handle_resolved(comm, t, e, v);
+                    self.handle_resolved(net, t, e, v);
                 }
                 Msg::Hub { k, l, v } => {
                     self.counters.hub_updates += 1;
@@ -426,7 +381,7 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
                     {
                         for (t, e) in parked {
                             self.counters.hub_hits += 1;
-                            self.handle_resolved(comm, t, e, v);
+                            self.handle_resolved(net, t, e, v);
                         }
                     }
                 }
@@ -434,19 +389,11 @@ impl<'a, P: Partition, S: EdgeSink> Engine<'a, P, S> {
         }
     }
 
-    /// Drain all currently pending packets in one batched receive;
-    /// returns whether any arrived. Packet buffers go back to their
-    /// senders' pools.
-    fn service(&mut self, comm: &mut Comm<Msg>) -> bool {
-        let mut q = std::mem::take(&mut self.rxq);
-        comm.drain_recv(&mut q);
-        let any = !q.is_empty();
-        for mut pkt in q.drain(..) {
-            self.handle_msgs(comm, pkt.src, &mut pkt.msgs);
-            comm.recycle(pkt.src, pkt.msgs);
-            self.drain_local(comm);
-        }
-        self.rxq = q;
-        any
+    fn finish(&mut self) {
+        debug_assert!(self.waiters.is_empty(), "waiters left after termination");
+        debug_assert!(
+            self.hub_waiters.is_empty(),
+            "hub waiters left after termination"
+        );
     }
 }

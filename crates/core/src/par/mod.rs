@@ -7,12 +7,25 @@
 //!   the paper's two-field messages.
 //! * [`generate_with`] — Algorithm 3.2 over a caller-supplied
 //!   [`Partition`] (for custom layouts beyond UCP/LCP/RRP).
+//! * [`generate_streaming`] / [`generate_x1_streaming`] — the same
+//!   engines delivering every edge to a caller-built [`EdgeSink`] instead
+//!   of materializing per-rank edge lists.
 //!
-//! All of them spawn a `pa-mpsim` world of `nranks` ranks, run the engine
-//! on each, and return a [`ParallelOutput`] with per-rank edges, traffic
-//! statistics and algorithm counters.
+//! Architecturally the module is three layers:
+//!
+//! * `driver` — the single service/flush/park/termination loop shared
+//!   by both algorithms, generic over the transport and the sink;
+//! * `engine1` / `engine2` — the per-node state machines of
+//!   Algorithms 3.1 and 3.2, plugged into the driver as strategies;
+//! * [`EdgeSink`] — where edges go: materialized lists, counters, degree
+//!   folds, or streaming disk writers.
+//!
+//! Multi-rank runs spawn a `pa-mpsim` world (one thread per rank);
+//! single-rank runs execute on the calling thread over a thread-free
+//! [`pa_mpsim::LoopbackTransport`].
 
 mod degrees;
+mod driver;
 mod engine1;
 mod engine2;
 mod hubcache;
@@ -24,12 +37,85 @@ mod waiters;
 pub use degrees::{distributed_degrees, merge_degrees};
 pub use msg::{Msg, Msg1};
 pub use output::{EngineCounters, ParallelOutput, RankOutput};
-pub use sink::{CountSink, DegreeCountSink, EdgeSink};
+pub use sink::{CountSink, DegreeCountSink, EdgeSink, StreamingWriterSink};
 
 use crate::partition::{self, AnyPartition, Partition, Scheme};
 use crate::{GenOptions, PaConfig};
 use pa_graph::EdgeList;
-use pa_mpsim::{CommStats, World};
+use pa_mpsim::{CommStats, LoopbackTransport, World};
+
+/// Run the general (Alg. 3.2) strategy on every rank of `part`,
+/// collecting `(sink, counters, comm stats)` in rank order. `P = 1` runs
+/// on the calling thread over a loopback transport; larger worlds spawn
+/// one thread per rank.
+fn run_general<P, S, F>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<(S, output::EngineCounters, CommStats)>
+where
+    P: Partition,
+    S: EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    let nranks = part.nranks();
+    if nranks == 1 {
+        let mut t = LoopbackTransport::new();
+        let algo = engine2::General::new(cfg, part, 0, 1, opts, make_sink(0));
+        let (sink, counters) = driver::run(part, cfg.x, opts, &mut t, algo).into_parts();
+        vec![(sink, counters, t.into_stats())]
+    } else {
+        World::new(nranks).run(|mut comm| {
+            let rank = comm.rank();
+            let algo = engine2::General::new(cfg, part, rank, nranks, opts, make_sink(rank));
+            let (sink, counters) = driver::run(part, cfg.x, opts, &mut comm, algo).into_parts();
+            (sink, counters, comm.into_stats())
+        })
+    }
+}
+
+/// Run the `x = 1` (Alg. 3.1) strategy on every rank of `part`; same
+/// transport selection as [`run_general`].
+fn run_x1<P, S, F>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<(S, output::EngineCounters, CommStats)>
+where
+    P: Partition,
+    S: EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    let nranks = part.nranks();
+    if nranks == 1 {
+        let mut t = LoopbackTransport::new();
+        let algo = engine1::X1::new(cfg, part, 0, make_sink(0));
+        let (sink, counters) = driver::run(part, cfg.x, opts, &mut t, algo).into_parts();
+        vec![(sink, counters, t.into_stats())]
+    } else {
+        World::new(nranks).run(|mut comm| {
+            let rank = comm.rank();
+            let algo = engine1::X1::new(cfg, part, rank, make_sink(rank));
+            let (sink, counters) = driver::run(part, cfg.x, opts, &mut comm, algo).into_parts();
+            (sink, counters, comm.into_stats())
+        })
+    }
+}
+
+fn to_rank_outputs(parts: Vec<(EdgeList, output::EngineCounters, CommStats)>) -> Vec<RankOutput> {
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (edges, counters, comm))| RankOutput {
+            rank,
+            edges,
+            counters,
+            comm,
+        })
+        .collect()
+}
 
 /// Generate a PA network with Algorithm 3.2 on `nranks` ranks using one
 /// of the standard partitioning schemes.
@@ -57,28 +143,19 @@ pub fn generate(
 /// not match `cfg.n`.
 pub fn generate_with<P: Partition>(cfg: &PaConfig, part: &P, opts: &GenOptions) -> ParallelOutput {
     cfg.validate();
-    opts.validate();
+    opts.validate_for(cfg.n);
     assert_eq!(
         part.num_nodes(),
         cfg.n,
         "partition does not cover cfg.n nodes"
     );
-    let world = World::new(part.nranks());
-    let ranks = world.run(|mut comm| {
-        let rank = comm.rank();
-        let sink = EdgeList::with_capacity((part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize);
-        let (edges, counters) = engine2::Engine::run(cfg, part, opts, &mut comm, sink);
-        RankOutput {
-            rank,
-            edges,
-            counters,
-            comm: comm.into_stats(),
-        }
+    let parts = run_general(cfg, part, opts, |rank| {
+        EdgeList::with_capacity((part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize)
     });
     ParallelOutput {
         cfg: *cfg,
         scheme: None,
-        ranks,
+        ranks: to_rank_outputs(parts),
     }
 }
 
@@ -97,9 +174,26 @@ pub struct StreamRankOutput<S> {
     pub counters: EngineCounters,
 }
 
+fn to_stream_outputs<S>(
+    parts: Vec<(S, output::EngineCounters, CommStats)>,
+) -> Vec<StreamRankOutput<S>> {
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (sink, counters, comm))| StreamRankOutput {
+            rank,
+            sink,
+            counters,
+            comm,
+        })
+        .collect()
+}
+
 /// Generate with Algorithm 3.2, streaming each rank's edges into a sink
 /// built by `make_sink(rank)` instead of materializing edge lists — the
 /// "generate on the fly and analyze without disk I/O" mode of §3.2.
+/// Resident memory is the engine state plus whatever the sink keeps:
+/// `O(n/P)` slot words per rank, not `O(m)` edges.
 ///
 /// # Panics
 ///
@@ -125,23 +219,37 @@ pub fn generate_streaming<S, F>(
     make_sink: F,
 ) -> Vec<StreamRankOutput<S>>
 where
-    S: sink::EdgeSink + Send,
+    S: EdgeSink + Send,
     F: Fn(usize) -> S + Send + Sync,
 {
     cfg.validate();
-    opts.validate();
+    opts.validate_for(cfg.n);
     let part = partition::build(scheme, cfg.n, nranks);
-    let world = World::new(nranks);
-    world.run(|mut comm| {
-        let rank = comm.rank();
-        let (sink, counters) = engine2::Engine::run(cfg, &part, opts, &mut comm, make_sink(rank));
-        StreamRankOutput {
-            rank,
-            sink,
-            counters,
-            comm: comm.into_stats(),
-        }
-    })
+    to_stream_outputs(run_general(cfg, &part, opts, make_sink))
+}
+
+/// Generate with Algorithm 3.1 (requires `cfg.x == 1`), streaming each
+/// rank's edges into a sink built by `make_sink(rank)`.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, `nranks == 0`, or `cfg.x != 1`.
+pub fn generate_x1_streaming<S, F>(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<StreamRankOutput<S>>
+where
+    S: EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert_eq!(cfg.x, 1, "generate_x1 implements Algorithm 3.1 (x = 1)");
+    let part: AnyPartition = partition::build(scheme, cfg.n, nranks);
+    to_stream_outputs(run_x1(cfg, &part, opts, make_sink))
 }
 
 /// Generate with Algorithm 3.1 (requires `cfg.x == 1`).
@@ -156,15 +264,16 @@ pub fn generate_x1(
     opts: &GenOptions,
 ) -> ParallelOutput {
     cfg.validate();
-    opts.validate();
+    opts.validate_for(cfg.n);
     assert_eq!(cfg.x, 1, "generate_x1 implements Algorithm 3.1 (x = 1)");
     let part: AnyPartition = partition::build(scheme, cfg.n, nranks);
-    let world = World::new(nranks);
-    let ranks = world.run(|mut comm| engine1::Engine1::run(cfg, &part, opts, &mut comm));
+    let parts = run_x1(cfg, &part, opts, |rank| {
+        EdgeList::with_capacity(part.size_of(rank) as usize)
+    });
     ParallelOutput {
         cfg: *cfg,
         scheme: Some(scheme),
-        ranks,
+        ranks: to_rank_outputs(parts),
     }
 }
 
@@ -215,6 +324,27 @@ mod tests {
             // so even the edge *order* matches the sequential generator.
             assert_eq!(out.edge_list(), seq::copy_model(&cfg), "x = {x}");
         }
+    }
+
+    #[test]
+    fn single_rank_runs_use_the_loopback_transport() {
+        // P = 1 must not route through the threaded world: the loopback
+        // transport has exactly one rank's stats and no remote traffic.
+        let cfg = PaConfig::new(500, 2).with_seed(3);
+        let out = generate(&cfg, Scheme::Ucp, 1, &opts());
+        assert_eq!(out.ranks.len(), 1);
+        assert_eq!(out.ranks[0].comm.msgs_sent, 0);
+        assert_eq!(out.ranks[0].comm.msgs_recv, 0);
+    }
+
+    #[test]
+    fn x1_streaming_counts_match_materialized_run() {
+        let cfg = PaConfig::new(1200, 1).with_seed(7);
+        let outs = generate_x1_streaming(&cfg, Scheme::Rrp, 3, &opts(), |_| CountSink::default());
+        let total: u64 = outs.iter().map(|o| o.sink.edges).sum();
+        assert_eq!(total, cfg.expected_edges());
+        let materialized = generate_x1(&cfg, Scheme::Rrp, 3, &opts());
+        assert_eq!(materialized.total_edges() as u64, total);
     }
 
     #[test]

@@ -108,6 +108,28 @@ proptest! {
         }
     }
 
+    /// Streaming degree folds are exact: merging per-rank
+    /// [`par::DegreeCountSink`]s equals the degree sequence computed from
+    /// the materialized edge list, for arbitrary (n, x, P, scheme).
+    #[test]
+    fn degree_sink_merge_matches_materialized_degrees(
+        n in 10u64..300,
+        x in 1u64..5,
+        nranks in 1usize..7,
+        seed in any::<u64>(),
+        scheme in any_scheme(),
+    ) {
+        prop_assume!(n > x);
+        let cfg = PaConfig::new(n, x).with_seed(seed);
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4, ..GenOptions::default() };
+        let outs = par::generate_streaming(&cfg, scheme, nranks, &opts,
+            |_rank| par::DegreeCountSink::new(cfg.n));
+        let streamed = par::DegreeCountSink::merge(outs.into_iter().map(|o| o.sink));
+        let edges = par::generate(&cfg, scheme, nranks, &opts).edge_list();
+        let reference = pa_graph::degrees::degree_sequence(n as usize, &edges);
+        prop_assert_eq!(streamed, reference);
+    }
+
     /// Degree sums always satisfy the handshake lemma after generation.
     #[test]
     fn handshake_lemma(

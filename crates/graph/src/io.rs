@@ -79,6 +79,117 @@ pub fn read_binary<R: Read>(r: R) -> io::Result<EdgeList> {
     Ok(edges)
 }
 
+/// On-disk encoding of a streamed edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeFormat {
+    /// ASCII `u v` lines, readable by [`read_text`].
+    Text,
+    /// Little-endian `u64` pairs (16 bytes/edge), readable by
+    /// [`read_binary`].
+    Binary,
+}
+
+/// Number of edges [`EdgeWriter`] buffers before writing a chunk out.
+///
+/// At 16 bytes per binary edge this is a 1 MiB write unit — large enough
+/// to amortize syscalls, small enough that resident memory stays `O(1)`
+/// in the number of edges streamed through.
+pub const EDGE_WRITER_CHUNK: usize = 65_536;
+
+/// A chunk-buffered streaming edge writer.
+///
+/// The generators deliver edges one at a time from hot per-node loops, so
+/// [`EdgeWriter::push`] is infallible: edges accumulate in a fixed-size
+/// chunk, full chunks are encoded and written in one call, and the first
+/// I/O error is recorded and returned by [`EdgeWriter::finish`] (all
+/// writes after a recorded error become no-ops). Peak resident memory is
+/// one chunk, independent of how many edges pass through.
+#[derive(Debug)]
+pub struct EdgeWriter<W: Write> {
+    w: W,
+    format: EdgeFormat,
+    chunk: Vec<(Node, Node)>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> EdgeWriter<W> {
+    /// Streaming writer over `w` in the given format.
+    ///
+    /// Callers pass the raw sink (e.g. a [`File`]); chunking makes an
+    /// extra [`BufWriter`] layer unnecessary.
+    pub fn new(w: W, format: EdgeFormat) -> Self {
+        Self {
+            w,
+            format,
+            chunk: Vec::with_capacity(EDGE_WRITER_CHUNK),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Append one edge. Never fails; I/O errors surface in
+    /// [`EdgeWriter::finish`].
+    #[inline]
+    pub fn push(&mut self, u: Node, v: Node) {
+        self.chunk.push((u, v));
+        if self.chunk.len() >= EDGE_WRITER_CHUNK {
+            self.write_chunk();
+        }
+    }
+
+    /// Edges accepted so far (including any still in the chunk buffer).
+    pub fn count(&self) -> u64 {
+        self.written + self.chunk.len() as u64
+    }
+
+    /// Whether an I/O error has been recorded.
+    pub fn has_error(&self) -> bool {
+        self.error.is_some()
+    }
+
+    fn write_chunk(&mut self) {
+        if self.error.is_some() {
+            self.written += self.chunk.len() as u64;
+            self.chunk.clear();
+            return;
+        }
+        let res = match self.format {
+            EdgeFormat::Binary => {
+                let mut bytes = Vec::with_capacity(self.chunk.len() * 16);
+                for &(u, v) in &self.chunk {
+                    bytes.extend_from_slice(&u.to_le_bytes());
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                self.w.write_all(&bytes)
+            }
+            EdgeFormat::Text => {
+                let mut text = String::with_capacity(self.chunk.len() * 12);
+                for &(u, v) in &self.chunk {
+                    text.push_str(&format!("{u} {v}\n"));
+                }
+                self.w.write_all(text.as_bytes())
+            }
+        };
+        if let Err(e) = res {
+            self.error = Some(e);
+        }
+        self.written += self.chunk.len() as u64;
+        self.chunk.clear();
+    }
+
+    /// Flush the final partial chunk and the sink; returns the total edge
+    /// count, or the first error encountered anywhere in the stream.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.write_chunk();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.written)
+    }
+}
+
 /// Convenience: write a text edge list to a path.
 pub fn write_text_file<P: AsRef<Path>>(path: P, edges: &EdgeList) -> io::Result<()> {
     write_text(File::create(path)?, edges)
@@ -155,6 +266,74 @@ mod tests {
         let mut buf = Vec::new();
         write_text(&mut buf, &EdgeList::new()).unwrap();
         assert!(read_text(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn edge_writer_binary_matches_write_binary() {
+        let edges = sample();
+        let mut streamed = Vec::new();
+        let mut w = EdgeWriter::new(&mut streamed, EdgeFormat::Binary);
+        for (u, v) in edges.iter() {
+            w.push(u, v);
+        }
+        assert_eq!(w.count(), edges.len() as u64);
+        assert_eq!(w.finish().unwrap(), edges.len() as u64);
+        let mut batch = Vec::new();
+        write_binary(&mut batch, &edges).unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn edge_writer_text_matches_write_text() {
+        let edges = sample();
+        let mut streamed = Vec::new();
+        let mut w = EdgeWriter::new(&mut streamed, EdgeFormat::Text);
+        for (u, v) in edges.iter() {
+            w.push(u, v);
+        }
+        w.finish().unwrap();
+        let mut batch = Vec::new();
+        write_text(&mut batch, &edges).unwrap();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn edge_writer_crosses_chunk_boundaries() {
+        let n = EDGE_WRITER_CHUNK as u64 * 2 + 17;
+        let mut streamed = Vec::new();
+        let mut w = EdgeWriter::new(&mut streamed, EdgeFormat::Binary);
+        for i in 0..n {
+            w.push(i, i + 1);
+        }
+        assert_eq!(w.finish().unwrap(), n);
+        let back = read_binary(&streamed[..]).unwrap();
+        assert_eq!(back.len() as u64, n);
+        assert_eq!(back.as_slice()[0], (0, 1));
+        assert_eq!(back.as_slice()[n as usize - 1], (n - 1, n));
+    }
+
+    #[test]
+    fn edge_writer_reports_first_io_error() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = EdgeWriter::new(FailAfter(1), EdgeFormat::Binary);
+        for i in 0..(EDGE_WRITER_CHUNK as u64 * 3) {
+            w.push(i, i); // keeps accepting pushes after the failure
+        }
+        assert!(w.has_error());
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("disk full"));
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! §3.5.2) is expressed by the caller via [`BufferedComm::flush`] /
 //! [`BufferedComm::flush_all`].
 
-use crate::comm::Comm;
+use crate::transport::Transport;
 
-/// A buffering layer over [`Comm`], one buffer per destination rank.
+/// A buffering layer over any [`Transport`], one buffer per destination
+/// rank.
 pub struct BufferedComm<M> {
     bufs: Vec<Vec<M>>,
     capacity: usize,
@@ -48,7 +49,7 @@ impl<M: Send> BufferedComm<M> {
     /// packet pool, so steady-state buffered traffic recycles allocations
     /// between sender and receiver instead of growing the heap.
     #[inline]
-    pub fn push(&mut self, comm: &mut Comm<M>, dest: usize, msg: M) {
+    pub fn push<T: Transport<M>>(&mut self, comm: &mut T, dest: usize, msg: M) {
         if self.bufs[dest].capacity() == 0 {
             let mut pooled = comm.acquire_buffer(dest);
             pooled.reserve(self.capacity);
@@ -62,7 +63,7 @@ impl<M: Send> BufferedComm<M> {
     }
 
     /// Transfer any queued messages for `dest` immediately.
-    pub fn flush(&mut self, comm: &mut Comm<M>, dest: usize) {
+    pub fn flush<T: Transport<M>>(&mut self, comm: &mut T, dest: usize) {
         if !self.bufs[dest].is_empty() {
             let msgs = std::mem::take(&mut self.bufs[dest]);
             comm.send_batch(dest, msgs);
@@ -71,7 +72,7 @@ impl<M: Send> BufferedComm<M> {
 
     /// Transfer every non-empty buffer (end-of-sweep flush and the RRP
     /// resolved-message rule both reduce to this).
-    pub fn flush_all(&mut self, comm: &mut Comm<M>) {
+    pub fn flush_all<T: Transport<M>>(&mut self, comm: &mut T) {
         for dest in 0..self.bufs.len() {
             self.flush(comm, dest);
         }

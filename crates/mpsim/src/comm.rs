@@ -287,6 +287,82 @@ impl<M: Send> Comm<M> {
     }
 }
 
+/// `Comm` is the threaded-channel implementation of the engine-facing
+/// transport abstraction; every method delegates to the inherent one.
+impl<M: Send> crate::Transport<M> for Comm<M> {
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+
+    fn nranks(&self) -> usize {
+        Comm::nranks(self)
+    }
+
+    fn send(&mut self, dest: usize, msg: M) {
+        Comm::send(self, dest, msg)
+    }
+
+    fn send_batch(&mut self, dest: usize, msgs: Vec<M>) {
+        Comm::send_batch(self, dest, msgs)
+    }
+
+    fn acquire_buffer(&mut self, dest: usize) -> Vec<M> {
+        Comm::acquire_buffer(self, dest)
+    }
+
+    fn recycle(&mut self, src: usize, buf: Vec<M>) {
+        Comm::recycle(self, src, buf)
+    }
+
+    fn try_recv(&mut self) -> Option<Packet<M>> {
+        Comm::try_recv(self)
+    }
+
+    fn drain_recv(&mut self, out: &mut Vec<Packet<M>>) -> usize {
+        Comm::drain_recv(self, out)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Packet<M>> {
+        Comm::recv_timeout(self, timeout)
+    }
+
+    fn barrier(&self) {
+        Comm::barrier(self)
+    }
+
+    fn allreduce_sum(&self, val: u64) -> u64 {
+        Comm::allreduce_sum(self, val)
+    }
+
+    fn allreduce_max(&self, val: u64) -> u64 {
+        Comm::allreduce_max(self, val)
+    }
+
+    fn allreduce_min(&self, val: u64) -> u64 {
+        Comm::allreduce_min(self, val)
+    }
+
+    fn allgather_u64(&self, val: u64) -> Vec<u64> {
+        Comm::allgather_u64(self, val)
+    }
+
+    fn broadcast_u64(&self, root: usize, val: u64) -> u64 {
+        Comm::broadcast_u64(self, root, val)
+    }
+
+    fn exclusive_prefix_sum(&self, val: u64) -> u64 {
+        Comm::exclusive_prefix_sum(self, val)
+    }
+
+    fn termination(&self) -> crate::TerminationHandle {
+        Comm::termination(self)
+    }
+
+    fn stats(&self) -> &CommStats {
+        Comm::stats(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

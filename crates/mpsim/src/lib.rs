@@ -22,6 +22,12 @@
 //!   via [`Comm::recycle`] and senders reuse them through
 //!   [`Comm::acquire_buffer`], so steady-state traffic runs
 //!   allocation-free. [`CommStats`] counts pool hits and misses.
+//! * [`Transport`] abstracts the communicator surface the engines are
+//!   written against (see the [`transport`] module docs for the receive
+//!   contract). [`Comm`] is the threaded implementation;
+//!   [`LoopbackTransport`] is a single-rank, thread-free one used for
+//!   `P = 1` runs and deterministic unit tests; a real MPI binding would
+//!   be a third.
 //! * [`TerminationHandle`] is a global outstanding-work counter, standing
 //!   in for the nonblocking-allreduce termination loop a production MPI
 //!   code would run (see DESIGN.md §2 for the substitution argument).
@@ -69,9 +75,13 @@ mod channel;
 mod comm;
 mod control;
 pub mod cost;
+mod loopback;
 mod stats;
+pub mod transport;
 
 pub use buffer::BufferedComm;
 pub use comm::{Comm, Packet, World};
 pub use control::TerminationHandle;
+pub use loopback::LoopbackTransport;
 pub use stats::CommStats;
+pub use transport::Transport;

@@ -67,6 +67,58 @@ fn hub_cache_size_never_changes_the_network() {
     }
 }
 
+/// FNV-1a over the canonicalized edge list — the fingerprint used to
+/// snapshot the pre-unification engines' output.
+fn fnv1a(edges: &pa_graph::EdgeList) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (u, v) in edges.iter() {
+        for b in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn unified_driver_reproduces_pre_unification_oracle_hashes() {
+    // These fingerprints were captured from the PR-1 codebase, where
+    // Algorithms 3.1 and 3.2 each carried their own hand-written
+    // service/flush/park loop (engine1/engine2), before both were folded
+    // into the shared driver. Every engine, scheme and rank count agreed
+    // on them — so the unified driver must keep producing exactly these
+    // edge sets, not merely internally consistent ones.
+    const ORACLE_X1: u64 = 0xdefa6458a590e3ba;
+    const ORACLE_X4: u64 = 0x66b9ce422f65dc31;
+    let cfg1 = PaConfig::new(3_000, 1).with_seed(41);
+    let cfg4 = PaConfig::new(3_000, 4).with_seed(41);
+    assert_eq!(fnv1a(&seq::copy_model(&cfg1).canonicalized()), ORACLE_X1);
+    assert_eq!(fnv1a(&seq::copy_model(&cfg4).canonicalized()), ORACLE_X4);
+    for nranks in [1usize, 2, 8] {
+        for scheme in Scheme::ALL {
+            let opts = GenOptions::default();
+            let x1 = par::generate_x1(&cfg1, scheme, nranks, &opts);
+            assert_eq!(
+                fnv1a(&x1.edge_list().canonicalized()),
+                ORACLE_X1,
+                "x=1 path drifted from the PR-1 oracle: P={nranks} {scheme}"
+            );
+            let gen1 = par::generate(&cfg1, scheme, nranks, &opts);
+            assert_eq!(
+                fnv1a(&gen1.edge_list().canonicalized()),
+                ORACLE_X1,
+                "general path (x=1) drifted from the PR-1 oracle: P={nranks} {scheme}"
+            );
+            let gen4 = par::generate(&cfg4, scheme, nranks, &opts);
+            assert_eq!(
+                fnv1a(&gen4.edge_list().canonicalized()),
+                ORACLE_X4,
+                "general path (x=4) drifted from the PR-1 oracle: P={nranks} {scheme}"
+            );
+        }
+    }
+}
+
 #[test]
 fn sequential_generators_are_deterministic() {
     let cfg = PaConfig::new(2_000, 3).with_seed(77);
