@@ -22,7 +22,9 @@ echo "==> pagen streaming smoke run"
 # Stream a small network to disk and check the file holds exactly the
 # edge count the run reported (16 bytes per binary edge).
 smoke_out="$(mktemp /tmp/pagen_smoke_XXXXXX.bin)"
-trap 'rm -f "$smoke_out"' EXIT
+chaos_clean="$(mktemp /tmp/pagen_chaos_clean_XXXXXX.txt)"
+chaos_faulty="$(mktemp /tmp/pagen_chaos_faulty_XXXXXX.txt)"
+trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -30,6 +32,23 @@ reported_edges="$(echo "$report" | sed -n 's/.* \([0-9]\+\) edges.*/\1/p')"
 file_bytes="$(stat -c %s "$smoke_out")"
 if [ -z "$reported_edges" ] || [ "$file_bytes" -ne "$((reported_edges * 16))" ]; then
     echo "smoke run mismatch: reported $reported_edges edges, file is $file_bytes bytes" >&2
+    exit 1
+fi
+
+echo "==> pagen chaos smoke run"
+# The fault layer's headline invariant, end to end through the binary: a
+# run with aggressive fault injection must produce exactly the clean
+# run's edge set. Within-rank emission order is timing-dependent, so the
+# files are compared as sorted edge sets.
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 20000 --x 3 --ranks 4 --seed 7 --out "$chaos_clean" --format txt
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 20000 --x 3 --ranks 4 --seed 7 --out "$chaos_faulty" --format txt \
+    --chaos-profile aggressive --chaos-seed 1 --stall-timeout-ms 60000
+sort "$chaos_clean" > "$chaos_clean.sorted"
+sort "$chaos_faulty" > "$chaos_faulty.sorted"
+if ! cmp -s "$chaos_clean.sorted" "$chaos_faulty.sorted"; then
+    echo "chaos smoke mismatch: fault injection changed the edge set" >&2
     exit 1
 fi
 

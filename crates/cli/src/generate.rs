@@ -284,6 +284,25 @@ fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
             opts = opts.with_hub_cache(nodes);
         }
     }
+    let chaos_seed = args.u64("chaos-seed", 0)?;
+    match args.str("chaos-profile", "off").as_str() {
+        "off" => {}
+        "light" => opts = opts.with_fault_plan(pa_core::FaultPlan::light(chaos_seed)),
+        "aggressive" => opts = opts.with_fault_plan(pa_core::FaultPlan::aggressive(chaos_seed)),
+        other => {
+            return Err(CliError::usage(format!(
+                "--chaos-profile must be off, light or aggressive, got {other:?}"
+            )))
+        }
+    }
+    let stall_ms = args.u64("stall-timeout-ms", 0)?;
+    if stall_ms > 0 {
+        opts = opts.with_stall_timeout(std::time::Duration::from_millis(stall_ms));
+    } else if opts.fault_plan.is_some() {
+        // Chaos without a watchdog turns any injection bug into a hung
+        // process; default to a generous timeout that real runs never hit.
+        opts = opts.with_stall_timeout(std::time::Duration::from_secs(120));
+    }
     Ok(opts)
 }
 

@@ -65,6 +65,9 @@ COMMANDS:
                           --hub-cache auto|off|<nodes> (default auto)
                           --idle-wait-us <µs> (default 200)
                           --idle-flush-interval <waits> (default 16)
+               pa chaos:  --chaos-profile off|light|aggressive (default off)
+                          --chaos-seed <u64> (default 0)
+                          --stall-timeout-ms <ms> (default: off; 120000 under chaos)
                er:   --p is the edge probability
                ws:   --x is half the lattice degree, --p the rewiring beta
                cl:   --gamma <exponent> (default 2.8), --x the mean degree

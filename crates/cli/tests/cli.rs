@@ -272,6 +272,64 @@ fn hub_cache_flag_accepts_off_and_rejects_garbage() {
 }
 
 #[test]
+fn chaos_profile_does_not_change_the_network() {
+    // The acceptance invariant of the fault layer, end to end through the
+    // CLI: a chaos run writes exactly the edges of the clean run.
+    let clean = tmp("chaos_clean.pag");
+    let chaos = tmp("chaos_faulty.pag");
+    exec(&[
+        "generate", "--model", "pa", "--n", "3000", "--x", "3", "--seed", "29", "--ranks", "4",
+        "--out", &clean,
+    ])
+    .unwrap();
+    exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "3000",
+        "--x",
+        "3",
+        "--seed",
+        "29",
+        "--ranks",
+        "4",
+        "--chaos-profile",
+        "aggressive",
+        "--chaos-seed",
+        "5",
+        "--stall-timeout-ms",
+        "60000",
+        "--out",
+        &chaos,
+    ])
+    .unwrap();
+    let (_, sa) = pa_graph::container::read_file(&clean).unwrap();
+    let (_, sb) = pa_graph::container::read_file(&chaos).unwrap();
+    assert_eq!(
+        pa_graph::EdgeList::concat(sa).canonicalized(),
+        pa_graph::EdgeList::concat(sb).canonicalized()
+    );
+}
+
+#[test]
+fn chaos_profile_rejects_garbage() {
+    let err = exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "1000",
+        "--chaos-profile",
+        "catastrophic",
+        "--out",
+        &tmp("chaosbad.pag"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--chaos-profile"), "{err}");
+}
+
+#[test]
 fn zero_valued_tuning_flags_are_rejected() {
     for flag in [
         "--buffer-cap",

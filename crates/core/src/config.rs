@@ -86,7 +86,10 @@ impl PaConfig {
 pub const DEFAULT_HUB_CACHE_NODES: u64 = 4096;
 
 /// Tuning knobs for the parallel engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// (`Eq` is not derived: [`GenOptions::fault_plan`] carries the fault
+/// schedule's `f64` probabilities.)
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenOptions {
     /// Message-buffer capacity per destination (the paper's message
     /// aggregation, §3.5). 1 disables buffering: every logical message is
@@ -110,6 +113,18 @@ pub struct GenOptions {
     /// flush). Larger values spare quiescent ranks the per-iteration
     /// flush scan.
     pub idle_flush_interval: usize,
+    /// Seeded fault-injection schedule. When set, every rank's transport
+    /// is wrapped in a [`pa_mpsim::FaultTransport`] that delays,
+    /// reorders, duplicates and drops-with-recovery packets according to
+    /// the plan — the generated edge set must not change (the chaos
+    /// suite's invariant). `None` runs on the clean transport.
+    pub fault_plan: Option<pa_mpsim::FaultPlan>,
+    /// Stall watchdog: if the global outstanding-work counter stops
+    /// moving for this long while work remains, every rank dumps its
+    /// progress state (comm stats, outstanding count, waiter depths) and
+    /// panics instead of hanging. `None` disables the watchdog (the
+    /// default — clean transports cannot stall).
+    pub stall_timeout: Option<std::time::Duration>,
 }
 
 impl Default for GenOptions {
@@ -120,6 +135,8 @@ impl Default for GenOptions {
             hub_cache_nodes: None,
             idle_wait: std::time::Duration::from_micros(200),
             idle_flush_interval: 16,
+            fault_plan: None,
+            stall_timeout: None,
         }
     }
 }
@@ -137,6 +154,22 @@ impl GenOptions {
     #[must_use]
     pub fn without_hub_cache(self) -> Self {
         self.with_hub_cache(0)
+    }
+
+    /// Run every rank's traffic through a fault-injecting transport
+    /// driven by `plan` (see [`pa_mpsim::FaultTransport`]).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: pa_mpsim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Arm the stall watchdog: panic with a progress report if no global
+    /// progress happens for `timeout` while work remains.
+    #[must_use]
+    pub fn with_stall_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
     }
 
     /// Effective hub-cache size in nodes for an `n`-node run.
@@ -169,6 +202,15 @@ impl GenOptions {
             self.idle_flush_interval > 0,
             "idle_flush_interval must be positive"
         );
+        if let Some(plan) = &self.fault_plan {
+            plan.validate();
+        }
+        if let Some(timeout) = self.stall_timeout {
+            assert!(
+                !timeout.is_zero(),
+                "stall_timeout must be positive (a zero timeout fires immediately)"
+            );
+        }
     }
 
     /// Validate option values against a concrete run of `n` nodes.
@@ -258,6 +300,39 @@ mod tests {
         assert_eq!(opts.hub_nodes(100), 100, "capped at n");
         assert_eq!(opts.with_hub_cache(64).hub_nodes(1_000_000), 64);
         assert_eq!(opts.without_hub_cache().hub_nodes(1_000_000), 0);
+    }
+
+    #[test]
+    fn fault_plan_and_stall_timeout_builders() {
+        let plan = pa_mpsim::FaultPlan::light(7);
+        let opts = GenOptions::default()
+            .with_fault_plan(plan)
+            .with_stall_timeout(std::time::Duration::from_secs(5));
+        assert_eq!(opts.fault_plan, Some(plan));
+        assert_eq!(opts.stall_timeout, Some(std::time::Duration::from_secs(5)));
+        opts.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn invalid_fault_plan_rejected_by_validate() {
+        let plan = pa_mpsim::FaultPlan {
+            p_drop: 2.0,
+            ..pa_mpsim::FaultPlan::none(0)
+        };
+        GenOptions {
+            fault_plan: Some(plan),
+            ..GenOptions::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "stall_timeout must be positive")]
+    fn zero_stall_timeout_panics() {
+        GenOptions::default()
+            .with_stall_timeout(std::time::Duration::ZERO)
+            .validate();
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub mod ws;
 
 pub use config::{GenOptions, PaConfig, DEFAULT_HUB_CACHE_NODES};
 
+/// The fault-injection schedule consumed by [`GenOptions::fault_plan`]
+/// (re-exported from `pa-mpsim` so callers configuring chaos runs don't
+/// need a direct dependency).
+pub use pa_mpsim::FaultPlan;
+
 /// A node identifier (re-exported from `pa-graph`).
 pub type Node = pa_graph::Node;
 

@@ -103,6 +103,12 @@ pub(super) trait Strategy {
 
     /// Post-termination invariant checks (debug assertions).
     fn finish(&mut self) {}
+
+    /// One-line progress summary (uncommitted slots, waiter-table depths)
+    /// for the stall watchdog's report.
+    fn stall_report(&self) -> String {
+        String::new()
+    }
 }
 
 /// Run `algo` to global quiescence on this rank; returns it with every
@@ -154,11 +160,24 @@ where
     // only re-scan their buffers every `idle_flush_interval` waits, and
     // park on the transport instead of spinning (see the Transport
     // receive contract).
+    //
+    // The stall watchdog measures *global* progress through the shared
+    // outstanding-work counter: as long as any rank commits slots the
+    // counter moves and every rank's timer resets, so only a genuinely
+    // wedged world (e.g. a message lost by an unreliable transport with
+    // recovery off) trips it — and then it trips on every rank, which is
+    // what lets the scoped world join instead of hanging.
+    let mut watchdog = opts
+        .stall_timeout
+        .map(|limit| (std::time::Instant::now(), net.term.outstanding(), limit));
     let mut idle_iters = 0usize;
     while !net.term.is_done() {
         if service(&mut algo, &mut net, &mut rxq) {
             idle_iters = 0;
             net.flush_all();
+            if let Some((last_progress, _, _)) = &mut watchdog {
+                *last_progress = std::time::Instant::now();
+            }
         } else if !net.term.is_done() {
             idle_iters += 1;
             if idle_iters >= opts.idle_flush_interval {
@@ -172,6 +191,33 @@ where
                 net.comm.recycle(pkt.src, msgs);
                 algo.drain_local(&mut net);
                 net.flush_all();
+                if let Some((last_progress, _, _)) = &mut watchdog {
+                    *last_progress = std::time::Instant::now();
+                }
+            } else if let Some((last_progress, last_outstanding, limit)) = &mut watchdog {
+                let outstanding = net.term.outstanding();
+                if outstanding != *last_outstanding {
+                    *last_outstanding = outstanding;
+                    *last_progress = std::time::Instant::now();
+                } else if last_progress.elapsed() >= *limit {
+                    let stats = net.comm.stats();
+                    eprintln!(
+                        "stall watchdog: rank {rank} made no progress for {limit:?}; \
+                         outstanding={outstanding} {} msgs_sent={} msgs_recv={} \
+                         faults_injected={} retransmitted={} deduped={}",
+                        algo.stall_report(),
+                        stats.msgs_sent,
+                        stats.msgs_recv,
+                        stats.faults_injected,
+                        stats.retransmitted,
+                        stats.deduped,
+                    );
+                    panic!(
+                        "stall watchdog fired on rank {rank}: no progress for {limit:?} \
+                         (outstanding work = {outstanding}; {})",
+                        algo.stall_report()
+                    );
+                }
             }
         }
     }

@@ -173,8 +173,20 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
                 }
                 Msg1::Resolved { t, v } => {
                     debug_assert_eq!(self.part.rank_of(t), self.rank);
-                    self.counters.copy_edges += 1;
-                    self.commit(net, t, v);
+                    // Idempotence under faulty delivery: a duplicated
+                    // `resolved` must not commit (and decrement the
+                    // termination counter) twice. With x = 1 a node has
+                    // one slot and no retries, so every answer for `t`
+                    // carries the same value — once `F_t` is set, any
+                    // further answer is a stale duplicate.
+                    let slot = self.part.local_index(t) as usize;
+                    if self.f[slot] != NILL {
+                        debug_assert_eq!(self.f[slot], v, "conflicting resolutions for {t}");
+                        self.counters.stale_resolutions += 1;
+                    } else {
+                        self.counters.copy_edges += 1;
+                        self.commit(net, t, v);
+                    }
                 }
             }
         }
@@ -182,5 +194,14 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
 
     fn finish(&mut self) {
         debug_assert!(self.waiters.is_empty(), "waiters left after termination");
+    }
+
+    fn stall_report(&self) -> String {
+        let uncommitted = self.f.iter().filter(|&&v| v == NILL).count();
+        format!(
+            "uncommitted_nodes={uncommitted} waiters={} stale_resolutions={}",
+            self.waiters.len(),
+            self.counters.stale_resolutions,
+        )
     }
 }

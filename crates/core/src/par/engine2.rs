@@ -47,8 +47,9 @@ use crate::{GenOptions, Node, PaConfig, NILL};
 enum Waiter {
     /// A slot owned by this same rank.
     Local { t: Node, e: u32 },
-    /// A slot owned by rank `src` (answer with a `resolved` message).
-    Remote { t: Node, e: u32, src: usize },
+    /// A slot owned by rank `src` (answer with a `resolved` message
+    /// echoing the request's attempt tag `a`).
+    Remote { t: Node, e: u32, a: u32, src: usize },
 }
 
 /// What `try_slot` did with the current slot.
@@ -205,7 +206,9 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
                         }
                     }
                 } else {
-                    // Alg. 3.2 line 14: ask the owner of k.
+                    // Alg. 3.2 line 14: ask the owner of k. The attempt
+                    // tag comes back with the answer, so stale duplicates
+                    // of earlier answers can be told apart from it.
                     self.counters.requests_sent += 1;
                     net.send_req(
                         owner,
@@ -214,6 +217,7 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
                             e,
                             k: c.k,
                             l: c.l as u32,
+                            a: attempt,
                         },
                     );
                     return SlotOutcome::Waiting;
@@ -274,8 +278,8 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
     #[inline]
     fn notify<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, w: Waiter, v: Node) {
         match w {
-            Waiter::Remote { t, e, src } => {
-                net.send_res(src, Msg::Resolved { t, e, v });
+            Waiter::Remote { t, e, a, src } => {
+                net.send_res(src, Msg::Resolved { t, e, v, a });
             }
             Waiter::Local { t, e } => {
                 self.local_events.push_back((t, e, v));
@@ -283,8 +287,45 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         }
     }
 
+    /// A `resolved` message from the wire for slot `(t, e)`, answer to the
+    /// request tagged `a`. Under faulty delivery the message can be a
+    /// duplicate, so it must be *idempotent*: answers for an
+    /// already-committed slot, and answers whose attempt tag is not the
+    /// slot's latest outstanding draw, are discarded. Without the tag
+    /// check a duplicated answer racing a duplicate-retry of the same
+    /// slot would be taken for the answer to the *re-drawn* request —
+    /// spuriously advancing the attempt counter and diverging the edge
+    /// set from the sequential generator's.
+    fn handle_resolved_msg<T: Transport<Msg>>(
+        &mut self,
+        net: &mut Net<'_, Msg, T>,
+        t: Node,
+        e: u32,
+        v: Node,
+        a: u32,
+    ) {
+        let li = self.part.local_index(t) as usize;
+        if self.next_e[li] != e {
+            // The slot already committed (and possibly its successors
+            // too): a late duplicate of an answer we consumed.
+            self.counters.stale_resolutions += 1;
+            return;
+        }
+        let slot = self.slot(t, e);
+        if a + 1 != self.attempts[slot] {
+            // Answer to a superseded draw of the current slot.
+            self.counters.stale_resolutions += 1;
+            return;
+        }
+        self.handle_resolved(net, t, e, v);
+    }
+
     /// A resolution for the current slot `(t, e)`: commit unless duplicate
-    /// (Alg. 3.2 lines 21–29), then push the node onward.
+    /// (Alg. 3.2 lines 21–29), then push the node onward. Callers must
+    /// have established that the value answers the slot's latest draw
+    /// (wire answers go through [`Self::handle_resolved_msg`]; local
+    /// events and hub wake-ups are generated at commit time for a parked
+    /// current draw, and parked slots draw nothing new until woken).
     fn handle_resolved<T: Transport<Msg>>(
         &mut self,
         net: &mut Net<'_, Msg, T>,
@@ -354,23 +395,27 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
     ) {
         for msg in msgs.drain(..) {
             match msg {
-                Msg::Request { t, e, k, l } => {
-                    // Alg. 3.2 lines 16–20.
+                Msg::Request { t, e, k, l, a } => {
+                    // Alg. 3.2 lines 16–20. A duplicated request is
+                    // harmless either way: served twice it produces two
+                    // identical answers (the second discarded as stale by
+                    // the requester), parked twice it wakes twice with
+                    // the same effect.
                     debug_assert_eq!(self.part.rank_of(k), self.rank);
                     let kslot = self.slot(k, l);
                     let fk = self.f[kslot];
                     if fk == NILL {
                         self.counters.requests_queued += 1;
-                        self.waiters.push(kslot, Waiter::Remote { t, e, src });
+                        self.waiters.push(kslot, Waiter::Remote { t, e, a, src });
                         self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
-                        net.send_res(src, Msg::Resolved { t, e, v: fk });
+                        net.send_res(src, Msg::Resolved { t, e, v: fk, a });
                     }
                 }
-                Msg::Resolved { t, e, v } => {
+                Msg::Resolved { t, e, v, a } => {
                     debug_assert_eq!(self.part.rank_of(t), self.rank);
-                    self.handle_resolved(net, t, e, v);
+                    self.handle_resolved_msg(net, t, e, v, a);
                 }
                 Msg::Hub { k, l, v } => {
                     self.counters.hub_updates += 1;
@@ -395,5 +440,19 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
             self.hub_waiters.is_empty(),
             "hub waiters left after termination"
         );
+    }
+
+    fn stall_report(&self) -> String {
+        let uncommitted = self
+            .next_e
+            .iter()
+            .filter(|&&e| u64::from(e) < self.cfg.x)
+            .count();
+        format!(
+            "uncommitted_nodes={uncommitted} waiters={} hub_waiters={} stale_resolutions={}",
+            self.waiters.len(),
+            self.hub_waiters.len(),
+            self.counters.stale_resolutions,
+        )
     }
 }

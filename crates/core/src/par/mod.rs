@@ -42,7 +42,30 @@ pub use sink::{CountSink, DegreeCountSink, EdgeSink, StreamingWriterSink};
 use crate::partition::{self, AnyPartition, Partition, Scheme};
 use crate::{GenOptions, PaConfig};
 use pa_graph::EdgeList;
-use pa_mpsim::{CommStats, LoopbackTransport, World};
+use pa_mpsim::{CommStats, FaultTransport, LoopbackTransport, Transport, World};
+
+/// Run a strategy over a transport, wrapping it in a fault-injecting
+/// decorator first when `opts.fault_plan` asks for one; returns the
+/// finished strategy and the transport's final statistics.
+fn drive<P, T, A>(part: &P, x: u64, opts: &GenOptions, mut comm: T, algo: A) -> (A, CommStats)
+where
+    P: Partition,
+    A: driver::Strategy,
+    A::Msg: Clone,
+    T: Transport<A::Msg>,
+{
+    match opts.fault_plan {
+        Some(plan) => {
+            let mut faulty = FaultTransport::new(comm, plan);
+            let algo = driver::run(part, x, opts, &mut faulty, algo);
+            (algo, faulty.into_stats())
+        }
+        None => {
+            let algo = driver::run(part, x, opts, &mut comm, algo);
+            (algo, comm.into_stats())
+        }
+    }
+}
 
 /// Run the general (Alg. 3.2) strategy on every rank of `part`,
 /// collecting `(sink, counters, comm stats)` in rank order. `P = 1` runs
@@ -61,16 +84,17 @@ where
 {
     let nranks = part.nranks();
     if nranks == 1 {
-        let mut t = LoopbackTransport::new();
         let algo = engine2::General::new(cfg, part, 0, 1, opts, make_sink(0));
-        let (sink, counters) = driver::run(part, cfg.x, opts, &mut t, algo).into_parts();
-        vec![(sink, counters, t.into_stats())]
+        let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
+        let (sink, counters) = algo.into_parts();
+        vec![(sink, counters, stats)]
     } else {
-        World::new(nranks).run(|mut comm| {
+        World::new(nranks).run(|comm| {
             let rank = comm.rank();
             let algo = engine2::General::new(cfg, part, rank, nranks, opts, make_sink(rank));
-            let (sink, counters) = driver::run(part, cfg.x, opts, &mut comm, algo).into_parts();
-            (sink, counters, comm.into_stats())
+            let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
+            let (sink, counters) = algo.into_parts();
+            (sink, counters, stats)
         })
     }
 }
@@ -90,16 +114,17 @@ where
 {
     let nranks = part.nranks();
     if nranks == 1 {
-        let mut t = LoopbackTransport::new();
         let algo = engine1::X1::new(cfg, part, 0, make_sink(0));
-        let (sink, counters) = driver::run(part, cfg.x, opts, &mut t, algo).into_parts();
-        vec![(sink, counters, t.into_stats())]
+        let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
+        let (sink, counters) = algo.into_parts();
+        vec![(sink, counters, stats)]
     } else {
-        World::new(nranks).run(|mut comm| {
+        World::new(nranks).run(|comm| {
             let rank = comm.rank();
             let algo = engine1::X1::new(cfg, part, rank, make_sink(rank));
-            let (sink, counters) = driver::run(part, cfg.x, opts, &mut comm, algo).into_parts();
-            (sink, counters, comm.into_stats())
+            let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
+            let (sink, counters) = algo.into_parts();
+            (sink, counters, stats)
         })
     }
 }

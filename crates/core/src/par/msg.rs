@@ -24,6 +24,14 @@ pub enum Msg1 {
 
 /// Messages of Algorithm 3.2 (`x ≥ 1`): requests and answers now carry
 /// the requesting edge index `e` and the requested edge index `l`.
+///
+/// Requests additionally carry the requester's *attempt* counter, echoed
+/// back verbatim in the answer. Under reliable delivery the tag is
+/// redundant; under at-least-once delivery (duplication faults) it is
+/// what restores exactly-once semantics for retried slots: a duplicated
+/// `resolved` that races a duplicate-retry of the same slot would
+/// otherwise be mistaken for the answer to the *re-drawn* request, and
+/// the edge set would diverge from the sequential generator's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Msg {
     /// `⟨request, t, e, k, l⟩` — node `t`'s edge `e` needs `F_k(l)`
@@ -37,6 +45,8 @@ pub enum Msg {
         k: Node,
         /// Which of `k`'s edges is requested.
         l: u32,
+        /// The requester's attempt counter for `(t, e)` at draw time.
+        a: u32,
     },
     /// `⟨resolved, t, e, v⟩` — `F_t(e)` may be set to `v` (line 21),
     /// subject to the duplicate check.
@@ -47,6 +57,9 @@ pub enum Msg {
         e: u32,
         /// The resolved attachment target.
         v: Node,
+        /// Echo of the request's attempt tag; answers whose tag is not
+        /// the slot's latest outstanding attempt are stale and ignored.
+        a: u32,
     },
     /// `⟨hub, k, l, v⟩` — owner broadcast of a committed hub slot:
     /// `F_k(l) = v`, for the receivers' replicated hub caches. Carries
@@ -68,15 +81,18 @@ mod tests {
 
     #[test]
     fn messages_are_small() {
-        // Traffic volume matters: keep messages within four words.
-        assert!(std::mem::size_of::<Msg>() <= 32);
+        // Traffic volume matters: the attempt tag (exactly-once retry
+        // semantics under duplication faults) costs one alignment word,
+        // so the general message is five words; `x = 1` needs no tag
+        // (single slot, no retries) and stays at three.
+        assert!(std::mem::size_of::<Msg>() <= 40);
         assert!(std::mem::size_of::<Msg1>() <= 24);
     }
 
     #[test]
     fn hub_broadcast_fits_the_packet_word_budget() {
         let m = Msg::Hub { k: 1, l: 0, v: 0 };
-        assert!(std::mem::size_of_val(&m) <= 32);
+        assert!(std::mem::size_of_val(&m) <= 40);
     }
 
     #[test]
@@ -86,6 +102,7 @@ mod tests {
             e: 1,
             k: 3,
             l: 0,
+            a: 0,
         };
         let m2 = m;
         assert_eq!(m, m2);

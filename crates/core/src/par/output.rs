@@ -44,6 +44,11 @@ pub struct EngineCounters {
     pub hub_deferred: u64,
     /// Hub broadcast entries installed into this rank's replica.
     pub hub_updates: u64,
+    /// Incoming `resolved` messages discarded as stale — duplicates of
+    /// answers already consumed, or answers to superseded draw attempts.
+    /// Always zero on a clean transport; nonzero only under fault
+    /// injection (duplication / retransmission).
+    pub stale_resolutions: u64,
 }
 
 /// Everything one rank produced.
@@ -122,6 +127,7 @@ impl ParallelOutput {
             total.hub_hits += c.hub_hits;
             total.hub_deferred += c.hub_deferred;
             total.hub_updates += c.hub_updates;
+            total.stale_resolutions += c.stale_resolutions;
         }
         total
     }

@@ -2,7 +2,7 @@
 //! invariants, and cross-engine agreement on randomized configurations.
 
 use pa_core::partition::{build, check_contract, Partition, Scheme};
-use pa_core::{chains, par, seq, GenOptions, PaConfig};
+use pa_core::{chains, par, seq, FaultPlan, GenOptions, PaConfig};
 use proptest::prelude::*;
 
 fn any_scheme() -> impl Strategy<Value = Scheme> {
@@ -128,6 +128,46 @@ proptest! {
         let edges = par::generate(&cfg, scheme, nranks, &opts).edge_list();
         let reference = pa_graph::degrees::degree_sequence(n as usize, &edges);
         prop_assert_eq!(streamed, reference);
+    }
+
+    /// Arbitrary *recovering* fault schedules never change what the model
+    /// produces: the run terminates (the 30 s stall watchdog is a safety
+    /// net, not an expectation) and the streamed degree totals account
+    /// for exactly the expected number of edges.
+    #[test]
+    fn chaos_runs_terminate_with_exact_edge_counts(
+        n in 10u64..200,
+        x in 1u64..4,
+        nranks in 2usize..7,
+        seed in any::<u64>(),
+        scheme in any_scheme(),
+        fault_seed in any::<u64>(),
+        p_delay in 0.0f64..0.15,
+        p_reorder in 0.0f64..0.10,
+        p_dup in 0.0f64..0.08,
+        p_drop in 0.0f64..0.10,
+        p_ack_loss in 0.0f64..0.05,
+    ) {
+        prop_assume!(n > x);
+        let cfg = PaConfig::new(n, x).with_seed(seed);
+        let plan = FaultPlan {
+            p_delay,
+            delay_polls: 3,
+            p_reorder,
+            p_dup,
+            dup_polls: 2,
+            p_drop,
+            p_ack_loss,
+            retransmit_polls: 4,
+            ..FaultPlan::none(fault_seed)
+        };
+        let opts = GenOptions { buffer_capacity: 8, service_interval: 4, ..GenOptions::default() }
+            .with_fault_plan(plan)
+            .with_stall_timeout(std::time::Duration::from_secs(30));
+        let outs = par::generate_streaming(&cfg, scheme, nranks, &opts,
+            |_rank| par::DegreeCountSink::new(cfg.n));
+        let streamed = par::DegreeCountSink::merge(outs.into_iter().map(|o| o.sink));
+        prop_assert_eq!(streamed.iter().sum::<u64>(), 2 * cfg.expected_edges());
     }
 
     /// Degree sums always satisfy the handshake lemma after generation.

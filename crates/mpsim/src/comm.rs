@@ -97,7 +97,13 @@ impl World {
                 })
                 .collect();
             for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("rank thread panicked"));
+                // Propagate the original payload (not a generic join
+                // error) so callers — notably stall-watchdog tests — can
+                // `catch_unwind` and inspect the rank's panic message.
+                match h.join() {
+                    Ok(v) => *slot = Some(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         results.into_iter().map(|r| r.unwrap()).collect()
@@ -360,6 +366,14 @@ impl<M: Send> crate::Transport<M> for Comm<M> {
 
     fn stats(&self) -> &CommStats {
         Comm::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
+    fn into_stats(self) -> CommStats {
+        Comm::into_stats(self)
     }
 }
 

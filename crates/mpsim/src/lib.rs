@@ -28,6 +28,12 @@
 //!   [`LoopbackTransport`] is a single-rank, thread-free one used for
 //!   `P = 1` runs and deterministic unit tests; a real MPI binding would
 //!   be a third.
+//! * [`FaultTransport`] wraps any [`Transport`] and perturbs packet
+//!   delivery — delays, cross-pair reorders, duplicates, drops — under a
+//!   seeded [`FaultPlan`], with an ack/retransmit sublayer recovering
+//!   drops so the engine surface stays oblivious (see the [`fault`]
+//!   module docs). The chaos test suite runs the generators through it to
+//!   prove their output does not depend on delivery timing.
 //! * [`TerminationHandle`] is a global outstanding-work counter, standing
 //!   in for the nonblocking-allreduce termination loop a production MPI
 //!   code would run (see DESIGN.md §2 for the substitution argument).
@@ -75,6 +81,7 @@ mod channel;
 mod comm;
 mod control;
 pub mod cost;
+pub mod fault;
 mod loopback;
 mod stats;
 pub mod transport;
@@ -82,6 +89,7 @@ pub mod transport;
 pub use buffer::BufferedComm;
 pub use comm::{Comm, Packet, World};
 pub use control::TerminationHandle;
+pub use fault::{FaultPlan, FaultTransport};
 pub use loopback::LoopbackTransport;
 pub use stats::CommStats;
 pub use transport::Transport;

@@ -155,6 +155,14 @@ impl<M> Transport<M> for LoopbackTransport<M> {
     fn stats(&self) -> &CommStats {
         &self.stats
     }
+
+    fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
+    fn into_stats(self) -> CommStats {
+        LoopbackTransport::into_stats(self)
+    }
 }
 
 #[cfg(test)]

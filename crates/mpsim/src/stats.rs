@@ -28,6 +28,15 @@ pub struct CommStats {
     pub pool_misses: u64,
     /// Received packet buffers returned to their sender's pool.
     pub bufs_recycled: u64,
+    /// Faults injected by a perturbing transport layer (delays, reorders,
+    /// duplicates, drops) — zero on a clean transport.
+    pub faults_injected: u64,
+    /// Packets re-delivered by the ack/retransmit recovery sublayer after
+    /// a simulated drop or lost acknowledgement.
+    pub retransmitted: u64,
+    /// Redundant retransmissions discarded by sequence-number
+    /// deduplication before the engine could observe them.
+    pub deduped: u64,
 }
 
 impl CommStats {
@@ -72,6 +81,9 @@ impl CommStats {
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.bufs_recycled += other.bufs_recycled;
+        self.faults_injected += other.faults_injected;
+        self.retransmitted += other.retransmitted;
+        self.deduped += other.deduped;
         if self.sent_to.len() < other.sent_to.len() {
             self.sent_to.resize(other.sent_to.len(), 0);
             self.recv_from.resize(other.recv_from.len(), 0);
@@ -117,6 +129,20 @@ mod tests {
         assert_eq!(a.packets_sent, 2);
         assert_eq!(a.msgs_recv, 2);
         assert_eq!(a.sent_to, vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_sums_fault_counters() {
+        let mut a = CommStats::new(1);
+        a.faults_injected = 3;
+        let mut b = CommStats::new(1);
+        b.faults_injected = 2;
+        b.retransmitted = 5;
+        b.deduped = 1;
+        a.merge(&b);
+        assert_eq!(a.faults_injected, 5);
+        assert_eq!(a.retransmitted, 5);
+        assert_eq!(a.deduped, 1);
     }
 
     #[test]

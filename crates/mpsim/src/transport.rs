@@ -147,4 +147,16 @@ pub trait Transport<M> {
 
     /// Snapshot of this rank's communication statistics.
     fn stats(&self) -> &CommStats;
+
+    /// Mutable access to this rank's statistics. Exists for *wrapping*
+    /// transports (e.g. [`crate::FaultTransport`]) that account layer
+    /// events — injected faults, retransmissions, deduplications — in the
+    /// same ledger as the wire traffic; engines should treat statistics
+    /// as read-only.
+    fn stats_mut(&mut self) -> &mut CommStats;
+
+    /// Consume the transport, returning its final statistics.
+    fn into_stats(self) -> CommStats
+    where
+        Self: Sized;
 }

@@ -101,6 +101,42 @@ fn repeated_runs_under_chaos_agree_for_x1() {
 }
 
 #[test]
+#[ignore = "multi-minute soak; run explicitly with --ignored"]
+fn chaos_soak_half_million_nodes_under_aggressive_faults() {
+    // The long-haul version of the chaos suite: a half-million-node run
+    // on 8 ranks with roughly half of all packets faulted. Success means
+    // (a) the watchdog never fires — the ack/retransmit sublayer kept
+    // the run live for the whole soak, (b) the streamed degree totals
+    // account for every expected edge, and (c) retransmissions happened
+    // but stayed bounded by the wire traffic (no retransmit storm).
+    let cfg = PaConfig::new(500_000, 4).with_seed(97);
+    let opts = GenOptions {
+        buffer_capacity: 256,
+        service_interval: 128,
+        ..GenOptions::default()
+    }
+    .with_fault_plan(pa_core::FaultPlan::aggressive(13))
+    .with_stall_timeout(std::time::Duration::from_secs(120));
+    let outs = par::generate_streaming(&cfg, Scheme::Rrp, 8, &opts, |_rank| {
+        par::DegreeCountSink::new(cfg.n)
+    });
+    let mut comm = pa_mpsim::CommStats::new(8);
+    for o in &outs {
+        comm.merge(&o.comm);
+    }
+    let degrees = par::DegreeCountSink::merge(outs.into_iter().map(|o| o.sink));
+    assert_eq!(degrees.iter().sum::<u64>(), 2 * cfg.expected_edges());
+    assert!(comm.faults_injected > 0, "soak injected no faults");
+    assert!(comm.retransmitted > 0, "soak recovered no drops");
+    assert!(
+        comm.retransmitted <= comm.packets_recv,
+        "retransmit storm: {} retransmissions for {} received packets",
+        comm.retransmitted,
+        comm.packets_recv
+    );
+}
+
+#[test]
 fn extension_generators_survive_oversubscription() {
     let er = pa_core::er::generate_par(&pa_core::er::ErConfig::new(3_000, 0.003).with_seed(2), 24);
     assert!(pa_graph::validate::check_simple(3_000, &er).is_empty());
