@@ -24,7 +24,10 @@ echo "==> pagen streaming smoke run"
 smoke_out="$(mktemp /tmp/pagen_smoke_XXXXXX.bin)"
 chaos_clean="$(mktemp /tmp/pagen_chaos_clean_XXXXXX.txt)"
 chaos_faulty="$(mktemp /tmp/pagen_chaos_faulty_XXXXXX.txt)"
-trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted"' EXIT
+net_multi="$(mktemp /tmp/pagen_net_multi_XXXXXX.txt)"
+net_single="$(mktemp /tmp/pagen_net_single_XXXXXX.txt)"
+trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
+    "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -49,6 +52,24 @@ sort "$chaos_clean" > "$chaos_clean.sorted"
 sort "$chaos_faulty" > "$chaos_faulty.sorted"
 if ! cmp -s "$chaos_clean.sorted" "$chaos_faulty.sorted"; then
     echo "chaos smoke mismatch: fault injection changed the edge set" >&2
+    exit 1
+fi
+
+echo "==> palaunch net smoke run"
+# The TCP backend end to end through the real binaries: a 4-process
+# localhost world must produce exactly the edge set of a same-seed
+# single-process run. Within-rank emission order over sockets depends on
+# packet interleaving, so the files are compared as sorted edge sets.
+./target/release/palaunch -p 4 --pagen ./target/release/pagen -- \
+    generate --model pa --n 20000 --x 4 --scheme lcp --seed 7 \
+    --out "$net_multi" --format txt
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 20000 --x 4 --ranks 4 --scheme lcp --seed 7 \
+    --out "$net_single" --format txt
+sort "$net_multi" > "$net_multi.sorted"
+sort "$net_single" > "$net_single.sorted"
+if ! cmp -s "$net_multi.sorted" "$net_single.sorted"; then
+    echo "net smoke mismatch: 4-process run diverged from single-process run" >&2
     exit 1
 fi
 

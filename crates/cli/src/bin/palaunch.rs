@@ -1,0 +1,12 @@
+//! `palaunch` binary: thin wrapper over [`pa_cli::launch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match pa_cli::launch::run(&argv) {
+        Ok(code) => std::process::exit(code),
+        Err(err) => {
+            eprintln!("palaunch: {}", err.message());
+            std::process::exit(2);
+        }
+    }
+}

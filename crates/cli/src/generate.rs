@@ -1,6 +1,7 @@
 //! `pagen generate` — build a network and write it to disk.
 
 use crate::args::{Args, CliError};
+use crate::stats::{MergedStats, StatsFlags};
 use pa_core::partition::Scheme;
 use pa_core::{cl, er, par, rmat, ws, GenOptions, PaConfig};
 use pa_graph::{container, io, EdgeList};
@@ -8,6 +9,16 @@ use pa_rng::Xoshiro256pp;
 use std::io::Write;
 
 pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.str("backend", "mpsim").as_str() {
+        "mpsim" => {}
+        // One rank of a multi-process TCP world (normally under palaunch).
+        "tcp" => return crate::netgen::run(args, out),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown backend {other:?} (expected mpsim or tcp)"
+            )))
+        }
+    }
     let model = args.str("model", "pa");
     let seed = args.u64("seed", 0)?;
     let path = args.str("out", "graph.pag");
@@ -20,21 +31,26 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // materializing per-rank edge vectors (see `stream_pa_to_disk`).
     if model == "pa" && matches!(format.as_str(), "bin" | "txt") {
         let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
+        let stats_flags = StatsFlags::parse(args)?;
         args.finish()?;
-        let total_edges = stream_pa_to_disk(&cfg, scheme, ranks, &opts, &path, &format)?;
-        return writeln!(
+        let (total_edges, comms) = stream_pa_to_disk(&cfg, scheme, ranks, &opts, &path, &format)?;
+        writeln!(
             out,
             "generated {model}: {} nodes, {total_edges} edges in {:.2}s -> {path} ({format}, streamed)",
             cfg.n,
             started.elapsed().as_secs_f64()
         )
-        .map_err(CliError::io);
+        .map_err(CliError::io)?;
+        return stats_flags.emit(&MergedStats::from_local(&comms), out);
     }
 
+    let mut pa_stats: Option<(StatsFlags, Vec<pa_mpsim::CommStats>)> = None;
     let (n, shards, attrs): (u64, Vec<EdgeList>, Vec<(String, String)>) = match model.as_str() {
         "pa" => {
             let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
+            let flags = StatsFlags::parse(args)?;
             let result = par::generate(&cfg, scheme, ranks, &opts);
+            pa_stats = Some((flags, result.ranks.iter().map(|r| r.comm.clone()).collect()));
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
             (
                 cfg.n,
@@ -151,7 +167,11 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "generated {model}: {n} nodes, {total_edges} edges in {:.2}s -> {path} ({format})",
         started.elapsed().as_secs_f64()
     )
-    .map_err(CliError::io)
+    .map_err(CliError::io)?;
+    if let Some((flags, comms)) = pa_stats {
+        flags.emit(&MergedStats::from_local(&comms), out)?;
+    }
+    Ok(())
 }
 
 /// Parse the `pa` model's parameters: config, scheme, rank count, knobs.
@@ -185,7 +205,8 @@ fn parse_pa_params(
 /// order afterwards. Peak resident memory is the engines' `O(n/P)` slot
 /// state plus one write chunk per rank, regardless of edge count.
 ///
-/// Returns the total number of edges written.
+/// Returns the total number of edges written plus the per-rank
+/// communication ledgers (for `--stats` / `--stats-json`).
 fn stream_pa_to_disk(
     cfg: &PaConfig,
     scheme: Scheme,
@@ -193,7 +214,7 @@ fn stream_pa_to_disk(
     opts: &GenOptions,
     path: &str,
     format: &str,
-) -> Result<u64, CliError> {
+) -> Result<(u64, Vec<pa_mpsim::CommStats>), CliError> {
     let edge_format = match format {
         "bin" => io::EdgeFormat::Binary,
         "txt" => io::EdgeFormat::Text,
@@ -226,8 +247,10 @@ fn stream_pa_to_disk(
     };
 
     let mut total_edges = 0u64;
+    let mut comms = Vec::with_capacity(outputs.len());
     for o in outputs {
         total_edges += o.sink.finish().map_err(|e| cleanup(CliError::io(e)))?;
+        comms.push(o.comm);
     }
 
     // Concatenate the parts in rank order into the final file.
@@ -246,12 +269,12 @@ fn stream_pa_to_disk(
     for rank in 0..ranks {
         std::fs::remove_file(part_path(rank)).map_err(CliError::io)?;
     }
-    Ok(total_edges)
+    Ok((total_edges, comms))
 }
 
 /// Engine tuning knobs shared by the `pa` model: buffering, service
 /// cadence, idle-wait timing, and the hub cache.
-fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
+pub(crate) fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
     let mut opts = GenOptions::default();
     opts.buffer_capacity = args.u64("buffer-cap", opts.buffer_capacity as u64)? as usize;
     if opts.buffer_capacity == 0 {
@@ -306,7 +329,7 @@ fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
     Ok(opts)
 }
 
-fn validated(n: u64, x: u64, p: f64, seed: u64) -> Result<PaConfig, CliError> {
+pub(crate) fn validated(n: u64, x: u64, p: f64, seed: u64) -> Result<PaConfig, CliError> {
     if x == 0 || n <= x {
         return Err(CliError::usage("need n > x >= 1"));
     }

@@ -1,0 +1,313 @@
+//! `palaunch` — run a `P`-process TCP world on one host.
+//!
+//! ```text
+//! palaunch -p 4 -- generate --model pa --n 100000 --x 4 --out g.bin --format bin
+//! ```
+//!
+//! The launcher allocates `P` distinct loopback ports, spawns `P`
+//! copies of `pagen` with the world description injected
+//! (`--backend tcp --rank R --world P --peers ...` appended to the
+//! user's arguments), prefixes every line of child output with
+//! `[rank R]`, and waits. The first child to fail gets the remaining
+//! children killed and the job exits nonzero naming the failed rank —
+//! a dead rank never leaves the launcher hanging.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use crate::args::CliError;
+
+/// A parsed launcher invocation.
+#[derive(Debug)]
+pub struct LaunchPlan {
+    /// Number of processes (ranks) to start.
+    pub ranks: usize,
+    /// The `pagen` binary to run (default: next to `palaunch` itself).
+    pub pagen: PathBuf,
+    /// Everything after `--`: the `pagen` command line shared by all
+    /// ranks (before the injected world flags).
+    pub child_args: Vec<String>,
+}
+
+/// Parse `palaunch` arguments: `-p`/`--ranks` and `--pagen` before a
+/// mandatory `--`, the shared `pagen` command line after it.
+///
+/// # Errors
+///
+/// Errors on unknown flags, a missing `--`, or an empty child command.
+pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
+    let mut ranks = 2usize;
+    let mut pagen: Option<PathBuf> = None;
+    let mut iter = argv.iter();
+    let child_args: Vec<String> = loop {
+        match iter.next().map(String::as_str) {
+            Some("--") => break iter.cloned().collect(),
+            Some("-p") | Some("--ranks") => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("missing value for -p/--ranks"))?;
+                ranks = v
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("-p must be an integer, got {v:?}")))?;
+            }
+            Some("--pagen") => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("missing value for --pagen"))?;
+                pagen = Some(PathBuf::from(v));
+            }
+            Some("-h") | Some("--help") => return Err(CliError::usage(usage())),
+            Some(other) => {
+                return Err(CliError::usage(format!(
+                    "unknown launcher flag {other:?}\n\n{}",
+                    usage()
+                )))
+            }
+            None => {
+                return Err(CliError::usage(format!(
+                    "missing `--` before the pagen command\n\n{}",
+                    usage()
+                )))
+            }
+        }
+    };
+    if ranks == 0 {
+        return Err(CliError::usage("-p must be at least 1"));
+    }
+    if child_args.is_empty() {
+        return Err(CliError::usage("empty pagen command after `--`"));
+    }
+    let pagen = match pagen {
+        Some(p) => p,
+        None => default_pagen()?,
+    };
+    Ok(LaunchPlan {
+        ranks,
+        pagen,
+        child_args,
+    })
+}
+
+/// `palaunch` usage text.
+pub fn usage() -> &'static str {
+    "palaunch — run a multi-process pagen world on this host
+
+USAGE:
+    palaunch [-p <ranks>] [--pagen <path>] -- <pagen args ...>
+
+    -p, --ranks <P>   number of processes to launch (default 2)
+    --pagen <path>    pagen binary (default: next to palaunch)
+
+The pagen command after `--` is run P times with
+`--backend tcp --rank R --world P --peers <allocated ports>` appended;
+child output is prefixed with [rank R]."
+}
+
+/// `pagen` sitting next to the running `palaunch` binary.
+fn default_pagen() -> Result<PathBuf, CliError> {
+    let me = std::env::current_exe().map_err(CliError::io)?;
+    let candidate = me.with_file_name(format!("pagen{}", std::env::consts::EXE_SUFFIX));
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(CliError::usage(format!(
+            "pagen not found at {} — pass --pagen <path>",
+            candidate.display()
+        )))
+    }
+}
+
+/// Allocate `n` distinct loopback `host:port` addresses by binding
+/// ephemeral listeners simultaneously and releasing them. The children
+/// re-bind the ports; the window in between is the usual localhost
+/// launcher trade-off, absorbed by the children's connect retries.
+fn allocate_ports(n: usize) -> Result<Vec<String>, CliError> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<Result<_, _>>()
+        .map_err(CliError::io)?;
+    listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect::<Result<_, _>>()
+        .map_err(CliError::io)
+}
+
+/// Forward every line of `reader` to our own stream, prefixed with the
+/// rank. Stdout and stderr each get one forwarding thread per child.
+fn prefix_lines(
+    rank: usize,
+    reader: impl std::io::Read + Send + 'static,
+    to_stderr: bool,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(reader).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if to_stderr {
+                eprintln!("[rank {rank}] {line}");
+            } else {
+                println!("[rank {rank}] {line}");
+            }
+        }
+    })
+}
+
+/// Execute a launch plan; returns the job's exit code (0 iff every rank
+/// exited 0).
+///
+/// # Errors
+///
+/// Errors when the world cannot be spawned at all; per-rank failures
+/// are reported on stderr and through the exit code instead.
+pub fn execute(plan: &LaunchPlan) -> Result<i32, CliError> {
+    let peers = allocate_ports(plan.ranks)?;
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(plan.ranks);
+    let mut forwarders = Vec::new();
+    for rank in 0..plan.ranks {
+        let mut cmd = Command::new(&plan.pagen);
+        cmd.args(&plan.child_args)
+            .arg("--backend")
+            .arg("tcp")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--world")
+            .arg(plan.ranks.to_string())
+            .arg("--peers")
+            .arg(peers.join(","))
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| {
+            // A failed spawn leaves earlier ranks running; reap them.
+            for c in children.iter_mut().flatten() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            CliError::usage(format!("spawning {} failed: {e}", plan.pagen.display()))
+        })?;
+        forwarders.push(prefix_lines(
+            rank,
+            child.stdout.take().expect("piped"),
+            false,
+        ));
+        forwarders.push(prefix_lines(
+            rank,
+            child.stderr.take().expect("piped"),
+            true,
+        ));
+        children.push(Some(child));
+    }
+
+    // Wait for all ranks; on the first failure, kill the survivors.
+    let mut exit_code = 0i32;
+    let mut failed_rank: Option<usize> = None;
+    let mut remaining = plan.ranks;
+    while remaining > 0 {
+        for rank in 0..plan.ranks {
+            let Some(child) = children[rank].as_mut() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() && failed_rank.is_none() {
+                        failed_rank = Some(rank);
+                        exit_code = status.code().unwrap_or(1);
+                        for (other, slot) in children.iter_mut().enumerate() {
+                            if other != rank {
+                                if let Some(c) = slot.as_mut() {
+                                    let _ = c.kill();
+                                }
+                            }
+                        }
+                    }
+                    children[rank] = None;
+                    remaining -= 1;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(CliError::usage(format!("waiting on rank {rank}: {e}")));
+                }
+            }
+        }
+        if remaining > 0 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    for f in forwarders {
+        let _ = f.join();
+    }
+    if let Some(rank) = failed_rank {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "palaunch: rank {rank} exited with code {exit_code}; remaining ranks killed"
+        );
+        if exit_code == 0 {
+            exit_code = 1;
+        }
+    }
+    Ok(exit_code)
+}
+
+/// Entry point for the `palaunch` binary.
+///
+/// # Errors
+///
+/// Errors on unusable arguments or an unspawnable world.
+pub fn run(argv: &[String]) -> Result<i32, CliError> {
+    let plan = parse(argv)?;
+    execute(&plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_extracts_ranks_and_child_args() {
+        let plan = parse(&argv(&[
+            "-p",
+            "4",
+            "--pagen",
+            "/bin/true",
+            "--",
+            "generate",
+            "--n",
+            "100",
+        ]))
+        .unwrap();
+        assert_eq!(plan.ranks, 4);
+        assert_eq!(plan.pagen, PathBuf::from("/bin/true"));
+        assert_eq!(plan.child_args, argv(&["generate", "--n", "100"]));
+    }
+
+    #[test]
+    fn parse_accepts_long_form() {
+        let plan = parse(&argv(&["--ranks", "3", "--pagen", "/bin/true", "--", "x"])).unwrap();
+        assert_eq!(plan.ranks, 3);
+    }
+
+    #[test]
+    fn parse_rejects_missing_separator_and_empty_command() {
+        assert!(parse(&argv(&["-p", "2"])).is_err());
+        assert!(parse(&argv(&["-p", "2", "--"])).is_err());
+        assert!(parse(&argv(&["-p", "0", "--", "x"])).is_err());
+        assert!(parse(&argv(&["--bogus", "1", "--", "x"])).is_err());
+    }
+
+    #[test]
+    fn allocate_ports_are_distinct() {
+        let ports = allocate_ports(8).unwrap();
+        let mut unique = ports.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 8, "{ports:?}");
+    }
+}

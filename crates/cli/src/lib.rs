@@ -5,10 +5,15 @@
 //! pagen analyze  --in g.pag
 //! pagen info     --in g.pag
 //! pagen chains   --n 1000000 --p 0.5
+//! palaunch -p 4 -- generate --n 1000000 --x 4 --out g.bin --format bin
 //! ```
 //!
-//! The binary is a thin wrapper over [`run`], so the whole command
-//! surface is exercised by ordinary unit and integration tests.
+//! The `pagen` binary is a thin wrapper over [`run`], and `palaunch`
+//! over [`launch::run`], so the whole command surface is exercised by
+//! ordinary unit and integration tests. `--backend tcp` turns one
+//! `pagen generate` invocation into one *rank* of a multi-process world
+//! (see `pa-net`); `palaunch` spawns and supervises such a world on the
+//! local host.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +23,9 @@ mod args;
 mod chains;
 mod generate;
 mod info;
+pub mod launch;
+mod netgen;
+mod stats;
 
 pub use args::{Args, CliError};
 
@@ -68,6 +76,12 @@ COMMANDS:
                pa chaos:  --chaos-profile off|light|aggressive (default off)
                           --chaos-seed <u64> (default 0)
                           --stall-timeout-ms <ms> (default: off; 120000 under chaos)
+               pa stats:  --stats on|off (default off)  --stats-json <path>
+               backend:   --backend mpsim|tcp (default mpsim)
+                          tcp runs this invocation as ONE rank of a
+                          multi-process world (usually via palaunch):
+                          --rank <R> --world <P> --peers host:port,...
+                          --connect-timeout-ms <ms> (default 30000)
                er:   --p is the edge probability
                ws:   --x is half the lattice degree, --p the rewiring beta
                cl:   --gamma <exponent> (default 2.8), --x the mean degree
@@ -80,5 +94,8 @@ COMMANDS:
     chains     Dependency-chain statistics (Theorem 3.3)
                --n <nodes> (default 1000000)  --p <prob> (default 0.5)
                --seed <u64> (default 0)
-    help       Show this text"
+    help       Show this text
+
+Multi-process runs: `palaunch [-p <ranks>] -- generate ...` spawns the
+world on this host and injects the tcp backend flags (see palaunch -h)."
 }

@@ -1,0 +1,149 @@
+//! `pagen generate --backend tcp` — one rank of a multi-process run.
+//!
+//! Every process runs the same command line plus its own `--rank`; the
+//! world is described by `--world` and the `--peers` table (normally
+//! injected by `palaunch`, or written by hand for multi-host runs).
+//! Each rank streams its partition's edges to `{out}.part{rank}`; after
+//! the final barrier rank 0 concatenates the parts into `{out}` in rank
+//! order — byte-identical to what a single-process streamed run of the
+//! same seed writes — and prints the one summary line. Ranks above 0
+//! print nothing on success.
+
+use std::io::Write;
+
+use pa_core::par::{self, Msg};
+use pa_core::partition;
+use pa_graph::io as gio;
+use pa_mpsim::Transport;
+use pa_net::{TcpConfig, TcpTransport};
+
+use crate::args::{Args, CliError};
+use crate::generate::{parse_gen_options, parse_scheme, validated};
+use crate::stats::{MergedStats, StatsFlags};
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = args.str("model", "pa");
+    if model != "pa" {
+        return Err(CliError::usage(format!(
+            "--backend tcp only supports --model pa, got {model:?}"
+        )));
+    }
+    let seed = args.u64("seed", 0)?;
+    let path = args.str("out", "graph.bin");
+    let format = args.str("format", "bin");
+    let edge_format = match format.as_str() {
+        "bin" => gio::EdgeFormat::Binary,
+        "txt" => gio::EdgeFormat::Text,
+        other => {
+            return Err(CliError::usage(format!(
+                "--backend tcp streams per-rank files, so --format must be bin or txt, \
+                 got {other:?}"
+            )))
+        }
+    };
+
+    // Model parameters — identical to the in-process pa path, except the
+    // rank count comes from the world description, not --ranks.
+    let n = args.u64("n", 100_000)?;
+    let x = args.u64("x", 4)?;
+    let p = args.f64("p", 0.5)?;
+    let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
+    let cfg = validated(n, x, p, seed)?;
+    let mut opts = parse_gen_options(args)?;
+    if opts.fault_plan.is_some() {
+        return Err(CliError::usage(
+            "--chaos-profile is not supported with --backend tcp \
+             (fault injection wraps in-process transports only)",
+        ));
+    }
+    if opts.stall_timeout.is_none() {
+        // A wedged (but not dead) peer must fail the run, not hang it;
+        // dead peers are detected faster by the transport itself.
+        opts = opts.with_stall_timeout(std::time::Duration::from_secs(120));
+    }
+
+    // World description.
+    let rank = args.u64("rank", u64::MAX)?;
+    let world = args.u64("world", 0)?;
+    let peers_flag = args.str_required("peers").map_err(|_| {
+        CliError::usage(
+            "--backend tcp needs --rank <R>, --world <P> and --peers <host:port,...> \
+             (hint: `palaunch -p P -- generate ...` injects all three)",
+        )
+    })?;
+    if rank == u64::MAX {
+        return Err(CliError::usage("--backend tcp needs --rank <R>"));
+    }
+    if world == 0 {
+        return Err(CliError::usage("--backend tcp needs --world <P> >= 1"));
+    }
+    let peers: Vec<String> = peers_flag.split(',').map(str::to_string).collect();
+    let connect_ms = args.u64("connect-timeout-ms", 30_000)?;
+    let stats_flags = StatsFlags::parse(args)?;
+    args.finish()?;
+
+    let rank = rank as usize;
+    let world = world as usize;
+    let mut tcp = TcpConfig::new(rank, world, peers);
+    tcp.connect_timeout = std::time::Duration::from_millis(connect_ms.max(1));
+
+    let started = std::time::Instant::now();
+    let mut t: TcpTransport<Msg> =
+        TcpTransport::connect(tcp).map_err(|e| CliError::usage(format!("rank {rank}: {e}")))?;
+
+    let part = partition::build(scheme, cfg.n, world);
+    let part_path = |r: usize| format!("{path}.part{r}");
+    let file = std::fs::File::create(part_path(rank)).map_err(CliError::io)?;
+    let sink = par::StreamingWriterSink::new(file, edge_format);
+    let (sink, _counters) = par::generate_rank_streaming(&cfg, &part, &opts, &mut t, sink);
+    let edges = sink.finish().map_err(CliError::io)?;
+
+    // Publish completion before anyone merges, then merge the ledgers.
+    // Every rank runs the same flags (palaunch injects one command
+    // line), so skipping the stats collectives is uniform.
+    t.barrier();
+    let total_edges = t.allreduce_sum(edges);
+    let merged = stats_flags
+        .wanted()
+        .then(|| MergedStats::over_transport(&t, t.stats()));
+
+    if rank == 0 {
+        // Concatenate `{out}.part{0..world}` in rank order. This needs
+        // every part visible on rank 0's filesystem — true for palaunch
+        // (one host) and for shared-filesystem clusters.
+        let merge = || -> std::io::Result<()> {
+            let merged_file = std::fs::File::create(&path)?;
+            let mut w = std::io::BufWriter::new(merged_file);
+            for r in 0..world {
+                let mut part_file = std::fs::File::open(part_path(r)).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!(
+                            "{} (rank {r}'s part not visible on rank 0 — \
+                             distributed runs need a shared filesystem to merge)",
+                            part_path(r)
+                        ),
+                    )
+                })?;
+                std::io::copy(&mut part_file, &mut w)?;
+            }
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            for r in 0..world {
+                std::fs::remove_file(part_path(r))?;
+            }
+            Ok(())
+        };
+        merge().map_err(CliError::io)?;
+        writeln!(
+            out,
+            "generated pa: {n} nodes, {total_edges} edges in {:.2}s -> {path} \
+             ({format}, tcp x {world} processes)",
+            started.elapsed().as_secs_f64()
+        )
+        .map_err(CliError::io)?;
+        if let Some(merged) = &merged {
+            stats_flags.emit(merged, out)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests of the multi-process TCP backend through the real
+//! binaries: `palaunch` supervising a world of `pagen --backend tcp`
+//! ranks, connect-failure exits, and mid-run crash diagnostics.
+
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PAGEN: &str = env!("CARGO_BIN_EXE_pagen");
+const PALAUNCH: &str = env!("CARGO_BIN_EXE_palaunch");
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("pagen_net_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+/// Bind-and-release `n` loopback addresses (same trick as palaunch).
+fn ports(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// Wait for `child` with a deadline; kill it and panic on overrun.
+fn wait_bounded(child: &mut Child, what: &str, limit: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(
+            start.elapsed() < limit,
+            "{what} still running after {limit:?} — killing it"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn read_canonical(path: &str) -> pa_graph::EdgeList {
+    pa_graph::io::read_binary_file(path)
+        .unwrap()
+        .canonicalized()
+}
+
+#[test]
+fn palaunch_matches_single_process_for_every_scheme() {
+    for scheme in ["ucp", "lcp", "rrp"] {
+        for x in ["1", "4"] {
+            let multi = tmp(&format!("multi_{scheme}_x{x}.bin"));
+            let single = tmp(&format!("single_{scheme}_x{x}.bin"));
+            let common = [
+                "generate", "--model", "pa", "--n", "20000", "--x", x, "--scheme", scheme,
+                "--seed", "13", "--format", "bin",
+            ];
+
+            let out = Command::new(PALAUNCH)
+                .args(["-p", "4", "--pagen", PAGEN, "--"])
+                .args(common)
+                .args(["--out", &multi])
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "{scheme} x{x}: palaunch failed\nstdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(stdout.contains("[rank 0] generated pa"), "{stdout}");
+
+            let out = Command::new(PAGEN)
+                .args(common)
+                .args(["--ranks", "4", "--out", &single])
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "{scheme} x{x}: single-process failed");
+
+            // Within-rank emission order over TCP depends on packet
+            // interleaving, so the files are compared as canonical edge
+            // lists — the same standard the seeded oracles use.
+            assert_eq!(
+                read_canonical(&multi),
+                read_canonical(&single),
+                "{scheme} x{x}: multi-process edge set diverged"
+            );
+            for r in 0..4 {
+                assert!(
+                    !std::path::Path::new(&format!("{multi}.part{r}")).exists(),
+                    "{scheme} x{x}: part file {r} left behind"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn palaunch_merges_stats_from_all_ranks() {
+    let out_path = tmp("stats.bin");
+    let json_path = tmp("stats.json");
+    let out = Command::new(PALAUNCH)
+        .args(["-p", "2", "--pagen", PAGEN, "--"])
+        .args([
+            "generate",
+            "--model",
+            "pa",
+            "--n",
+            "10000",
+            "--x",
+            "4",
+            "--scheme",
+            "lcp",
+            "--seed",
+            "5",
+            "--format",
+            "bin",
+            "--out",
+            &out_path,
+            "--stats",
+            "on",
+            "--stats-json",
+            &json_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[rank 0] comm stats (2 rank(s))"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("per-rank msgs"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"world\": 2"), "{json}");
+    assert!(json.contains("\"per_rank_msgs\": ["), "{json}");
+}
+
+#[test]
+fn in_process_backend_reports_stats_too() {
+    let out_path = tmp("local_stats.pag");
+    let json_path = tmp("local_stats.json");
+    let out = Command::new(PAGEN)
+        .args([
+            "generate",
+            "--model",
+            "pa",
+            "--n",
+            "5000",
+            "--x",
+            "3",
+            "--ranks",
+            "4",
+            "--out",
+            &out_path,
+            "--stats",
+            "on",
+            "--stats-json",
+            &json_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("comm stats (4 rank(s))"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"world\": 4"), "{json}");
+}
+
+#[test]
+fn connecting_to_a_dead_peer_exits_nonzero_and_names_the_rank() {
+    // Allocate an address for rank 0 but never run it; rank 1 must give
+    // up after its connect timeout with a clear diagnostic, not hang.
+    let peers = ports(2).join(",");
+    let started = Instant::now();
+    let mut child = Command::new(PAGEN)
+        .args([
+            "generate",
+            "--model",
+            "pa",
+            "--n",
+            "1000",
+            "--backend",
+            "tcp",
+            "--rank",
+            "1",
+            "--world",
+            "2",
+            "--peers",
+            &peers,
+            "--connect-timeout-ms",
+            "600",
+            "--out",
+            &tmp("dead.bin"),
+            "--format",
+            "bin",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let status = wait_bounded(&mut child, "rank 1 vs dead rank 0", Duration::from_secs(15));
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!status.success(), "expected failure, got {status:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "took {:?} to fail",
+        started.elapsed()
+    );
+    assert!(stderr.contains("rank 0"), "stderr: {stderr}");
+    assert!(stderr.contains("unreachable"), "stderr: {stderr}");
+}
+
+#[test]
+fn killing_a_rank_mid_run_fails_the_survivor_with_a_diagnostic() {
+    // A 2-rank world big enough to still be generating half a second in
+    // (a dev-profile run of this size takes multiple seconds); rank 1 is
+    // killed mid-flight and rank 0 must abort naming it, not hang.
+    let peers = ports(2).join(",");
+    let out_path = tmp("killed.bin");
+    let spawn = |rank: &str| {
+        Command::new(PAGEN)
+            .args([
+                "generate",
+                "--model",
+                "pa",
+                "--n",
+                "500000",
+                "--x",
+                "4",
+                "--scheme",
+                "lcp",
+                "--backend",
+                "tcp",
+                "--rank",
+                rank,
+                "--world",
+                "2",
+                "--peers",
+                &peers,
+                "--out",
+                &out_path,
+                "--format",
+                "bin",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap()
+    };
+    let mut rank0 = spawn("0");
+    let mut rank1 = spawn("1");
+    std::thread::sleep(Duration::from_millis(500));
+    rank1.kill().unwrap();
+    let _ = rank1.wait();
+
+    let status = wait_bounded(
+        &mut rank0,
+        "rank 0 after peer death",
+        Duration::from_secs(60),
+    );
+    let out = rank0.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!status.success(), "rank 0 ignored its peer's death");
+    assert!(
+        stderr.contains("rank 1"),
+        "diagnostic does not name the dead rank: {stderr}"
+    );
+    for r in 0..2 {
+        let _ = std::fs::remove_file(format!("{out_path}.part{r}"));
+    }
+}
+
+#[test]
+fn palaunch_kills_survivors_when_one_rank_fails() {
+    // Rank processes that fail fast (unknown flag) must take the job
+    // down: nonzero exit plus a supervisor line naming a failed rank.
+    let out = Command::new(PALAUNCH)
+        .args(["-p", "2", "--pagen", PAGEN, "--"])
+        .args(["generate", "--definitely-not-a-flag", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exited with code"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("remaining ranks killed"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn tcp_backend_rejects_incomplete_worlds_and_chaos() {
+    let run = |extra: &[&str]| {
+        let mut args = vec!["generate", "--model", "pa", "--backend", "tcp"];
+        args.extend_from_slice(extra);
+        Command::new(PAGEN).args(&args).output().unwrap()
+    };
+
+    let out = run(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--peers"), "{stderr}");
+    assert!(stderr.contains("palaunch"), "{stderr}");
+
+    let out = run(&[
+        "--rank",
+        "0",
+        "--world",
+        "2",
+        "--peers",
+        "a:1,b:2",
+        "--chaos-profile",
+        "light",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("chaos"), "{stderr}");
+}

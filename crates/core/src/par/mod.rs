@@ -277,6 +277,98 @@ where
     to_stream_outputs(run_x1(cfg, &part, opts, make_sink))
 }
 
+/// Run Algorithm 3.2 for **one rank of an external world**, over a
+/// caller-supplied [`Transport`] — the entry point for multi-*process*
+/// backends (`pa-net`'s `TcpTransport`, eventually real MPI), where each
+/// OS process executes exactly one rank and the in-process world
+/// spawning of [`generate_streaming`] does not apply.
+///
+/// The rank and world size come from the transport; the partition must
+/// cover `cfg.n` nodes across `comm.nranks()` ranks. Edges stream into
+/// `sink` exactly as in [`generate_streaming`]. The transport is
+/// borrowed, not consumed, so the caller can keep using its collectives
+/// afterwards (stats aggregation, output coordination); read the final
+/// traffic counts from [`Transport::stats`].
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, a partition/transport shape mismatch,
+/// or when `opts.fault_plan` is set (fault injection wraps a transport
+/// whole — apply it outside before calling).
+pub fn generate_rank_streaming<P, S, T>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    comm: &mut T,
+    sink: S,
+) -> (S, EngineCounters)
+where
+    P: Partition,
+    S: EdgeSink,
+    T: Transport<Msg>,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert!(
+        opts.fault_plan.is_none(),
+        "fault injection must wrap the transport before generate_rank_streaming"
+    );
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
+    assert_eq!(
+        part.nranks(),
+        comm.nranks(),
+        "partition rank count does not match the transport world"
+    );
+    let algo = engine2::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
+    let algo = driver::run(part, cfg.x, opts, comm, algo);
+    algo.into_parts()
+}
+
+/// Run Algorithm 3.1 (`cfg.x == 1`) for **one rank of an external
+/// world**; the `x = 1` counterpart of [`generate_rank_streaming`].
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, `cfg.x != 1`, a partition/transport
+/// shape mismatch, or when `opts.fault_plan` is set.
+pub fn generate_rank_x1_streaming<P, S, T>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    comm: &mut T,
+    sink: S,
+) -> (S, EngineCounters)
+where
+    P: Partition,
+    S: EdgeSink,
+    T: Transport<Msg1>,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert_eq!(cfg.x, 1, "generate_x1 implements Algorithm 3.1 (x = 1)");
+    assert!(
+        opts.fault_plan.is_none(),
+        "fault injection must wrap the transport before generate_rank_x1_streaming"
+    );
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
+    assert_eq!(
+        part.nranks(),
+        comm.nranks(),
+        "partition rank count does not match the transport world"
+    );
+    let algo = engine1::X1::new(cfg, part, comm.rank(), sink);
+    let algo = driver::run(part, cfg.x, opts, comm, algo);
+    algo.into_parts()
+}
+
 /// Generate with Algorithm 3.1 (requires `cfg.x == 1`).
 ///
 /// # Panics
@@ -461,5 +553,39 @@ mod tests {
     fn generate_x1_rejects_larger_x() {
         let cfg = PaConfig::new(10, 2);
         let _ = generate_x1(&cfg, Scheme::Ucp, 2, &opts());
+    }
+
+    #[test]
+    fn rank_entry_point_matches_sequential_on_loopback() {
+        let cfg = PaConfig::new(1500, 2).with_seed(13);
+        let part = partition::build(Scheme::Ucp, cfg.n, 1);
+        let mut t = LoopbackTransport::new();
+        let (edges, counters) =
+            generate_rank_streaming(&cfg, &part, &opts(), &mut t, EdgeList::new());
+        assert_eq!(edges, seq::copy_model(&cfg));
+        assert_eq!(counters.nodes, cfg.n);
+    }
+
+    #[test]
+    fn rank_entry_points_match_world_runs() {
+        // Driving each rank of a threaded world through the external-rank
+        // entry points must reproduce the internally spawned run exactly —
+        // this is the API contract the multi-process TCP backend builds on.
+        let cfg = PaConfig::new(2000, 4).with_seed(21);
+        let reference = seq::copy_model(&cfg).canonicalized();
+        let part = partition::build(Scheme::Rrp, cfg.n, 3);
+        let shards = World::new(3).run(|mut comm| {
+            generate_rank_streaming(&cfg, &part, &opts(), &mut comm, EdgeList::new()).0
+        });
+        let merged = EdgeList::concat(shards).canonicalized();
+        assert_eq!(merged, reference);
+
+        let cfg1 = PaConfig::new(2000, 1).with_seed(21);
+        let reference1 = seq::copy_model(&cfg1).canonicalized();
+        let part1 = partition::build(Scheme::Lcp, cfg1.n, 3);
+        let shards1 = World::new(3).run(|mut comm| {
+            generate_rank_x1_streaming(&cfg1, &part1, &opts(), &mut comm, EdgeList::new()).0
+        });
+        assert_eq!(EdgeList::concat(shards1).canonicalized(), reference1);
     }
 }

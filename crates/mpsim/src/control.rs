@@ -99,9 +99,26 @@ impl ControlPlane {
     }
 
     pub(crate) fn termination(self: &Arc<Self>) -> TerminationHandle {
-        TerminationHandle {
-            plane: Arc::clone(self),
-        }
+        TerminationHandle::from_backend(Arc::clone(self) as Arc<dyn TerminationBackend>)
+    }
+}
+
+impl TerminationBackend for ControlPlane {
+    fn add(&self, n: u64) {
+        self.outstanding.fetch_add(n as i64, Ordering::AcqRel);
+    }
+
+    fn complete(&self, n: u64) {
+        let prev = self.outstanding.fetch_sub(n as i64, Ordering::AcqRel);
+        debug_assert!(prev >= n as i64, "termination counter went negative");
+    }
+
+    fn is_done(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) == 0
+    }
+
+    fn outstanding(&self) -> i64 {
+        self.outstanding.load(Ordering::Acquire)
     }
 }
 
@@ -115,6 +132,34 @@ fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The state a [`TerminationHandle`] delegates to.
+///
+/// The shared-memory runtime backs the handle with a single atomic
+/// counter (the private `ControlPlane`); a distributed transport (e.g. the TCP
+/// backend in `pa-net`) backs it with a per-rank ledger kept current by
+/// control traffic. The *observable* semantics every backend must honour:
+///
+/// * `add`/`complete` adjust the global outstanding-work count;
+/// * `is_done` eventually returns `true` on every rank once adds and
+///   completes balance world-wide, and never returns `true` while
+///   registered work remains;
+/// * adds are only guaranteed *globally* visible after the next
+///   transport barrier (the registration pattern is always
+///   `add → barrier → observe`; see the `Transport` contract). The
+///   shared-memory backend happens to publish immediately, but callers
+///   must not rely on that.
+pub trait TerminationBackend: Send + Sync {
+    /// Register `n` units of outstanding work.
+    fn add(&self, n: u64);
+    /// Mark `n` units of work resolved.
+    fn complete(&self, n: u64);
+    /// True when no outstanding work remains anywhere in the world.
+    fn is_done(&self) -> bool;
+    /// Current outstanding-work count (diagnostic; may lag on
+    /// distributed backends).
+    fn outstanding(&self) -> i64;
+}
+
 /// A global outstanding-work counter shared by all ranks.
 ///
 /// In the paper's algorithm, a `request` in flight always corresponds to an
@@ -124,35 +169,45 @@ fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
 /// nonblocking-allreduce loop; this handle exposes the identical predicate
 /// directly. Ranks *add* work when they create unresolved slots and
 /// *complete* it when a slot is finally resolved.
+///
+/// The handle is a thin clonable front over a [`TerminationBackend`]:
+/// an atomic counter for the in-process runtimes, a distributed ledger
+/// for socket transports.
 #[derive(Clone)]
 pub struct TerminationHandle {
-    plane: Arc<ControlPlane>,
+    backend: Arc<dyn TerminationBackend>,
 }
 
 impl TerminationHandle {
+    /// Wrap a backend. Transport implementations outside this crate use
+    /// this to plug their own (e.g. distributed) detector into the
+    /// engine-facing handle.
+    pub fn from_backend(backend: Arc<dyn TerminationBackend>) -> Self {
+        Self { backend }
+    }
+
     /// Register `n` units of outstanding work.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.plane.outstanding.fetch_add(n as i64, Ordering::AcqRel);
+        self.backend.add(n);
     }
 
     /// Mark `n` units of work resolved.
     #[inline]
     pub fn complete(&self, n: u64) {
-        let prev = self.plane.outstanding.fetch_sub(n as i64, Ordering::AcqRel);
-        debug_assert!(prev >= n as i64, "termination counter went negative");
+        self.backend.complete(n);
     }
 
     /// True when no outstanding work remains anywhere in the world.
     #[inline]
     pub fn is_done(&self) -> bool {
-        self.plane.outstanding.load(Ordering::Acquire) == 0
+        self.backend.is_done()
     }
 
     /// Current outstanding-work count (diagnostic).
     #[inline]
     pub fn outstanding(&self) -> i64 {
-        self.plane.outstanding.load(Ordering::Acquire)
+        self.backend.outstanding()
     }
 }
 

@@ -26,8 +26,11 @@
 //!   written against (see the [`transport`] module docs for the receive
 //!   contract). [`Comm`] is the threaded implementation;
 //!   [`LoopbackTransport`] is a single-rank, thread-free one used for
-//!   `P = 1` runs and deterministic unit tests; a real MPI binding would
-//!   be a third.
+//!   `P = 1` runs and deterministic unit tests; `pa-net`'s `TcpTransport`
+//!   runs ranks as separate OS processes over sockets (messages cross it
+//!   via the [`Wire`] encoding); a real MPI binding would be a fourth.
+//!   The [`conformance`] module holds the shared contract suite every
+//!   backend must pass.
 //! * [`FaultTransport`] wraps any [`Transport`] and perturbs packet
 //!   delivery — delays, cross-pair reorders, duplicates, drops — under a
 //!   seeded [`FaultPlan`], with an ack/retransmit sublayer recovering
@@ -79,17 +82,20 @@
 mod buffer;
 mod channel;
 mod comm;
+pub mod conformance;
 mod control;
 pub mod cost;
 pub mod fault;
 mod loopback;
 mod stats;
 pub mod transport;
+pub mod wire;
 
 pub use buffer::BufferedComm;
 pub use comm::{Comm, Packet, World};
-pub use control::TerminationHandle;
+pub use control::{TerminationBackend, TerminationHandle};
 pub use fault::{FaultPlan, FaultTransport};
 pub use loopback::LoopbackTransport;
 pub use stats::CommStats;
 pub use transport::Transport;
+pub use wire::Wire;

@@ -50,8 +50,10 @@ impl CommStats {
     }
 
     /// Record `n` logical messages leaving in one packet towards `dest`.
+    /// Public so out-of-crate backends (`pa-net`) account traffic in the
+    /// same ledger as the in-crate transports.
     #[inline]
-    pub(crate) fn on_send(&mut self, dest: usize, n: u64) {
+    pub fn on_send(&mut self, dest: usize, n: u64) {
         self.msgs_sent += n;
         self.packets_sent += 1;
         self.sent_to[dest] += n;
@@ -59,7 +61,7 @@ impl CommStats {
 
     /// Record a received packet of `n` logical messages from `src`.
     #[inline]
-    pub(crate) fn on_recv(&mut self, src: usize, n: u64) {
+    pub fn on_recv(&mut self, src: usize, n: u64) {
         self.msgs_recv += n;
         self.packets_recv += 1;
         self.recv_from[src] += n;

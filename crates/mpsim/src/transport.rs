@@ -83,6 +83,14 @@ use crate::TerminationHandle;
 ///   `MPI_Barrier` would.
 /// * **Blocking vs polling receive** — see the [module docs](self) for
 ///   the `drain_recv` / `recv_timeout` contract.
+/// * **Termination registration is published by a barrier.** Work
+///   registered through [`Transport::termination`]'s handle is only
+///   guaranteed *globally* visible after the next [`Transport::barrier`];
+///   the driver's `add → barrier → observe` registration pattern is part
+///   of the contract. Shared-memory implementations happen to publish
+///   adds immediately, but distributed ones (a socket or MPI backend)
+///   may defer them to the barrier's collective, and callers must not
+///   observe `is_done` across ranks before it.
 pub trait Transport<M> {
     /// This rank's id in `[0, nranks)`.
     fn rank(&self) -> usize;

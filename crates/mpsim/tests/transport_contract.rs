@@ -1,27 +1,18 @@
-//! Conformance suite for the [`Transport`] receive contract.
+//! Conformance suite for the [`Transport`](pa_mpsim::Transport) receive
+//! contract, over every in-crate implementation.
 //!
-//! The `transport` module docs promise two things every implementation
-//! must honour: `drain_recv` is the polling receive (returns immediately,
-//! even empty-handed), and `recv_timeout` is the parking receive (blocks
-//! until arrival or timeout, wakes promptly when traffic is already
-//! queued or arrives mid-wait). These tests run the *same* assertions
-//! over every implementation in the crate — [`Comm`] in a threaded
-//! world, [`LoopbackTransport`], and [`FaultTransport`] wrapped around
-//! both — so a new backend (e.g. real MPI bindings) can be dropped in
-//! and checked by adding one function call.
+//! The assertions themselves live in [`pa_mpsim::conformance`], so any
+//! backend — in this crate or out of it (`pa-net`'s `TcpTransport`) —
+//! runs the *same* suite; a new backend is checked by adding one
+//! function call per rank.
 //!
 //! The fault-wrapped runs use a *recovering* plan with duplication
 //! disabled: delay, cross-pair reorder, drop-with-retransmit and ack
 //! loss may shuffle timing at will, but per-pair FIFO and eventual
 //! exactly-once delivery must survive.
 
-use std::time::{Duration, Instant};
-
+use pa_mpsim::conformance::{check_multi_rank, check_single_rank};
 use pa_mpsim::{FaultPlan, FaultTransport, LoopbackTransport, Transport, World};
-
-/// Generous bound for "returns immediately / wakes promptly": far above
-/// scheduler jitter, far below the parking timeouts used here.
-const PROMPT: Duration = Duration::from_millis(500);
 
 /// A recovering fault plan with `p_dup = 0`, so every logical packet is
 /// delivered exactly once and per-pair FIFO must hold end to end.
@@ -30,151 +21,6 @@ fn fifo_preserving_faults(seed: u64) -> FaultPlan {
         p_dup: 0.0,
         ..FaultPlan::aggressive(seed)
     }
-}
-
-/// Single-rank half of the contract, shared by [`LoopbackTransport`] and
-/// [`FaultTransport`] over it: self-sends loop back in FIFO order via
-/// the polling receive, and the parking receive never blocks longer than
-/// its timeout.
-fn check_single_rank<T: Transport<u64>>(mut t: T) {
-    assert_eq!(t.rank(), 0);
-    assert_eq!(t.nranks(), 1);
-
-    // drain_recv on an empty queue: returns 0, immediately.
-    let mut out = Vec::new();
-    let start = Instant::now();
-    assert_eq!(t.drain_recv(&mut out), 0);
-    assert!(start.elapsed() < PROMPT, "drain_recv blocked while empty");
-
-    // Self-sends come back in order. A fault-injecting wrapper may hold
-    // packets for a few receive calls, so poll until everything arrived.
-    const N: u64 = 200;
-    for i in 0..N {
-        t.send(0, i);
-    }
-    let deadline = Instant::now() + Duration::from_secs(10);
-    let mut got = Vec::new();
-    while got.len() < N as usize {
-        assert!(Instant::now() < deadline, "delivery stalled: {got:?}");
-        let start = Instant::now();
-        t.drain_recv(&mut out);
-        assert!(start.elapsed() < PROMPT, "drain_recv blocked");
-        for pkt in out.drain(..) {
-            assert_eq!(pkt.src, 0);
-            got.extend_from_slice(&pkt.msgs);
-            t.recycle(pkt.src, pkt.msgs);
-        }
-    }
-    assert_eq!(got, (0..N).collect::<Vec<_>>(), "per-pair FIFO violated");
-
-    // Parking receive with nothing in flight: None, within the timeout
-    // (loopback documents an immediate return — the contract is only an
-    // upper bound).
-    let start = Instant::now();
-    assert!(t.recv_timeout(Duration::from_millis(50)).is_none());
-    assert!(
-        start.elapsed() < Duration::from_millis(50) + PROMPT,
-        "recv_timeout overslept its timeout"
-    );
-
-    // Parking receive with traffic already queued: must deliver promptly,
-    // not sleep out the full timeout.
-    t.send(0, 777);
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        assert!(Instant::now() < deadline, "queued packet never delivered");
-        let start = Instant::now();
-        if let Some(pkt) = t.recv_timeout(Duration::from_secs(5)) {
-            assert!(
-                start.elapsed() < Duration::from_secs(2),
-                "recv_timeout poll-slept with traffic queued"
-            );
-            assert_eq!(pkt.msgs, vec![777]);
-            break;
-        }
-    }
-
-    // Collectives of one rank are identities, through any wrapper.
-    t.barrier();
-    assert_eq!(t.allreduce_sum(4), 4);
-    assert_eq!(t.allgather_u64(9), vec![9]);
-    assert_eq!(t.exclusive_prefix_sum(8), 0);
-}
-
-/// Two-rank half of the contract, shared by [`Comm`] and
-/// [`FaultTransport`] over it. Rank 1 floods rank 0 with numbered
-/// messages; rank 0 checks non-blocking drains, FIFO delivery, and that
-/// a parked receive wakes on arrival instead of sleeping out its
-/// timeout.
-fn check_two_ranks<T: Transport<u64>>(mut t: T) {
-    const N: u64 = 500;
-    assert_eq!(t.nranks(), 2);
-
-    // Stage 1: FIFO under load. Collectives must also agree world-wide.
-    assert_eq!(t.allreduce_sum(t.rank() as u64 + 1), 3);
-    if t.rank() == 1 {
-        for i in 0..N {
-            t.send(0, i);
-        }
-        // Batches keep their internal order too.
-        t.send_batch(0, vec![N, N + 1, N + 2]);
-    } else {
-        let deadline = Instant::now() + Duration::from_secs(30);
-        let mut got = Vec::new();
-        let mut out = Vec::new();
-        while got.len() < (N + 3) as usize {
-            assert!(
-                Instant::now() < deadline,
-                "delivery stalled after {} messages",
-                got.len()
-            );
-            let start = Instant::now();
-            t.drain_recv(&mut out);
-            assert!(start.elapsed() < PROMPT, "drain_recv blocked");
-            if out.is_empty() {
-                // Quiescent: park (the idiomatic completion loop never
-                // spins on drain_recv).
-                if let Some(pkt) = t.recv_timeout(Duration::from_millis(5)) {
-                    out.push(pkt);
-                }
-            }
-            for pkt in out.drain(..) {
-                assert_eq!(pkt.src, 1, "only rank 1 sends in this stage");
-                got.extend_from_slice(&pkt.msgs);
-                t.recycle(pkt.src, pkt.msgs);
-            }
-        }
-        assert_eq!(
-            got,
-            (0..N + 3).collect::<Vec<_>>(),
-            "per-pair FIFO violated between ranks"
-        );
-    }
-    t.barrier();
-
-    // Stage 2: wake-on-arrival. Rank 0 parks with a long timeout before
-    // rank 1 sends; the park must end on arrival, not at the timeout.
-    if t.rank() == 0 {
-        let start = Instant::now();
-        let deadline = start + Duration::from_secs(30);
-        loop {
-            assert!(Instant::now() < deadline, "parked receive never woke");
-            if let Some(pkt) = t.recv_timeout(Duration::from_secs(30)) {
-                assert_eq!(pkt.msgs, vec![41]);
-                assert!(
-                    start.elapsed() < Duration::from_secs(10),
-                    "recv_timeout slept through an arrival"
-                );
-                t.recycle(pkt.src, pkt.msgs);
-                break;
-            }
-        }
-    } else {
-        // Let rank 0 actually park first.
-        std::thread::sleep(Duration::from_millis(50));
-        t.send(0, 41);
-    }
-    t.barrier();
 }
 
 #[test]
@@ -193,13 +39,19 @@ fn fault_transport_over_loopback_conforms() {
 #[test]
 fn comm_conforms() {
     let world = World::new(2);
-    world.run(check_two_ranks);
+    world.run(check_multi_rank);
+}
+
+#[test]
+fn comm_conforms_at_four_ranks() {
+    let world = World::new(4);
+    world.run(check_multi_rank);
 }
 
 #[test]
 fn fault_transport_over_comm_conforms() {
     let world = World::new(2);
-    world.run(|comm| check_two_ranks(FaultTransport::new(comm, fifo_preserving_faults(23))));
+    world.run(|comm| check_multi_rank(FaultTransport::new(comm, fifo_preserving_faults(23))));
 }
 
 #[test]

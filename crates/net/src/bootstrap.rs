@@ -1,0 +1,357 @@
+//! World bootstrap: how `P` independent processes become a wired mesh.
+//!
+//! Every rank knows the full peer table (`peers[r]` is rank `r`'s listen
+//! address — the launcher distributes it). Bootstrap is then symmetric
+//! and deadlock-free by construction:
+//!
+//! 1. **Bind.** Rank `r` binds a listener on `peers[r]` first, so dials
+//!    from other ranks land in the accept backlog even before `accept`
+//!    is called.
+//! 2. **Dial down.** Rank `r` dials every rank *below* itself,
+//!    retrying with capped exponential backoff (10 ms doubling to
+//!    500 ms) under [`TcpConfig::connect_timeout`]; a peer that never
+//!    answers yields [`NetError::Unreachable`] naming the rank — a clean
+//!    nonzero exit, not a hang. Each established connection exchanges
+//!    `HELLO` frames (magic, protocol version, world size, rank) in both
+//!    directions before it counts.
+//! 3. **Accept up.** Rank `r` then accepts the dials from every rank
+//!    *above* itself, validating their `HELLO`s the same way, until the
+//!    mesh is complete or the timeout expires
+//!    ([`NetError::AcceptTimeout`] lists who is missing).
+//!
+//! Ranks only ever *wait* on lower ranks (rank 0 waits on nobody to
+//! dial), so the wait graph is acyclic and the whole mesh settles in one
+//! pass.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use pa_mpsim::Wire;
+
+use crate::error::NetError;
+use crate::frame;
+use crate::transport::TcpTransport;
+
+/// How one rank joins a TCP world.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This rank's id in `[0, world)`.
+    pub rank: usize,
+    /// Number of ranks in the world.
+    pub world: usize,
+    /// `host:port` listen address of every rank, by rank;
+    /// `peers[rank]` is this rank's own listen address.
+    pub peers: Vec<String>,
+    /// Total budget for the dial-and-accept bootstrap. An unreachable
+    /// peer fails the rank with [`NetError::Unreachable`] once this
+    /// expires.
+    pub connect_timeout: Duration,
+    /// Backstop timeout for a single collective once the mesh is up; a
+    /// peer that is alive but wedged fails the round loudly instead of
+    /// hanging it forever.
+    pub collective_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// A config with the default timeouts (30 s connect, 120 s
+    /// collective).
+    pub fn new(rank: usize, world: usize, peers: Vec<String>) -> Self {
+        TcpConfig {
+            rank,
+            world,
+            peers,
+            connect_timeout: Duration::from_secs(30),
+            collective_timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Bind a loopback listener (ephemeral port) for every rank of a
+    /// `world`-sized job and return the matching configs. The listeners
+    /// are handed back so in-process multi-rank tests can pass them to
+    /// [`TcpTransport::connect_with_listener`] with no bind/dial race.
+    pub fn local_world(world: usize) -> Vec<(TcpConfig, TcpListener)> {
+        let listeners: Vec<TcpListener> = (0..world)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("listener address").to_string())
+            .collect();
+        listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, l)| (TcpConfig::new(rank, world, peers.clone()), l))
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.world == 0 {
+            return Err(NetError::Config("world size must be at least 1".into()));
+        }
+        if self.rank >= self.world {
+            return Err(NetError::Config(format!(
+                "rank {} out of range for world size {}",
+                self.rank, self.world
+            )));
+        }
+        if self.peers.len() != self.world {
+            return Err(NetError::Config(format!(
+                "peer list has {} entries for world size {}",
+                self.peers.len(),
+                self.world
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn resolve(spec: &str) -> Result<SocketAddr, NetError> {
+    spec.to_socket_addrs()
+        .map_err(|e| NetError::Address {
+            spec: spec.to_string(),
+            detail: e.to_string(),
+        })?
+        .next()
+        .ok_or_else(|| NetError::Address {
+            spec: spec.to_string(),
+            detail: "resolved to no addresses".into(),
+        })
+}
+
+/// Dial `peer` with capped exponential backoff until `deadline`.
+fn dial(peer: usize, spec: &str, deadline: Instant) -> Result<TcpStream, NetError> {
+    let addr = resolve(spec)?;
+    let start = Instant::now();
+    let mut backoff = Duration::from_millis(10);
+    let mut last_err = String::from("never attempted");
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::Unreachable {
+                rank: peer,
+                addr: spec.to_string(),
+                waited: now - start,
+                detail: last_err,
+            });
+        }
+        let attempt_budget = (deadline - now).min(Duration::from_secs(1));
+        match TcpStream::connect_timeout(&addr, attempt_budget) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = e.to_string(),
+        }
+        std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+        backoff = (backoff * 2).min(Duration::from_millis(500));
+    }
+}
+
+/// Exchange `HELLO`s on a dialed connection (we speak first) and check
+/// the peer answers as the rank we dialed.
+fn handshake_out(
+    stream: &mut TcpStream,
+    cfg: &TcpConfig,
+    expect_rank: usize,
+    deadline: Instant,
+) -> Result<(), NetError> {
+    let peer_name = format!("rank {expect_rank}");
+    let fail = |detail: String| NetError::Handshake {
+        peer: peer_name.clone(),
+        detail,
+    };
+    stream
+        .set_read_timeout(Some(remaining(deadline)))
+        .map_err(|e| fail(e.to_string()))?;
+    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32)
+        .map_err(|e| fail(format!("sending HELLO: {e}")))?;
+    let (_, rank) = frame::read_hello(stream, cfg.world as u32).map_err(|e| fail(e.to_string()))?;
+    if rank as usize != expect_rank {
+        return Err(fail(format!(
+            "peer at {} answered as rank {rank}, expected rank {expect_rank} — \
+             peer table mismatch?",
+            cfg.peers[expect_rank]
+        )));
+    }
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(())
+}
+
+/// Validate the `HELLO` of an accepted connection (the dialer speaks
+/// first) and answer it; returns the peer's rank.
+fn handshake_in(
+    stream: &mut TcpStream,
+    cfg: &TcpConfig,
+    deadline: Instant,
+) -> Result<usize, NetError> {
+    let peer_name = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let fail = |detail: String| NetError::Handshake {
+        peer: peer_name.clone(),
+        detail,
+    };
+    stream
+        .set_read_timeout(Some(remaining(deadline)))
+        .map_err(|e| fail(e.to_string()))?;
+    let (_, rank) = frame::read_hello(stream, cfg.world as u32).map_err(|e| fail(e.to_string()))?;
+    let rank = rank as usize;
+    if rank <= cfg.rank || rank >= cfg.world {
+        return Err(fail(format!(
+            "claimed rank {rank}, but rank {} only accepts dials from ranks {}..{}",
+            cfg.rank,
+            cfg.rank + 1,
+            cfg.world
+        )));
+    }
+    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32)
+        .map_err(|e| fail(format!("answering HELLO: {e}")))?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(rank)
+}
+
+/// Time left until `deadline`, floored at 1 ms so socket timeouts stay
+/// valid (`set_read_timeout` rejects zero).
+fn remaining(deadline: Instant) -> Duration {
+    deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(1))
+}
+
+impl<M: Wire + Send + 'static> TcpTransport<M> {
+    /// Join the world described by `cfg`: bind `peers[rank]`, run the
+    /// dial/accept bootstrap (see the [module docs](crate::bootstrap)),
+    /// and return the wired transport.
+    pub fn connect(cfg: TcpConfig) -> Result<Self, NetError> {
+        cfg.validate()?;
+        let addr = resolve(&cfg.peers[cfg.rank])?;
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Bind {
+            addr: cfg.peers[cfg.rank].clone(),
+            detail: e.to_string(),
+        })?;
+        Self::connect_with_listener(cfg, listener)
+    }
+
+    /// Like [`TcpTransport::connect`], but with the listen socket
+    /// already bound (in-process tests bind every rank's listener up
+    /// front, which makes ephemeral-port worlds race-free).
+    pub fn connect_with_listener(cfg: TcpConfig, listener: TcpListener) -> Result<Self, NetError> {
+        cfg.validate()?;
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let start = Instant::now();
+        let mut streams: Vec<Option<TcpStream>> = (0..cfg.world).map(|_| None).collect();
+
+        // Dial down.
+        for (peer, slot) in streams.iter_mut().enumerate().take(cfg.rank) {
+            let mut stream = dial(peer, &cfg.peers[peer], deadline)?;
+            handshake_out(&mut stream, &cfg, peer, deadline)?;
+            *slot = Some(stream);
+        }
+
+        // Accept up.
+        listener.set_nonblocking(true).map_err(|e| NetError::Bind {
+            addr: cfg.peers[cfg.rank].clone(),
+            detail: format!("set_nonblocking: {e}"),
+        })?;
+        let mut missing = cfg.world - cfg.rank - 1;
+        while missing > 0 {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| NetError::Handshake {
+                            peer: "<accepted connection>".into(),
+                            detail: format!("set_nonblocking: {e}"),
+                        })?;
+                    let rank = handshake_in(&mut stream, &cfg, deadline)?;
+                    if streams[rank].is_some() {
+                        return Err(NetError::Handshake {
+                            peer: format!("rank {rank}"),
+                            detail: "rank connected twice — duplicate launch?".into(),
+                        });
+                    }
+                    streams[rank] = Some(stream);
+                    missing -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        let absent: Vec<usize> = (cfg.rank + 1..cfg.world)
+                            .filter(|&r| streams[r].is_none())
+                            .collect();
+                        return Err(NetError::AcceptTimeout {
+                            missing: absent,
+                            waited: start.elapsed(),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    return Err(NetError::Bind {
+                        addr: cfg.peers[cfg.rank].clone(),
+                        detail: format!("accept: {e}"),
+                    })
+                }
+            }
+        }
+
+        Self::from_streams(cfg.rank, cfg.world, streams, cfg.collective_timeout)
+            .map_err(|e| NetError::Config(format!("wiring accepted connections failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_bad_worlds() {
+        assert!(TcpConfig::new(0, 0, vec![]).validate().is_err());
+        assert!(TcpConfig::new(2, 2, vec!["a".into(), "b".into()])
+            .validate()
+            .is_err());
+        assert!(TcpConfig::new(0, 2, vec!["a".into()]).validate().is_err());
+        assert!(TcpConfig::new(1, 2, vec!["a".into(), "b".into()])
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn local_world_hands_out_distinct_ports() {
+        let world = TcpConfig::local_world(3);
+        assert_eq!(world.len(), 3);
+        let peers = &world[0].0.peers;
+        assert_eq!(peers.len(), 3);
+        for (rank, (cfg, listener)) in world.iter().enumerate() {
+            assert_eq!(cfg.rank, rank);
+            assert_eq!(&cfg.peers, peers, "all ranks must share one peer table");
+            assert_eq!(
+                listener.local_addr().unwrap().to_string(),
+                cfg.peers[rank],
+                "listener must sit on the advertised address"
+            );
+        }
+        let mut unique = peers.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "ports must be distinct");
+    }
+
+    #[test]
+    fn dial_times_out_with_a_named_rank() {
+        // A bound-then-dropped port is (almost certainly) refusing
+        // connections; the dial must give up at the deadline, not hang.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let start = Instant::now();
+        let err = dial(3, &addr, Instant::now() + Duration::from_millis(300)).unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(10), "dial hung");
+        match err {
+            NetError::Unreachable { rank, .. } => assert_eq!(rank, 3),
+            other => panic!("expected Unreachable, got {other}"),
+        }
+    }
+}

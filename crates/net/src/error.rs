@@ -1,0 +1,121 @@
+//! Bootstrap-time errors.
+//!
+//! Everything that can go wrong *after* the world is wired up is a crash
+//! of the job (a peer died mid-run) and surfaces as a panic with a
+//! diagnostic naming the peer; see the module docs of
+//! [`crate::transport`]. Bootstrap failures, by contrast, are ordinary
+//! recoverable errors the launcher turns into a clean nonzero exit.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a rank could not join the world.
+#[derive(Debug)]
+pub enum NetError {
+    /// The world description itself is unusable (rank out of range,
+    /// wrong peer-list length, ...).
+    Config(String),
+    /// A peer address failed to parse or resolve.
+    Address {
+        /// The `host:port` spec as given.
+        spec: String,
+        /// Resolution failure detail.
+        detail: String,
+    },
+    /// This rank could not bind its own listen address.
+    Bind {
+        /// The listen address.
+        addr: String,
+        /// OS-level failure detail.
+        detail: String,
+    },
+    /// A lower-ranked peer never became reachable: every dial attempt
+    /// within the connect timeout failed.
+    Unreachable {
+        /// The rank that never answered.
+        rank: usize,
+        /// Its advertised address.
+        addr: String,
+        /// How long this rank kept retrying.
+        waited: Duration,
+        /// The last dial failure.
+        detail: String,
+    },
+    /// Higher-ranked peers never dialed in before the connect timeout.
+    AcceptTimeout {
+        /// The ranks still missing when the deadline passed.
+        missing: Vec<usize>,
+        /// How long this rank waited.
+        waited: Duration,
+    },
+    /// A connection was established but the `HELLO` exchange failed:
+    /// wrong magic or protocol version, mismatched world size, a rank
+    /// claimed twice, or a peer that hung up mid-handshake.
+    Handshake {
+        /// Which connection misbehaved (an address or rank).
+        peer: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Config(detail) => write!(f, "invalid world configuration: {detail}"),
+            NetError::Address { spec, detail } => {
+                write!(f, "cannot resolve peer address {spec:?}: {detail}")
+            }
+            NetError::Bind { addr, detail } => {
+                write!(f, "cannot bind listen address {addr}: {detail}")
+            }
+            NetError::Unreachable {
+                rank,
+                addr,
+                waited,
+                detail,
+            } => write!(
+                f,
+                "peer rank {rank} unreachable at {addr} after {waited:?}: {detail}"
+            ),
+            NetError::AcceptTimeout { missing, waited } => write!(
+                f,
+                "peer rank(s) {missing:?} never connected within {waited:?}"
+            ),
+            NetError::Handshake { peer, detail } => {
+                write!(f, "handshake with {peer} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_names_the_rank_and_address() {
+        let e = NetError::Unreachable {
+            rank: 3,
+            addr: "10.0.0.7:9103".into(),
+            waited: Duration::from_secs(5),
+            detail: "connection refused".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("10.0.0.7:9103"), "{msg}");
+        assert!(msg.contains("connection refused"), "{msg}");
+    }
+
+    #[test]
+    fn accept_timeout_names_the_missing_ranks() {
+        let e = NetError::AcceptTimeout {
+            missing: vec![2, 3],
+            waited: Duration::from_secs(30),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[2, 3]"), "{msg}");
+    }
+}

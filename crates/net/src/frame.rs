@@ -1,0 +1,214 @@
+//! The wire framing shared by every `pa-net` connection.
+//!
+//! A connection is a byte stream of *frames*:
+//!
+//! ```text
+//! frame := len:u32  kind:u8  payload:[u8; len - 1]
+//! ```
+//!
+//! `len` is little-endian and counts the kind byte plus the payload, so a
+//! reader always knows exactly how many bytes to pull before it can
+//! dispatch — no frame is ever split across dispatches and no scanning
+//! for delimiters is needed. Every multi-byte field in every payload is
+//! little-endian, explicitly serialized (nothing is memory-dumped), so
+//! the format is identical on every host.
+
+use std::io::{self, Read, Write};
+
+/// Handshake magic: `"PANT"` as a little-endian `u32`.
+pub(crate) const MAGIC: u32 = 0x544e_4150;
+
+/// Wire protocol version; bumped on any incompatible format change.
+pub(crate) const VERSION: u32 = 1;
+
+/// Upper bound on a single frame, as a corruption tripwire: a garbled
+/// length prefix would otherwise ask the reader to allocate gigabytes.
+pub(crate) const MAX_FRAME: usize = 256 << 20;
+
+/// Frame kinds. The discriminants are the on-wire kind bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Bootstrap handshake: `magic:u32 version:u32 world:u32 rank:u32`.
+    Hello = 1,
+    /// Engine traffic: `count:u32` followed by `count` `Wire`-encoded
+    /// messages.
+    Data = 2,
+    /// Termination ledger broadcast: `completed_total:u64`, the sender's
+    /// monotone count of completed work items.
+    Term = 3,
+    /// Collective up-phase (child → parent): `round:u64 count:u32`
+    /// followed by `count` `(rank:u32, val:u64)` contributions — the
+    /// sender's whole subtree.
+    CollUp = 4,
+    /// Collective down-phase (parent → child): `round:u64 count:u32`
+    /// followed by the `count` per-rank values of the finished snapshot.
+    CollDown = 5,
+    /// Orderly goodbye: the peer is done and will close its end; an EOF
+    /// *without* a preceding `Bye` is a crash.
+    Bye = 6,
+}
+
+impl Kind {
+    pub(crate) fn from_byte(b: u8) -> Option<Kind> {
+        match b {
+            1 => Some(Kind::Hello),
+            2 => Some(Kind::Data),
+            3 => Some(Kind::Term),
+            4 => Some(Kind::CollUp),
+            5 => Some(Kind::CollDown),
+            6 => Some(Kind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// Start a frame of `kind` in `buf` (clearing it first). The length
+/// prefix is left as a placeholder; [`finish_frame`] patches it once the
+/// payload is in place, so the frame goes out in one `write_all`.
+pub(crate) fn begin_frame(buf: &mut Vec<u8>, kind: Kind) {
+    buf.clear();
+    buf.extend_from_slice(&[0, 0, 0, 0, kind as u8]);
+}
+
+/// Patch the length prefix of a frame started with [`begin_frame`].
+pub(crate) fn finish_frame(buf: &mut [u8]) {
+    let len = (buf.len() - 4) as u32;
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Build a complete frame in `buf` from a closure that appends the
+/// payload, ready for a single `write_all`.
+pub(crate) fn build_frame(buf: &mut Vec<u8>, kind: Kind, payload: impl FnOnce(&mut Vec<u8>)) {
+    begin_frame(buf, kind);
+    payload(buf);
+    finish_frame(buf);
+}
+
+/// Read one frame: returns its kind and fills `payload` with the bytes
+/// after the kind byte. Errors on EOF, short reads, unknown kinds, and
+/// length prefixes outside `1..=MAX_FRAME`.
+pub(crate) fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<Kind> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    payload.clear();
+    payload.resize(len - 1, 0);
+    r.read_exact(payload)?;
+    Kind::from_byte(kind[0]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame kind {}", kind[0]),
+        )
+    })
+}
+
+/// Write a `Hello` frame identifying this end of the connection.
+pub(crate) fn write_hello(w: &mut impl Write, world: u32, rank: u32) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(21);
+    build_frame(&mut buf, Kind::Hello, |b| {
+        b.extend_from_slice(&MAGIC.to_le_bytes());
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&world.to_le_bytes());
+        b.extend_from_slice(&rank.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Read and validate a `Hello` frame; returns the peer's claimed
+/// `(world, rank)`. Magic, version, or world mismatches are
+/// `InvalidData` — they mean the socket is not (this version of) a
+/// `pa-net` peer of the same job.
+pub(crate) fn read_hello(r: &mut impl Read, expect_world: u32) -> io::Result<(u32, u32)> {
+    let mut payload = Vec::new();
+    let kind = read_frame(r, &mut payload)?;
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if kind != Kind::Hello {
+        return Err(bad(format!("expected HELLO, got {kind:?}")));
+    }
+    if payload.len() != 16 {
+        return Err(bad(format!("HELLO payload of {} bytes", payload.len())));
+    }
+    let word = |i: usize| u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
+    let (magic, version, world, rank) = (word(0), word(1), word(2), word(3));
+    if magic != MAGIC {
+        return Err(bad(format!("bad magic {magic:#x} (not a pa-net peer?)")));
+    }
+    if version != VERSION {
+        return Err(bad(format!(
+            "protocol version mismatch: peer speaks v{version}, this build v{VERSION}"
+        )));
+    }
+    if world != expect_world {
+        return Err(bad(format!(
+            "world-size mismatch: peer launched with -p {world}, this rank with -p {expect_world}"
+        )));
+    }
+    Ok((world, rank))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        build_frame(&mut buf, Kind::Term, |b| {
+            b.extend_from_slice(&42u64.to_le_bytes());
+        });
+        assert_eq!(buf.len(), 4 + 1 + 8);
+        assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()), 9);
+        let mut cursor = &buf[..];
+        let mut payload = Vec::new();
+        assert_eq!(read_frame(&mut cursor, &mut payload).unwrap(), Kind::Term);
+        assert_eq!(payload, 42u64.to_le_bytes());
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn read_frame_rejects_garbage_lengths() {
+        let zero = [0u8; 4];
+        assert!(read_frame(&mut &zero[..], &mut Vec::new()).is_err());
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        huge.push(Kind::Data as u8);
+        assert!(read_frame(&mut &huge[..], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn read_frame_rejects_truncation_and_unknown_kinds() {
+        let mut buf = Vec::new();
+        build_frame(&mut buf, Kind::Bye, |_| {});
+        for cut in 0..buf.len() {
+            assert!(
+                read_frame(&mut &buf[..cut], &mut Vec::new()).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+        let unknown = [2u8, 0, 0, 0, 99, 0];
+        assert!(read_frame(&mut &unknown[..], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn hello_round_trips_and_validates() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 4, 2).unwrap();
+        assert_eq!(read_hello(&mut &buf[..], 4).unwrap(), (4, 2));
+        // World mismatch is a handshake failure.
+        let mut buf2 = Vec::new();
+        write_hello(&mut buf2, 8, 2).unwrap();
+        assert!(read_hello(&mut &buf2[..], 4).is_err());
+        // Corrupt magic is rejected.
+        let mut bad = buf.clone();
+        bad[5] ^= 0xff;
+        assert!(read_hello(&mut &bad[..], 4).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Multi-process TCP backend for the prefattach engines.
+//!
+//! The in-tree transports ([`pa_mpsim::Comm`],
+//! [`pa_mpsim::LoopbackTransport`]) keep every rank inside one process.
+//! This crate provides the third deployment shape the
+//! [`Transport`](pa_mpsim::Transport) abstraction was designed for:
+//! **one rank per OS process**, wired over TCP sockets, so a generation
+//! job can span processes on one host (the `palaunch` helper in
+//! `pa-cli`) or hosts on a network (a manual peer table).
+//!
+//! * [`TcpConfig`] describes the world: this rank's id, the world size,
+//!   and the `host:port` listen address of every rank.
+//! * [`TcpTransport::connect`] runs the deadlock-free dial/accept
+//!   bootstrap (see [`bootstrap`]) with capped-exponential-backoff
+//!   retries, so start-order does not matter and an unreachable peer is
+//!   a clean [`NetError`] naming the rank instead of a hang.
+//! * The wired [`TcpTransport`] implements the full
+//!   [`Transport`](pa_mpsim::Transport) contract — pooled batched
+//!   sends, the polling/parking receive pair, tree-based collectives,
+//!   and distributed termination detection — and passes the same
+//!   [`pa_mpsim::conformance`] suite as the in-process backends. See
+//!   [`transport`] for the wire format and failure semantics.
+//!
+//! Messages cross the wire via [`pa_mpsim::Wire`] (explicit
+//! little-endian framing), so a world of mixed-endian hosts still
+//! agrees byte-for-byte.
+//!
+//! # Example: a two-rank world in one process
+//!
+//! ```
+//! use pa_mpsim::Transport;
+//! use pa_net::{TcpConfig, TcpTransport};
+//!
+//! let mut world = TcpConfig::local_world(2);
+//! let (cfg1, l1) = world.pop().unwrap();
+//! let (cfg0, l0) = world.pop().unwrap();
+//! let peer = std::thread::spawn(move || {
+//!     let mut t: TcpTransport<u64> = TcpTransport::connect_with_listener(cfg1, l1).unwrap();
+//!     t.send(0, 42);
+//!     t.barrier();
+//! });
+//! let mut t: TcpTransport<u64> = TcpTransport::connect_with_listener(cfg0, l0).unwrap();
+//! let pkt = t.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+//! assert_eq!(pkt.msgs, vec![42]);
+//! t.barrier();
+//! peer.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+mod error;
+mod frame;
+pub mod transport;
+
+pub use bootstrap::TcpConfig;
+pub use error::NetError;
+pub use transport::TcpTransport;

@@ -1,0 +1,142 @@
+//! The generators over the TCP backend must produce *exactly* the edge
+//! sets every other backend produces: the PR-1 FNV-1a oracles pin the
+//! canonicalized output of `PaConfig::new(3000, x).with_seed(41)`, and
+//! a world of `TcpTransport` ranks (each engine running against real
+//! sockets, messages crossing as bytes) must reproduce them for every
+//! partition scheme at 2 and 4 ranks.
+
+use pa_core::par::{generate_rank_streaming, generate_rank_x1_streaming, Msg, Msg1};
+use pa_core::partition::{self, Scheme};
+use pa_core::{GenOptions, PaConfig};
+use pa_graph::EdgeList;
+use pa_mpsim::{Transport, Wire};
+use pa_net::{TcpConfig, TcpTransport};
+
+/// The fingerprints captured from the PR-1 codebase (see
+/// `tests/determinism.rs` at the repo root).
+const ORACLE_X1: u64 = 0xdefa6458a590e3ba;
+const ORACLE_X4: u64 = 0x66b9ce422f65dc31;
+
+fn fnv1a(edges: &EdgeList) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for (u, v) in edges.iter() {
+        for b in u.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Run one rank function per thread over a real-socket TCP world and
+/// collect the per-rank edge shards in rank order.
+fn run_world<M: Wire + Send + 'static>(
+    world: usize,
+    rank_fn: impl Fn(usize, &mut TcpTransport<M>) -> EdgeList + Send + Sync,
+) -> Vec<EdgeList> {
+    let ranks = TcpConfig::local_world(world);
+    let mut shards: Vec<Option<EdgeList>> = (0..world).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|(cfg, listener)| {
+                let rank_fn = &rank_fn;
+                let rank = cfg.rank;
+                s.spawn(move || {
+                    let mut t: TcpTransport<M> =
+                        TcpTransport::connect_with_listener(cfg, listener).unwrap();
+                    let shard = rank_fn(rank, &mut t);
+                    t.barrier();
+                    (rank, shard)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (rank, shard) = h.join().expect("rank thread must not panic");
+            shards[rank] = Some(shard);
+        }
+    });
+    shards.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn tcp_backend_reproduces_the_oracles_for_every_scheme() {
+    let cfg1 = PaConfig::new(3_000, 1).with_seed(41);
+    let cfg4 = PaConfig::new(3_000, 4).with_seed(41);
+    for world in [2usize, 4] {
+        for scheme in Scheme::ALL {
+            // General engine, x = 4.
+            let shards = run_world::<Msg>(world, |rank, t| {
+                let part = partition::build(scheme, cfg4.n, world);
+                assert_eq!(rank, t.rank());
+                generate_rank_streaming(&cfg4, &part, &GenOptions::default(), t, EdgeList::new()).0
+            });
+            assert_eq!(
+                fnv1a(&EdgeList::concat(shards).canonicalized()),
+                ORACLE_X4,
+                "x=4 drifted over TCP: P={world} {scheme}"
+            );
+
+            // Dedicated x = 1 engine.
+            let shards = run_world::<Msg1>(world, |_, t| {
+                let part = partition::build(scheme, cfg1.n, world);
+                generate_rank_x1_streaming(&cfg1, &part, &GenOptions::default(), t, EdgeList::new())
+                    .0
+            });
+            assert_eq!(
+                fnv1a(&EdgeList::concat(shards).canonicalized()),
+                ORACLE_X1,
+                "x=1 drifted over TCP: P={world} {scheme}"
+            );
+
+            // General engine on the x = 1 config: same oracle.
+            let shards = run_world::<Msg>(world, |_, t| {
+                let part = partition::build(scheme, cfg1.n, world);
+                generate_rank_streaming(&cfg1, &part, &GenOptions::default(), t, EdgeList::new()).0
+            });
+            assert_eq!(
+                fnv1a(&EdgeList::concat(shards).canonicalized()),
+                ORACLE_X1,
+                "general path (x=1) drifted over TCP: P={world} {scheme}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tcp_stats_allreduce_agrees_with_local_totals() {
+    // The merged-statistics path the CLI uses: after generation, every
+    // rank allreduces its message counters; the global totals must agree
+    // on every rank and match the sum of the per-rank ledgers. Sent and
+    // received totals must also balance world-wide (nothing lost on the
+    // wire, nothing double-counted).
+    let cfg = PaConfig::new(2_000, 4).with_seed(7);
+    let world = 4;
+    let ranks = TcpConfig::local_world(world);
+    std::thread::scope(|s| {
+        for (tcfg, listener) in ranks {
+            let cfg = &cfg;
+            s.spawn(move || {
+                let mut t: TcpTransport<Msg> =
+                    TcpTransport::connect_with_listener(tcfg, listener).unwrap();
+                let part = partition::build(Scheme::Lcp, cfg.n, world);
+                generate_rank_streaming(
+                    cfg,
+                    &part,
+                    &GenOptions::default(),
+                    &mut t,
+                    EdgeList::new(),
+                );
+                let sent = t.stats().msgs_sent;
+                let recv = t.stats().msgs_recv;
+                let global_sent = t.allreduce_sum(sent);
+                let global_recv = t.allreduce_sum(recv);
+                assert_eq!(
+                    global_sent, global_recv,
+                    "world-wide sent and received message totals must balance"
+                );
+                assert_eq!(t.allgather_u64(sent).iter().sum::<u64>(), global_sent);
+            });
+        }
+    });
+}
