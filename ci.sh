@@ -26,8 +26,14 @@ chaos_clean="$(mktemp /tmp/pagen_chaos_clean_XXXXXX.txt)"
 chaos_faulty="$(mktemp /tmp/pagen_chaos_faulty_XXXXXX.txt)"
 net_multi="$(mktemp /tmp/pagen_net_multi_XXXXXX.txt)"
 net_single="$(mktemp /tmp/pagen_net_single_XXXXXX.txt)"
+rec_multi="$(mktemp /tmp/pagen_rec_multi_XXXXXX.txt)"
+rec_single="$(mktemp /tmp/pagen_rec_single_XXXXXX.txt)"
+rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
+rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
-    "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted"' EXIT
+    "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
+    "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
+    "$rec_multi".part*; rm -rf "$rec_ckpts"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -70,6 +76,58 @@ sort "$net_multi" > "$net_multi.sorted"
 sort "$net_single" > "$net_single.sorted"
 if ! cmp -s "$net_multi.sorted" "$net_single.sorted"; then
     echo "net smoke mismatch: 4-process run diverged from single-process run" >&2
+    exit 1
+fi
+
+echo "==> palaunch crash-recovery smoke run"
+# The recovery layer end to end from a shell: a 4-rank checkpointing
+# world loses one rank to kill -9 mid-generation; palaunch must restart
+# the world (resuming from the last agreed checkpoint epoch), exit 0,
+# and the final edge set must still equal a single-process run's. Small
+# message buffers slow the run enough to kill it mid-flight without
+# changing the generated network.
+./target/release/palaunch -p 4 --restart-failed 2 \
+    --pagen ./target/release/pagen -- \
+    generate --model pa --n 500000 --x 4 --scheme rrp --seed 7 \
+    --buffer-cap 64 --service-interval 64 \
+    --out "$rec_multi" --format txt \
+    --checkpoint-dir "$rec_ckpts" --checkpoint-interval 50000 \
+    > "$rec_log" 2>&1 &
+launcher=$!
+victim=""
+for _ in $(seq 1 100); do
+    victim="$(pgrep -f "pagen.*$rec_multi.*--rank 2" | head -n 1 || true)"
+    [ -n "$victim" ] && break
+    sleep 0.05
+done
+if [ -z "$victim" ]; then
+    echo "recovery smoke: never saw rank 2 running (world finished too fast?)" >&2
+    cat "$rec_log" >&2
+    exit 1
+fi
+sleep 0.5   # let a few checkpoint epochs commit before the crash
+kill -9 "$victim" 2>/dev/null || true
+if ! wait "$launcher"; then
+    echo "recovery smoke: palaunch did not recover from the killed rank" >&2
+    cat "$rec_log" >&2
+    exit 1
+fi
+if ! grep -q "restarting world" "$rec_log"; then
+    echo "recovery smoke: no restart happened (rank killed too late?)" >&2
+    cat "$rec_log" >&2
+    exit 1
+fi
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 500000 --x 4 --ranks 4 --scheme rrp --seed 7 \
+    --out "$rec_single" --format txt
+sort "$rec_multi" > "$rec_multi.sorted"
+sort "$rec_single" > "$rec_single.sorted"
+if ! cmp -s "$rec_multi.sorted" "$rec_single.sorted"; then
+    echo "recovery smoke mismatch: recovered run diverged from single-process run" >&2
+    exit 1
+fi
+if ls "$rec_ckpts"/*.ckpt* >/dev/null 2>&1; then
+    echo "recovery smoke: finished job left checkpoints behind" >&2
     exit 1
 fi
 

@@ -30,6 +30,11 @@ pub struct LaunchPlan {
     /// Everything after `--`: the `pagen` command line shared by all
     /// ranks (before the injected world flags).
     pub child_args: Vec<String>,
+    /// How many times a failed world is restarted (`--restart-failed`).
+    /// 0 (the default) fails fast exactly as before; restarts > 0 only
+    /// recover work when the child command checkpoints
+    /// (`--checkpoint-dir`) — otherwise each attempt starts over.
+    pub restart_failed: usize,
 }
 
 /// Parse `palaunch` arguments: `-p`/`--ranks` and `--pagen` before a
@@ -41,6 +46,7 @@ pub struct LaunchPlan {
 pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
     let mut ranks = 2usize;
     let mut pagen: Option<PathBuf> = None;
+    let mut restart_failed = 0usize;
     let mut iter = argv.iter();
     let child_args: Vec<String> = loop {
         match iter.next().map(String::as_str) {
@@ -52,6 +58,14 @@ pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
                 ranks = v
                     .parse()
                     .map_err(|_| CliError::usage(format!("-p must be an integer, got {v:?}")))?;
+            }
+            Some("--restart-failed") => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("missing value for --restart-failed"))?;
+                restart_failed = v.parse().map_err(|_| {
+                    CliError::usage(format!("--restart-failed must be an integer, got {v:?}"))
+                })?;
             }
             Some("--pagen") => {
                 let v = iter
@@ -88,6 +102,7 @@ pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
         ranks,
         pagen,
         child_args,
+        restart_failed,
     })
 }
 
@@ -96,10 +111,17 @@ pub fn usage() -> &'static str {
     "palaunch — run a multi-process pagen world on this host
 
 USAGE:
-    palaunch [-p <ranks>] [--pagen <path>] -- <pagen args ...>
+    palaunch [-p <ranks>] [--pagen <path>] [--restart-failed <N>] -- <pagen args ...>
 
-    -p, --ranks <P>   number of processes to launch (default 2)
-    --pagen <path>    pagen binary (default: next to palaunch)
+    -p, --ranks <P>        number of processes to launch (default 2)
+    --pagen <path>         pagen binary (default: next to palaunch)
+    --restart-failed <N>   after a rank failure, restart the whole world
+                           up to N times with capped backoff (default 0 =
+                           fail fast). Pair with `generate
+                           --checkpoint-dir <dir>` so restarted attempts
+                           resume from the last checkpoint instead of
+                           starting over; restarts inject `--resume auto
+                           --restart-epoch <attempt>` and fresh ports.
 
 The pagen command after `--` is run P times with
 `--backend tcp --rank R --world P --peers <allocated ports>` appended;
@@ -156,13 +178,39 @@ fn prefix_lines(
 }
 
 /// Execute a launch plan; returns the job's exit code (0 iff every rank
-/// exited 0).
+/// of some attempt exited 0). With `--restart-failed N`, a failed world
+/// is torn down completely and relaunched — up to `N` times, with
+/// capped exponential backoff, fresh ports, and the restart attempt
+/// injected as `--restart-epoch` (plus `--resume auto`) so checkpointed
+/// child commands pick up from their last saved epoch.
 ///
 /// # Errors
 ///
 /// Errors when the world cannot be spawned at all; per-rank failures
-/// are reported on stderr and through the exit code instead.
+/// are reported on stderr and through the exit code (or a restart)
+/// instead.
 pub fn execute(plan: &LaunchPlan) -> Result<i32, CliError> {
+    let mut attempt = 0usize;
+    loop {
+        let code = run_world_once(plan, attempt)?;
+        if code == 0 || attempt >= plan.restart_failed {
+            return Ok(code);
+        }
+        attempt += 1;
+        let backoff = Duration::from_millis((200u64 << (attempt - 1).min(4)).min(2_000));
+        eprintln!(
+            "palaunch: restarting world (attempt {attempt} of {}) after {backoff:?} backoff",
+            plan.restart_failed
+        );
+        std::thread::sleep(backoff);
+    }
+}
+
+/// Spawn, supervise, and reap one world (one launch attempt).
+fn run_world_once(plan: &LaunchPlan, attempt: usize) -> Result<i32, CliError> {
+    // Fresh ports every attempt: the previous attempt's sockets may
+    // still sit in TIME_WAIT, and a straggler child could otherwise
+    // squat on an address the new world needs.
     let peers = allocate_ports(plan.ranks)?;
     let mut children: Vec<Option<Child>> = Vec::with_capacity(plan.ranks);
     let mut forwarders = Vec::new();
@@ -176,8 +224,17 @@ pub fn execute(plan: &LaunchPlan) -> Result<i32, CliError> {
             .arg("--world")
             .arg(plan.ranks.to_string())
             .arg("--peers")
-            .arg(peers.join(","))
-            .stdin(Stdio::null())
+            .arg(peers.join(","));
+        if attempt > 0 {
+            // Later flags win over user-provided ones: restarts resume
+            // from checkpoints, and the bumped restart epoch keeps
+            // stale ranks of earlier attempts out of the new mesh.
+            cmd.arg("--restart-epoch")
+                .arg(attempt.to_string())
+                .arg("--resume")
+                .arg("auto");
+        }
+        cmd.stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
         let mut child = cmd.spawn().map_err(|e| {
@@ -292,6 +349,26 @@ mod tests {
     fn parse_accepts_long_form() {
         let plan = parse(&argv(&["--ranks", "3", "--pagen", "/bin/true", "--", "x"])).unwrap();
         assert_eq!(plan.ranks, 3);
+    }
+
+    #[test]
+    fn parse_reads_restart_failed() {
+        let plan = parse(&argv(&[
+            "-p",
+            "2",
+            "--restart-failed",
+            "3",
+            "--pagen",
+            "/bin/true",
+            "--",
+            "x",
+        ]))
+        .unwrap();
+        assert_eq!(plan.restart_failed, 3);
+        // Default fails fast.
+        let plan = parse(&argv(&["--pagen", "/bin/true", "--", "x"])).unwrap();
+        assert_eq!(plan.restart_failed, 0);
+        assert!(parse(&argv(&["--restart-failed", "x", "--", "x"])).is_err());
     }
 
     #[test]

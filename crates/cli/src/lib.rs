@@ -82,6 +82,10 @@ COMMANDS:
                           multi-process world (usually via palaunch):
                           --rank <R> --world <P> --peers host:port,...
                           --connect-timeout-ms <ms> (default 30000)
+               recovery:  --checkpoint-dir <dir> (default: checkpoints off)
+                          --checkpoint-interval <labels> (default n/8)
+                          --resume auto|off (default off)
+                          --restart-epoch <k> (injected by palaunch restarts)
                er:   --p is the edge probability
                ws:   --x is half the lattice degree, --p the rewiring beta
                cl:   --gamma <exponent> (default 2.8), --x the mean degree

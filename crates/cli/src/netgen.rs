@@ -79,6 +79,32 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let peers: Vec<String> = peers_flag.split(',').map(str::to_string).collect();
     let connect_ms = args.u64("connect-timeout-ms", 30_000)?;
+
+    // Checkpoint/restart: `--checkpoint-dir` switches on epoch-aligned
+    // checkpoints; `--resume auto` (injected by `palaunch` on restart
+    // attempts) agrees on a common saved epoch world-wide and continues
+    // from it; `--restart-epoch` is the launch-attempt generation
+    // carried in the HELLO handshake so stale ranks from a previous
+    // attempt cannot wire into the restarted world.
+    let ckpt_dir = args.str("checkpoint-dir", "");
+    let ckpt_interval = args.u64("checkpoint-interval", n.div_ceil(8).max(1))?;
+    let resume_mode = args.str("resume", "off");
+    let restart_epoch = args.u64("restart-epoch", 0)?;
+    if !matches!(resume_mode.as_str(), "auto" | "off") {
+        return Err(CliError::usage(format!(
+            "--resume must be auto or off, got {resume_mode:?}"
+        )));
+    }
+    if ckpt_dir.is_empty() && resume_mode == "auto" {
+        return Err(CliError::usage("--resume auto needs --checkpoint-dir"));
+    }
+    if !ckpt_dir.is_empty() {
+        if ckpt_interval == 0 {
+            return Err(CliError::usage("--checkpoint-interval must be at least 1"));
+        }
+        opts = opts.with_checkpoint_interval(ckpt_interval);
+    }
+
     let stats_flags = StatsFlags::parse(args)?;
     args.finish()?;
 
@@ -86,22 +112,99 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let world = world as usize;
     let mut tcp = TcpConfig::new(rank, world, peers);
     tcp.connect_timeout = std::time::Duration::from_millis(connect_ms.max(1));
+    tcp.epoch = restart_epoch;
+    let bootstrap_coll_timeout = tcp.collective_timeout;
 
     let started = std::time::Instant::now();
     let mut t: TcpTransport<Msg> =
         TcpTransport::connect(tcp).map_err(|e| CliError::usage(format!("rank {rank}: {e}")))?;
+    // A wedged collective should fire on the engine's stall budget, not
+    // block for the full bootstrap-time backstop.
+    if let Some(stall) = opts.stall_timeout {
+        t.set_collective_timeout(stall.min(bootstrap_coll_timeout));
+    }
 
     let part = partition::build(scheme, cfg.n, world);
     let part_path = |r: usize| format!("{path}.part{r}");
-    let file = std::fs::File::create(part_path(rank)).map_err(CliError::io)?;
-    let sink = par::StreamingWriterSink::new(file, edge_format);
-    let (sink, _counters) = par::generate_rank_streaming(&cfg, &part, &opts, &mut t, sink);
+
+    let store = if ckpt_dir.is_empty() {
+        None
+    } else {
+        let scheme_id = partition::Scheme::ALL
+            .iter()
+            .position(|s| *s == scheme)
+            .unwrap_or(0) as u8;
+        let meta = par::CheckpointMeta {
+            world: world as u32,
+            n: cfg.n,
+            x: cfg.x,
+            p_bits: cfg.p.to_bits(),
+            seed: cfg.seed,
+            scheme_id,
+            engine_id: 2,
+            interval: ckpt_interval,
+        };
+        Some(par::CheckpointStore::new(&ckpt_dir, rank as u32, meta).map_err(CliError::io)?)
+    };
+
+    // Agree on a common resume point: a rank with no usable checkpoint
+    // votes 0 (fresh start), a rank whose newest saved epoch is `e`
+    // votes `e + 1`; the world-wide minimum picks an epoch every rank
+    // can replay from (epoch skew across ranks is at most 1, and each
+    // rank retains its last two epochs).
+    let vote = match (&store, resume_mode.as_str()) {
+        (Some(s), "auto") => s.latest().map_or(0, |e| e + 1),
+        _ => 0,
+    };
+    let agreed = t.allreduce_min(vote);
+    let (sink, saved) = if agreed == 0 {
+        let file = std::fs::File::create(part_path(rank)).map_err(CliError::io)?;
+        (par::StreamingWriterSink::new(file, edge_format), None)
+    } else {
+        use std::io::Seek;
+        let epoch = agreed - 1;
+        let store = store.as_ref().expect("agreed > 0 implies a store");
+        let saved = store.load(epoch).ok_or_else(|| {
+            CliError::usage(format!(
+                "rank {rank}: cannot resume — checkpoint for epoch {epoch} is missing or \
+                 invalid in {ckpt_dir}"
+            ))
+        })?;
+        // Truncate the part file back to the committed byte watermark
+        // (dropping whatever a crashed epoch half-wrote) and append.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(part_path(rank))
+            .map_err(CliError::io)?;
+        file.set_len(saved.bytes).map_err(CliError::io)?;
+        file.seek(std::io::SeekFrom::End(0)).map_err(CliError::io)?;
+        (
+            par::StreamingWriterSink::resume(file, edge_format, saved.edges, saved.bytes),
+            Some(saved),
+        )
+    };
+
+    let (sink, _counters) = par::generate_rank_streaming_recoverable(
+        &cfg,
+        &part,
+        &opts,
+        &mut t,
+        sink,
+        store.as_ref(),
+        saved.as_ref(),
+    );
     let edges = sink.finish().map_err(CliError::io)?;
 
     // Publish completion before anyone merges, then merge the ledgers.
     // Every rank runs the same flags (palaunch injects one command
     // line), so skipping the stats collectives is uniform.
     t.barrier();
+    // The job is complete world-wide: drop this rank's checkpoints so a
+    // later launch in the same directory cannot resume a finished run.
+    if let Some(store) = &store {
+        store.clear();
+    }
     let total_edges = t.allreduce_sum(edges);
     let merged = stats_flags
         .wanted()

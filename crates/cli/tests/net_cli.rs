@@ -47,6 +47,31 @@ fn read_canonical(path: &str) -> pa_graph::EdgeList {
         .canonicalized()
 }
 
+/// Find the pid of the live `pagen` child running `--rank <rank>` with
+/// `--out <out_path>` by scanning `/proc` (Linux-only, like the rest of
+/// this file's process plumbing). The out path disambiguates from other
+/// concurrently running tests.
+fn find_rank_pid(out_path: &str, rank: usize) -> Option<u32> {
+    let want = rank.to_string();
+    for entry in std::fs::read_dir("/proc").ok()?.flatten() {
+        let name = entry.file_name();
+        let Ok(pid) = name.to_string_lossy().parse::<u32>() else {
+            continue;
+        };
+        let Ok(raw) = std::fs::read(entry.path().join("cmdline")) else {
+            continue;
+        };
+        let args: Vec<&str> = raw
+            .split(|b| *b == 0)
+            .map(|s| std::str::from_utf8(s).unwrap_or(""))
+            .collect();
+        if args.contains(&out_path) && args.windows(2).any(|w| w[0] == "--rank" && w[1] == want) {
+            return Some(pid);
+        }
+    }
+    None
+}
+
 #[test]
 fn palaunch_matches_single_process_for_every_scheme() {
     for scheme in ["ucp", "lcp", "rrp"] {
@@ -294,6 +319,112 @@ fn palaunch_kills_survivors_when_one_rank_fails() {
     assert!(
         stderr.contains("remaining ranks killed"),
         "stderr: {stderr}"
+    );
+    // Without --restart-failed the default is fail-fast: no retries.
+    assert!(!stderr.contains("restarting world"), "stderr: {stderr}");
+}
+
+#[test]
+fn palaunch_restart_failed_recovers_from_kill9_with_identical_output() {
+    // The headline recovery scenario: a 4-rank checkpointing world, one
+    // rank SIGKILLed from outside mid-generation, `--restart-failed`
+    // relaunching the world (resuming from the last agreed checkpoint
+    // epoch when one exists), and the final merged file canonically
+    // equal to an uninterrupted single-process run of the same seed.
+    let out_path = tmp("recover.bin");
+    let single = tmp("recover_single.bin");
+    let ckpt_dir = tmp("recover_ckpts");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let common = [
+        "generate", "--model", "pa", "--n", "500000", "--x", "4", "--scheme", "rrp", "--seed",
+        "99", "--format", "bin",
+    ];
+
+    let mut child = Command::new(PALAUNCH)
+        .args(["-p", "4", "--restart-failed", "2", "--pagen", PAGEN, "--"])
+        .args(common)
+        .args([
+            "--out",
+            &out_path,
+            "--checkpoint-dir",
+            &ckpt_dir,
+            "--checkpoint-interval",
+            "30000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Give the world time to get going (and, usually, commit a few
+    // checkpoint epochs — a dev-profile run of this size takes multiple
+    // seconds), then SIGKILL rank 2 from outside the supervisor.
+    std::thread::sleep(Duration::from_millis(900));
+    let victim = (0..40)
+        .find_map(|_| {
+            let pid = find_rank_pid(&out_path, 2);
+            if pid.is_none() {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            pid
+        })
+        .expect("rank 2 should still be running ~1s into the run");
+    let killed = Command::new("kill")
+        .args(["-9", &victim.to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success(), "kill -9 {victim} failed");
+
+    let status = wait_bounded(
+        &mut child,
+        "palaunch with --restart-failed",
+        Duration::from_secs(180),
+    );
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        status.success(),
+        "recovery run failed\nstderr: {stderr}\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        stderr.contains("palaunch: rank 2 exited with code"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("restarting world (attempt 1 of 2)"),
+        "stderr: {stderr}"
+    );
+
+    let out = Command::new(PAGEN)
+        .args(common)
+        .args(["--ranks", "4", "--out", &single])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "single-process reference run failed");
+    assert_eq!(
+        read_canonical(&out_path),
+        read_canonical(&single),
+        "recovered edge set diverged from the uninterrupted run"
+    );
+
+    // A finished job leaves neither part files nor checkpoints behind.
+    for r in 0..4 {
+        assert!(
+            !std::path::Path::new(&format!("{out_path}.part{r}")).exists(),
+            "part file {r} left behind"
+        );
+    }
+    let leftovers: Vec<String> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains("ckpt"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "checkpoints left behind: {leftovers:?}"
     );
 }
 

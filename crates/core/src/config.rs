@@ -125,6 +125,15 @@ pub struct GenOptions {
     /// panics instead of hanging. `None` disables the watchdog (the
     /// default — clean transports cannot stall).
     pub stall_timeout: Option<std::time::Duration>,
+    /// Checkpoint epoch length in *node labels*: the driver splits the
+    /// label range `[0, n)` into epochs of this many labels and runs each
+    /// to global quiescence (barrier-aligned), snapshotting engine state
+    /// at every boundary when a checkpoint store is attached. Because
+    /// every copy-model dependency points to a **lower** label, a
+    /// finished epoch leaves no waiter state and no tracked traffic in
+    /// flight — exactly the consistent cut a checkpoint needs. `None`
+    /// runs the whole range as a single epoch (no extra barriers).
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl Default for GenOptions {
@@ -137,6 +146,7 @@ impl Default for GenOptions {
             idle_flush_interval: 16,
             fault_plan: None,
             stall_timeout: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -169,6 +179,14 @@ impl GenOptions {
     #[must_use]
     pub fn with_stall_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Split the run into checkpoint epochs of `interval` node labels
+    /// (see [`GenOptions::checkpoint_interval`]).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = Some(interval);
         self
     }
 
@@ -209,6 +227,12 @@ impl GenOptions {
             assert!(
                 !timeout.is_zero(),
                 "stall_timeout must be positive (a zero timeout fires immediately)"
+            );
+        }
+        if let Some(interval) = self.checkpoint_interval {
+            assert!(
+                interval > 0,
+                "checkpoint_interval must be positive (use None for a single epoch)"
             );
         }
     }
@@ -333,6 +357,20 @@ mod tests {
         GenOptions::default()
             .with_stall_timeout(std::time::Duration::ZERO)
             .validate();
+    }
+
+    #[test]
+    fn checkpoint_interval_builder() {
+        let opts = GenOptions::default().with_checkpoint_interval(1_000);
+        assert_eq!(opts.checkpoint_interval, Some(1_000));
+        opts.validate();
+        assert_eq!(GenOptions::default().checkpoint_interval, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_interval must be positive")]
+    fn zero_checkpoint_interval_panics() {
+        GenOptions::default().with_checkpoint_interval(0).validate();
     }
 
     #[test]

@@ -18,9 +18,29 @@
 //! The loop structure — and with it the determinism argument (in-order
 //! slot commits giving every attempt the sequential generator's exact
 //! visibility) — therefore lives in exactly one place.
+//!
+//! # Checkpoint epochs
+//!
+//! With [`crate::GenOptions::checkpoint_interval`] set, the label range
+//! `[0, n)` splits into epochs of `interval` labels and the loop above
+//! runs once per epoch: register the epoch's slots, barrier, sweep the
+//! epoch's local nodes, and drive its completion loop to quiescence.
+//! Because every copy-model dependency points to a **lower** label
+//! (`k ∈ [x, t)`), requests never reference a later epoch, so epoch-`i`
+//! quiescence means every node below the epoch's upper label `hi` is
+//! committed *world-wide* and all waiter structures are provably empty —
+//! a consistent cut with no tracked traffic in flight. That cut is where
+//! [`Strategy::snapshot`] captures the engine for a crash-recoverable
+//! checkpoint ([`super::checkpoint`]). The only messages that may
+//! straddle the cut are untracked hub broadcasts; a restored engine
+//! compensates by falling back to request/resolved for pre-cut hub
+//! misses (the values are committed, so answers are identical).
+//! Epoch boundaries are pure functions of `(n, interval)`, so the cut —
+//! and the output — is bit-identical with and without checkpointing.
 
 use pa_mpsim::{BufferedComm, Packet, Transport};
 
+use super::checkpoint::{CheckpointStore, SavedCheckpoint};
 use crate::partition::Partition;
 use crate::{GenOptions, Node};
 
@@ -68,24 +88,32 @@ impl<'t, M: Send, T: Transport<M>> Net<'t, M, T> {
 
 /// The algorithm-specific half of an engine; [`run`] supplies the loop.
 ///
-/// Hook order per rank: [`Strategy::register`] (seed edges + pending-slot
-/// count) → barrier → [`Strategy::attach_seed_node`] (the deterministic
-/// first attachment) → sweep ([`Strategy::start_node`] +
-/// [`Strategy::drain_local`] per node) → completion loop
-/// ([`Strategy::handle_msgs`] on traffic) → [`Strategy::finish`].
+/// Hook order per rank and per epoch `[lo, hi)`:
+/// [`Strategy::register`] (seed edges + pending-slot count for the
+/// epoch's labels) → barrier → [`Strategy::attach_seed_node`] (the
+/// deterministic first attachment, when its label falls in the epoch) →
+/// sweep ([`Strategy::start_node`] + [`Strategy::drain_local`] per node)
+/// → completion loop ([`Strategy::handle_msgs`] on traffic) →
+/// [`Strategy::finish`]. Un-epoched runs are the single epoch `[0, n)`.
 pub(super) trait Strategy {
     /// The wire message type of this algorithm.
     type Msg: Send + 'static;
 
-    /// Emit this rank's deterministic seed edges (the clique rows it
-    /// owns) and return the number of *pending slots* to register with
-    /// the termination detector.
-    fn register(&mut self) -> u64;
+    /// Emit this rank's deterministic seed edges whose owner label lies
+    /// in `[lo, hi)` and return the number of *pending slots* the epoch
+    /// registers with the termination detector.
+    fn register(&mut self, lo: Node, hi: Node) -> u64;
 
     /// Commit the deterministic first attaching node (node `x`) if this
-    /// rank owns it. Runs after the registration barrier, so completions
-    /// are never observed before every rank has added its work.
-    fn attach_seed_node<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>);
+    /// rank owns it and its label lies in `[lo, hi)`. Runs after the
+    /// registration barrier, so completions are never observed before
+    /// every rank has added its work.
+    fn attach_seed_node<T: Transport<Self::Msg>>(
+        &mut self,
+        net: &mut Net<'_, Self::Msg, T>,
+        lo: Node,
+        hi: Node,
+    );
 
     /// Drive node `t` as far as it goes without remote answers.
     fn start_node<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>, t: Node);
@@ -101,8 +129,26 @@ pub(super) trait Strategy {
         msgs: &mut Vec<Self::Msg>,
     );
 
-    /// Post-termination invariant checks (debug assertions).
+    /// Post-quiescence invariant checks (debug assertions), run at the
+    /// end of every epoch — empty waiter tables are exactly what makes
+    /// the epoch cut checkpointable.
     fn finish(&mut self) {}
+
+    /// Flush the edge sink and report its `(edges, bytes)` watermark for
+    /// a checkpoint (see [`super::sink::EdgeSink::checkpoint_mark`]).
+    fn sink_mark(&mut self) -> std::io::Result<(u64, u64)>;
+
+    /// Serialize the committed engine state below label `hi` into `out`
+    /// (the epoch-cut invariants guarantee this is the *whole* state).
+    fn snapshot(&mut self, hi: Node, out: &mut Vec<u8>);
+
+    /// Rebuild the engine from a [`Strategy::snapshot`] taken at `hi`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the payload does not match this
+    /// rank's shape (truncation, foreign partition, hub-size mismatch).
+    fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String>;
 
     /// One-line progress summary (uncommitted slots, waiter-table depths)
     /// for the stall watchdog's report.
@@ -113,13 +159,62 @@ pub(super) trait Strategy {
 
 /// Run `algo` to global quiescence on this rank; returns it with every
 /// local slot committed and every waiter drained.
-pub(super) fn run<P, T, A>(part: &P, x: u64, opts: &GenOptions, comm: &mut T, mut algo: A) -> A
+pub(super) fn run<P, T, A>(part: &P, x: u64, opts: &GenOptions, comm: &mut T, algo: A) -> A
+where
+    P: Partition,
+    T: Transport<A::Msg>,
+    A: Strategy,
+{
+    run_recoverable(part, x, opts, comm, algo, None, None)
+}
+
+/// [`run`], with checkpointing: when `store` is set, every epoch
+/// boundary (except the final one) writes an atomic checkpoint of the
+/// engine + sink watermark; when `resume` is set, the engine state is
+/// restored first and generation continues from the epoch after the
+/// saved one. Callers are responsible for positioning the sink at the
+/// saved watermark (truncating part files) before calling.
+pub(super) fn run_recoverable<P, T, A>(
+    part: &P,
+    x: u64,
+    opts: &GenOptions,
+    comm: &mut T,
+    mut algo: A,
+    store: Option<&CheckpointStore>,
+    resume: Option<&SavedCheckpoint>,
+) -> A
 where
     P: Partition,
     T: Transport<A::Msg>,
     A: Strategy,
 {
     let rank = comm.rank();
+    let n = part.num_nodes();
+    let interval = opts.checkpoint_interval;
+    let nepochs = interval.map_or(1, |i| n.div_ceil(i).max(1));
+    let epoch_hi = |e: u64| interval.map_or(n, |i| ((e + 1) * i).min(n));
+    let epoch_lo = |e: u64| interval.map_or(0, |i| e * i);
+
+    let mut start_epoch = 0u64;
+    let mut resume_hi = 0u64;
+    if let Some(saved) = resume {
+        assert!(
+            interval.is_some(),
+            "resume requires GenOptions::checkpoint_interval"
+        );
+        assert_eq!(
+            saved.hi,
+            epoch_hi(saved.epoch),
+            "rank {rank}: checkpoint epoch {} boundary disagrees with the \
+             configured interval — resuming would corrupt the output",
+            saved.epoch
+        );
+        algo.restore(saved.hi, &saved.payload)
+            .unwrap_or_else(|why| panic!("rank {rank}: checkpoint restore failed: {why}"));
+        start_epoch = saved.epoch + 1;
+        resume_hi = saved.hi;
+    }
+
     let mut net = Net {
         req: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
         res: BufferedComm::new(comm.nranks(), opts.buffer_capacity),
@@ -127,106 +222,141 @@ where
         comm,
     };
 
-    // --- Initialization: seed edges and slot registration. ---
-    let pending = algo.register();
-    net.term.add(pending);
-    // No rank may observe the counter before everyone registered.
-    net.comm.barrier();
-    algo.attach_seed_node(&mut net);
-
-    // --- Generation sweep over local nodes in ascending order. ---
+    // One ascending pass over the rank's nodes, shared by all epochs
+    // (each epoch consumes its `[lo, hi)` slice); resumed labels below
+    // the checkpoint cut are already committed and skipped entirely.
+    let mut nodes = part
+        .nodes_of(rank)
+        .filter(|&t| t > x && t >= resume_hi)
+        .peekable();
     let mut rxq: Vec<Packet<A::Msg>> = Vec::new();
-    let mut since_service = 0usize;
-    for t in part.nodes_of(rank).filter(|&t| t > x) {
-        algo.start_node(&mut net, t);
-        algo.drain_local(&mut net);
-        since_service += 1;
-        if since_service >= opts.service_interval {
-            since_service = 0;
-            service(&mut algo, &mut net, &mut rxq);
-            // §3.5.2: resolved messages must not linger in buffers.
-            net.flush_res();
-            // Let other ranks advance their sweeps: on an oversubscribed
-            // host this keeps per-rank progress in lockstep, as it would
-            // be with one core per rank.
-            std::thread::yield_now();
-        }
-    }
-    // End-of-sweep flush: requests may now wait for nobody.
-    net.flush_all();
 
-    // --- Completion loop: service traffic until global quiescence. ---
-    // Iterations that made progress flush immediately; quiescent ranks
-    // only re-scan their buffers every `idle_flush_interval` waits, and
-    // park on the transport instead of spinning (see the Transport
-    // receive contract).
-    //
-    // The stall watchdog measures *global* progress through the shared
-    // outstanding-work counter: as long as any rank commits slots the
-    // counter moves and every rank's timer resets, so only a genuinely
-    // wedged world (e.g. a message lost by an unreliable transport with
-    // recovery off) trips it — and then it trips on every rank, which is
-    // what lets the scoped world join instead of hanging.
-    let mut watchdog = opts
-        .stall_timeout
-        .map(|limit| (std::time::Instant::now(), net.term.outstanding(), limit));
-    let mut idle_iters = 0usize;
-    while !net.term.is_done() {
-        if service(&mut algo, &mut net, &mut rxq) {
-            idle_iters = 0;
-            net.flush_all();
-            if let Some((last_progress, _, _)) = &mut watchdog {
-                *last_progress = std::time::Instant::now();
+    for epoch in start_epoch..nepochs {
+        let (lo, hi) = (epoch_lo(epoch), epoch_hi(epoch));
+
+        // --- Initialization: seed edges and slot registration. ---
+        let pending = algo.register(lo, hi);
+        net.term.add(pending);
+        // No rank may observe the counter before everyone registered.
+        net.comm.barrier();
+        algo.attach_seed_node(&mut net, lo, hi);
+
+        // --- Generation sweep over the epoch's local nodes. ---
+        let mut since_service = 0usize;
+        while let Some(&t) = nodes.peek() {
+            if t >= hi {
+                break;
             }
-        } else if !net.term.is_done() {
-            idle_iters += 1;
-            if idle_iters >= opts.idle_flush_interval {
-                idle_iters = 0;
-                net.flush_all();
+            nodes.next();
+            algo.start_node(&mut net, t);
+            algo.drain_local(&mut net);
+            since_service += 1;
+            if since_service >= opts.service_interval {
+                since_service = 0;
+                service(&mut algo, &mut net, &mut rxq);
+                // §3.5.2: resolved messages must not linger in buffers.
+                net.flush_res();
+                // Let other ranks advance their sweeps: on an oversubscribed
+                // host this keeps per-rank progress in lockstep, as it would
+                // be with one core per rank.
+                std::thread::yield_now();
             }
-            if let Some(pkt) = net.comm.recv_timeout(opts.idle_wait) {
+        }
+        // End-of-sweep flush: requests may now wait for nobody.
+        net.flush_all();
+
+        // --- Completion loop: service traffic until global quiescence. ---
+        // Iterations that made progress flush immediately; quiescent ranks
+        // only re-scan their buffers every `idle_flush_interval` waits, and
+        // park on the transport instead of spinning (see the Transport
+        // receive contract).
+        //
+        // The stall watchdog measures *global* progress through the shared
+        // outstanding-work counter: as long as any rank commits slots the
+        // counter moves and every rank's timer resets, so only a genuinely
+        // wedged world (e.g. a message lost by an unreliable transport with
+        // recovery off) trips it — and then it trips on every rank, which is
+        // what lets the scoped world join instead of hanging.
+        let mut watchdog = opts
+            .stall_timeout
+            .map(|limit| (std::time::Instant::now(), net.term.outstanding(), limit));
+        let mut idle_iters = 0usize;
+        while !net.term.is_done() {
+            if service(&mut algo, &mut net, &mut rxq) {
                 idle_iters = 0;
-                let mut msgs = pkt.msgs;
-                algo.handle_msgs(&mut net, pkt.src, &mut msgs);
-                net.comm.recycle(pkt.src, msgs);
-                algo.drain_local(&mut net);
                 net.flush_all();
                 if let Some((last_progress, _, _)) = &mut watchdog {
                     *last_progress = std::time::Instant::now();
                 }
-            } else if let Some((last_progress, last_outstanding, limit)) = &mut watchdog {
-                let outstanding = net.term.outstanding();
-                if outstanding != *last_outstanding {
-                    *last_outstanding = outstanding;
-                    *last_progress = std::time::Instant::now();
-                } else if last_progress.elapsed() >= *limit {
-                    let stats = net.comm.stats();
-                    eprintln!(
-                        "stall watchdog: rank {rank} made no progress for {limit:?}; \
-                         outstanding={outstanding} {} msgs_sent={} msgs_recv={} \
-                         faults_injected={} retransmitted={} deduped={}",
-                        algo.stall_report(),
-                        stats.msgs_sent,
-                        stats.msgs_recv,
-                        stats.faults_injected,
-                        stats.retransmitted,
-                        stats.deduped,
-                    );
-                    panic!(
-                        "stall watchdog fired on rank {rank}: no progress for {limit:?} \
-                         (outstanding work = {outstanding}; {})",
-                        algo.stall_report()
-                    );
+            } else if !net.term.is_done() {
+                idle_iters += 1;
+                if idle_iters >= opts.idle_flush_interval {
+                    idle_iters = 0;
+                    net.flush_all();
+                }
+                if let Some(pkt) = net.comm.recv_timeout(opts.idle_wait) {
+                    idle_iters = 0;
+                    let mut msgs = pkt.msgs;
+                    algo.handle_msgs(&mut net, pkt.src, &mut msgs);
+                    net.comm.recycle(pkt.src, msgs);
+                    algo.drain_local(&mut net);
+                    net.flush_all();
+                    if let Some((last_progress, _, _)) = &mut watchdog {
+                        *last_progress = std::time::Instant::now();
+                    }
+                } else if let Some((last_progress, last_outstanding, limit)) = &mut watchdog {
+                    let outstanding = net.term.outstanding();
+                    if outstanding != *last_outstanding {
+                        *last_outstanding = outstanding;
+                        *last_progress = std::time::Instant::now();
+                    } else if last_progress.elapsed() >= *limit {
+                        let stats = net.comm.stats();
+                        eprintln!(
+                            "stall watchdog: rank {rank} made no progress for {limit:?}; \
+                             outstanding={outstanding} {} msgs_sent={} msgs_recv={} \
+                             faults_injected={} retransmitted={} deduped={}",
+                            algo.stall_report(),
+                            stats.msgs_sent,
+                            stats.msgs_recv,
+                            stats.faults_injected,
+                            stats.retransmitted,
+                            stats.deduped,
+                        );
+                        panic!(
+                            "stall watchdog fired on rank {rank}: no progress for {limit:?} \
+                             (outstanding work = {outstanding}; {})",
+                            algo.stall_report()
+                        );
+                    }
                 }
             }
         }
+        // Requests and resolved messages are always flushed before the slot
+        // they belong to can commit, so termination implies both are gone
+        // (only untracked hub broadcasts may remain buffered; with every slot
+        // below `hi` committed everywhere they carry no information).
+        debug_assert_eq!(net.req.pending_total(), 0);
+        algo.finish();
+
+        if hi < n {
+            // Gate the next epoch's registration: every rank must observe
+            // this epoch's quiescence before anyone re-arms the detector,
+            // or a slow rank could wait on a counter already re-raised.
+            net.comm.barrier();
+            if let Some(store) = store {
+                let (edges, bytes) = algo
+                    .sink_mark()
+                    .unwrap_or_else(|e| panic!("rank {rank}: checkpoint sink flush failed: {e}"));
+                let mut payload = Vec::new();
+                algo.snapshot(hi, &mut payload);
+                store
+                    .save(epoch, hi, edges, bytes, &payload)
+                    .unwrap_or_else(|e| {
+                        panic!("rank {rank}: writing checkpoint for epoch {epoch} failed: {e}")
+                    });
+            }
+        }
     }
-    // Requests and resolved messages are always flushed before the slot
-    // they belong to can commit, so termination implies both are gone
-    // (only untracked hub broadcasts may remain buffered; with every slot
-    // committed everywhere they carry no information — drop them).
-    debug_assert_eq!(net.req.pending_total(), 0);
-    algo.finish();
     algo
 }
 

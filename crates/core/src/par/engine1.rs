@@ -102,15 +102,24 @@ impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
 impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
     type Msg = Msg1;
 
-    fn register(&mut self) -> u64 {
-        // Node 0 contributes no slot; every other local node one.
-        let seeds_here = u64::from(self.part.rank_of(0) == self.rank);
-        self.part.size_of(self.rank) - seeds_here
+    fn register(&mut self, lo: Node, hi: Node) -> u64 {
+        // Node 0 contributes no slot; every other local node in `[lo, hi)`
+        // one.
+        let seeds_here = u64::from(lo == 0 && self.part.rank_of(0) == self.rank);
+        self.part.local_count_below(self.rank, hi)
+            - self.part.local_count_below(self.rank, lo)
+            - seeds_here
     }
 
-    fn attach_seed_node<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>) {
-        // Node 1 attaches to node 0 (the x = 1 boundary case).
-        if self.part.num_nodes() > 1 && self.part.rank_of(1) == self.rank {
+    fn attach_seed_node<T: Transport<Msg1>>(
+        &mut self,
+        net: &mut Net<'_, Msg1, T>,
+        lo: Node,
+        hi: Node,
+    ) {
+        // Node 1 attaches to node 0 (the x = 1 boundary case), in the
+        // epoch containing label 1.
+        if self.part.num_nodes() > 1 && (lo..hi).contains(&1) && self.part.rank_of(1) == self.rank {
             self.commit(net, 1, 0);
         }
     }
@@ -194,6 +203,44 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
 
     fn finish(&mut self) {
         debug_assert!(self.waiters.is_empty(), "waiters left after termination");
+    }
+
+    fn sink_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        self.edges.checkpoint_mark()
+    }
+
+    fn snapshot(&mut self, hi: Node, out: &mut Vec<u8>) {
+        // At the epoch cut every local node below `hi` is committed, so
+        // the prefix of `f` plus the counters is the whole engine (the
+        // waiter table is provably empty; node 0's slot legitimately
+        // holds NILL — it never attaches and is never queried).
+        let cnt = self.part.local_count_below(self.rank, hi);
+        out.extend_from_slice(&cnt.to_le_bytes());
+        for &v in &self.f[..cnt as usize] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.counters.encode(out);
+    }
+
+    fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String> {
+        use pa_mpsim::wire::get_u64;
+        let mut r = payload;
+        let cnt = get_u64(&mut r).ok_or("truncated checkpoint payload")?;
+        let expect = self.part.local_count_below(self.rank, hi);
+        if cnt != expect {
+            return Err(format!(
+                "committed prefix holds {cnt} nodes but the partition puts \
+                 {expect} local nodes below label {hi}"
+            ));
+        }
+        for slot in self.f.iter_mut().take(cnt as usize) {
+            *slot = get_u64(&mut r).ok_or("truncated F table")?;
+        }
+        self.counters = EngineCounters::decode(&mut r).ok_or("truncated engine counters")?;
+        if !r.is_empty() {
+            return Err(format!("{} trailing bytes after the counters", r.len()));
+        }
+        Ok(())
     }
 
     fn stall_report(&self) -> String {

@@ -83,6 +83,13 @@ pub(super) struct General<'a, P: Partition, S: EdgeSink> {
     hub_waiters: HashMap<u64, Vec<(Node, u32)>>,
     /// Locally produced resolutions awaiting processing `(t, e, v)`.
     local_events: VecDeque<(Node, u32, Node)>,
+    /// Every node below this label is committed world-wide (0 on a fresh
+    /// run; the checkpoint cut `hi` after a restore). Hub *misses* below
+    /// the base fall back to the request path: the owner's broadcast was
+    /// sent before the crash and will never be retransmitted, but a
+    /// request returns the same committed value, so the output is
+    /// unchanged.
+    committed_base: Node,
     edges: S,
     counters: EngineCounters,
 }
@@ -117,6 +124,7 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
             hub,
             hub_waiters: HashMap::new(),
             local_events: VecDeque::new(),
+            committed_base: 0,
             edges: sink,
             counters: EngineCounters {
                 nodes: size,
@@ -191,6 +199,25 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
                             // Hub hit: the committed value, no round trip.
                             self.counters.hub_hits += 1;
                             (v, false)
+                        }
+                        None if c.k < self.committed_base => {
+                            // The slot committed before the checkpoint cut
+                            // we restored from, so its broadcast predates
+                            // the crash and may be lost forever — parking
+                            // would deadlock. Ask the owner instead; the
+                            // answer is the same committed value.
+                            self.counters.requests_sent += 1;
+                            net.send_req(
+                                owner,
+                                Msg::Request {
+                                    t,
+                                    e,
+                                    k: c.k,
+                                    l: c.l as u32,
+                                    a: attempt,
+                                },
+                            );
+                            return SlotOutcome::Waiting;
                         }
                         None => {
                             // The owner broadcasts every covered commit,
@@ -352,25 +379,35 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
 impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
     type Msg = Msg;
 
-    fn register(&mut self) -> u64 {
+    fn register(&mut self, lo: Node, hi: Node) -> u64 {
         let x = self.cfg.x;
-        // Clique edges are emitted by the owner of their higher endpoint.
-        let local_seeds = (0..x).filter(|&v| self.part.rank_of(v) == self.rank);
-        let mut seeds_here = 0u64;
-        for i in local_seeds {
-            seeds_here += 1;
-            for j in 0..i {
-                self.edges.emit(i, j);
+        // Clique edges are emitted by the owner of their higher endpoint,
+        // in the epoch containing that endpoint's label.
+        for i in lo..hi.min(x) {
+            if self.part.rank_of(i) == self.rank {
+                for j in 0..i {
+                    self.edges.emit(i, j);
+                }
             }
         }
-        // Every local node t >= x owns x yet-uncommitted slots.
-        (self.part.size_of(self.rank) - seeds_here) * x
+        // Every local node t >= x in `[lo, hi)` owns x pending slots.
+        let start = lo.max(x).min(hi);
+        let pending_nodes = self.part.local_count_below(self.rank, hi)
+            - self.part.local_count_below(self.rank, start);
+        pending_nodes * x
     }
 
-    fn attach_seed_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>) {
-        // Node x attaches deterministically to all seed nodes.
+    fn attach_seed_node<T: Transport<Msg>>(
+        &mut self,
+        net: &mut Net<'_, Msg, T>,
+        lo: Node,
+        hi: Node,
+    ) {
+        // Node x attaches deterministically to all seed nodes (gated on
+        // its label's epoch, so its slots complete exactly the work the
+        // same epoch registered).
         let x = self.cfg.x;
-        if self.part.num_nodes() > x && self.part.rank_of(x) == self.rank {
+        if self.part.num_nodes() > x && (lo..hi).contains(&x) && self.part.rank_of(x) == self.rank {
             for e in 0..x {
                 self.commit(net, x, e as u32, e);
             }
@@ -440,6 +477,70 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
             self.hub_waiters.is_empty(),
             "hub waiters left after termination"
         );
+    }
+
+    fn sink_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        self.edges.checkpoint_mark()
+    }
+
+    fn snapshot(&mut self, hi: Node, out: &mut Vec<u8>) {
+        // At the epoch cut every local node below `hi` is fully
+        // committed and everything at or above it is untouched, so the
+        // prefix of `f` plus the counters and the hub replica is the
+        // whole engine (attempt counters are dead for committed slots;
+        // `next_e` is reconstructed; waiter tables are provably empty —
+        // `finish` just asserted it). Clique-node rows (labels < x)
+        // legitimately hold NILL: their slots are never drawn or queried.
+        let x = self.cfg.x;
+        let cnt = self.part.local_count_below(self.rank, hi);
+        out.extend_from_slice(&cnt.to_le_bytes());
+        for &v in &self.f[..(cnt * x) as usize] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.counters.encode(out);
+        let vals = self.hub.vals();
+        out.extend_from_slice(&(vals.len() as u64).to_le_bytes());
+        for &v in vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String> {
+        use pa_mpsim::wire::get_u64;
+        let x = self.cfg.x;
+        let mut r = payload;
+        let cnt = get_u64(&mut r).ok_or("truncated checkpoint payload")?;
+        let expect = self.part.local_count_below(self.rank, hi);
+        if cnt != expect {
+            return Err(format!(
+                "committed prefix holds {cnt} nodes but the partition puts \
+                 {expect} local nodes below label {hi}"
+            ));
+        }
+        for slot in self.f.iter_mut().take((cnt * x) as usize) {
+            *slot = get_u64(&mut r).ok_or("truncated F table")?;
+        }
+        for e in self.next_e.iter_mut().take(cnt as usize) {
+            *e = x as u32;
+        }
+        self.counters = EngineCounters::decode(&mut r).ok_or("truncated engine counters")?;
+        let hub_len = get_u64(&mut r).ok_or("truncated hub-cache length")? as usize;
+        let mut vals = Vec::with_capacity(hub_len);
+        for _ in 0..hub_len {
+            vals.push(get_u64(&mut r).ok_or("truncated hub cache")?);
+        }
+        if !r.is_empty() {
+            return Err(format!("{} trailing bytes after the hub cache", r.len()));
+        }
+        if !self.hub.load_vals(&vals) {
+            return Err(format!(
+                "hub cache holds {hub_len} slots but this run's cache has {} \
+                 (hub_cache_nodes changed between runs?)",
+                self.hub.vals().len()
+            ));
+        }
+        self.committed_base = hi;
+        Ok(())
     }
 
     fn stall_report(&self) -> String {

@@ -24,6 +24,7 @@
 //! single-rank runs execute on the calling thread over a thread-free
 //! [`pa_mpsim::LoopbackTransport`].
 
+mod checkpoint;
 mod degrees;
 mod driver;
 mod engine1;
@@ -34,6 +35,7 @@ mod output;
 mod sink;
 mod waiters;
 
+pub use checkpoint::{CheckpointMeta, CheckpointStore, SavedCheckpoint};
 pub use degrees::{distributed_degrees, merge_degrees};
 pub use msg::{Msg, Msg1};
 pub use output::{EngineCounters, ParallelOutput, RankOutput};
@@ -328,6 +330,62 @@ where
     algo.into_parts()
 }
 
+/// [`generate_rank_streaming`] with coordinated checkpoint/restart: when
+/// `store` is given and `opts.checkpoint_interval` is set, every epoch
+/// boundary writes an atomic per-rank checkpoint into the store; when
+/// `resume` is given, the engine is restored from that saved epoch and
+/// generation continues from the first label after its watermark.
+///
+/// The caller owns the surrounding recovery protocol: agreeing on a
+/// common resume epoch across ranks (e.g. an `allreduce` over
+/// [`CheckpointStore::latest`]), truncating part files back to the saved
+/// `(edges, bytes)` watermark, and handing in a sink positioned at that
+/// watermark (see [`StreamingWriterSink::resume`]).
+///
+/// # Panics
+///
+/// Panics as [`generate_rank_streaming`] does, and additionally when
+/// `store`/`resume` are supplied without `opts.checkpoint_interval`, or
+/// when the resumed checkpoint does not line up with the epoch grid.
+pub fn generate_rank_streaming_recoverable<P, S, T>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    comm: &mut T,
+    sink: S,
+    store: Option<&CheckpointStore>,
+    resume: Option<&SavedCheckpoint>,
+) -> (S, EngineCounters)
+where
+    P: Partition,
+    S: EdgeSink,
+    T: Transport<Msg>,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert!(
+        opts.fault_plan.is_none(),
+        "fault injection must wrap the transport before generate_rank_streaming_recoverable"
+    );
+    assert!(
+        (store.is_none() && resume.is_none()) || opts.checkpoint_interval.is_some(),
+        "checkpoint store/resume require GenOptions::checkpoint_interval"
+    );
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
+    assert_eq!(
+        part.nranks(),
+        comm.nranks(),
+        "partition rank count does not match the transport world"
+    );
+    let algo = engine2::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
+    let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
+    algo.into_parts()
+}
+
 /// Run Algorithm 3.1 (`cfg.x == 1`) for **one rank of an external
 /// world**; the `x = 1` counterpart of [`generate_rank_streaming`].
 ///
@@ -564,6 +622,129 @@ mod tests {
             generate_rank_streaming(&cfg, &part, &opts(), &mut t, EdgeList::new());
         assert_eq!(edges, seq::copy_model(&cfg));
         assert_eq!(counters.nodes, cfg.n);
+    }
+
+    #[test]
+    fn epoch_boundaries_do_not_change_the_output() {
+        // Checkpoint epochs only add barriers at label cuts; the generated
+        // network must stay bit-identical for any interval, both engines.
+        let cfg = PaConfig::new(2000, 4).with_seed(19);
+        let reference = generate(&cfg, Scheme::Rrp, 3, &opts())
+            .edge_list()
+            .canonicalized();
+        for interval in [1u64, 257, 1999, 2000, 5000] {
+            let epoch_opts = GenOptions {
+                checkpoint_interval: Some(interval),
+                ..opts()
+            };
+            let out = generate(&cfg, Scheme::Rrp, 3, &epoch_opts);
+            assert_eq!(
+                out.edge_list().canonicalized(),
+                reference,
+                "interval {interval}"
+            );
+        }
+        let cfg1 = PaConfig::new(1500, 1).with_seed(19);
+        let reference1 = seq::copy_model(&cfg1).canonicalized();
+        let epoch_opts = GenOptions {
+            checkpoint_interval: Some(333),
+            ..opts()
+        };
+        let out = generate_x1(&cfg1, Scheme::Lcp, 3, &epoch_opts);
+        assert_eq!(out.edge_list().canonicalized(), reference1);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let cfg = PaConfig::new(2400, 3).with_seed(29);
+        let interval = 500u64;
+        let epoch_opts = GenOptions {
+            checkpoint_interval: Some(interval),
+            ..opts()
+        };
+        let part = partition::build(Scheme::Rrp, cfg.n, 3);
+        let dir = std::env::temp_dir().join(format!("pa_core_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = CheckpointMeta {
+            world: 3,
+            n: cfg.n,
+            x: cfg.x,
+            p_bits: cfg.p.to_bits(),
+            seed: cfg.seed,
+            scheme_id: 2,
+            engine_id: 2,
+            interval,
+        };
+        let ckpt_dir = dir.clone();
+        let full: Vec<EdgeList> = World::new(3).run(|mut comm| {
+            let store = CheckpointStore::new(&ckpt_dir, comm.rank() as u32, meta).unwrap();
+            generate_rank_streaming_recoverable(
+                &cfg,
+                &part,
+                &epoch_opts,
+                &mut comm,
+                EdgeList::new(),
+                Some(&store),
+                None,
+            )
+            .0
+        });
+        let reference = EdgeList::concat(full.clone()).canonicalized();
+
+        // Gang-restart from the older of the two surviving epochs: each
+        // rank reloads its engine state, hands in a sink truncated to the
+        // saved edge watermark, and replays the remaining epochs.
+        let ckpt_dir = dir.clone();
+        let resumed: Vec<EdgeList> = World::new(3).run(|mut comm| {
+            let rank = comm.rank();
+            let store = CheckpointStore::new(&ckpt_dir, rank as u32, meta).unwrap();
+            let saved = store.load(store.latest().unwrap() - 1).unwrap();
+            let mut sink = EdgeList::new();
+            for &(u, v) in &full[rank].as_slice()[..saved.edges as usize] {
+                sink.push(u, v);
+            }
+            generate_rank_streaming_recoverable(
+                &cfg,
+                &part,
+                &epoch_opts,
+                &mut comm,
+                sink,
+                None,
+                Some(&saved),
+            )
+            .0
+        });
+        assert_eq!(EdgeList::concat(resumed).canonicalized(), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_interval")]
+    fn recoverable_entry_point_rejects_store_without_interval() {
+        let cfg = PaConfig::new(100, 2).with_seed(1);
+        let part = partition::build(Scheme::Ucp, cfg.n, 1);
+        let dir = std::env::temp_dir().join(format!("pa_core_noint_{}", std::process::id()));
+        let meta = CheckpointMeta {
+            world: 1,
+            n: cfg.n,
+            x: cfg.x,
+            p_bits: cfg.p.to_bits(),
+            seed: cfg.seed,
+            scheme_id: 0,
+            engine_id: 2,
+            interval: 0,
+        };
+        let store = CheckpointStore::new(&dir, 0, meta).unwrap();
+        let mut t = LoopbackTransport::new();
+        let _ = generate_rank_streaming_recoverable(
+            &cfg,
+            &part,
+            &opts(),
+            &mut t,
+            EdgeList::new(),
+            Some(&store),
+            None,
+        );
     }
 
     #[test]

@@ -51,6 +51,62 @@ pub struct EngineCounters {
     pub stale_resolutions: u64,
 }
 
+impl EngineCounters {
+    /// Field count of the checkpoint encoding (one `u64` per field, in
+    /// declaration order).
+    pub(super) const ENCODED_FIELDS: usize = 14;
+
+    /// Append the checkpoint encoding: every field as a little-endian
+    /// `u64`, in declaration order.
+    pub(super) fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.nodes,
+            self.direct_edges,
+            self.copy_edges,
+            self.local_immediate,
+            self.local_deferred,
+            self.requests_sent,
+            self.requests_served,
+            self.requests_queued,
+            self.duplicate_retries,
+            self.max_queued_waiters,
+            self.hub_hits,
+            self.hub_deferred,
+            self.hub_updates,
+            self.stale_resolutions,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decode the [`EngineCounters::encode`] layout from the front of
+    /// `input`, advancing it; `None` on truncation.
+    pub(super) fn decode(input: &mut &[u8]) -> Option<Self> {
+        let mut fields = [0u64; Self::ENCODED_FIELDS];
+        for f in &mut fields {
+            *f = pa_mpsim::wire::get_u64(input)?;
+        }
+        let [nodes, direct_edges, copy_edges, local_immediate, local_deferred, requests_sent, requests_served, requests_queued, duplicate_retries, max_queued_waiters, hub_hits, hub_deferred, hub_updates, stale_resolutions] =
+            fields;
+        Some(Self {
+            nodes,
+            direct_edges,
+            copy_edges,
+            local_immediate,
+            local_deferred,
+            requests_sent,
+            requests_served,
+            requests_queued,
+            duplicate_retries,
+            max_queued_waiters,
+            hub_hits,
+            hub_deferred,
+            hub_updates,
+            stale_resolutions,
+        })
+    }
+}
+
 /// Everything one rank produced.
 #[derive(Debug, Clone)]
 pub struct RankOutput {
@@ -160,5 +216,40 @@ mod tests {
         assert_eq!(load.packets_out, 2);
         assert_eq!(load.packets_in, 3);
         assert_eq!(load.paper_load(), 11 + 5 + 7);
+    }
+
+    #[test]
+    fn counters_checkpoint_encoding_round_trips() {
+        let mut c = EngineCounters::default();
+        // Distinct values per field so a transposed decode cannot pass.
+        for (i, f) in [
+            &mut c.nodes,
+            &mut c.direct_edges,
+            &mut c.copy_edges,
+            &mut c.local_immediate,
+            &mut c.local_deferred,
+            &mut c.requests_sent,
+            &mut c.requests_served,
+            &mut c.requests_queued,
+            &mut c.duplicate_retries,
+            &mut c.max_queued_waiters,
+            &mut c.hub_hits,
+            &mut c.hub_deferred,
+            &mut c.hub_updates,
+            &mut c.stale_resolutions,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *f = (i as u64 + 1) * 1_000;
+        }
+        let mut bytes = Vec::new();
+        c.encode(&mut bytes);
+        assert_eq!(bytes.len(), 8 * EngineCounters::ENCODED_FIELDS);
+        let mut r: &[u8] = &bytes;
+        assert_eq!(EngineCounters::decode(&mut r), Some(c));
+        assert!(r.is_empty(), "decode consumes exactly the encoding");
+        let mut short: &[u8] = &bytes[..bytes.len() - 1];
+        assert_eq!(EngineCounters::decode(&mut short), None);
     }
 }

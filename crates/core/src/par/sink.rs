@@ -16,12 +16,34 @@ pub trait EdgeSink {
     /// Called exactly once per created edge `(u, v)` with `u` the
     /// creating (newer) node.
     fn emit(&mut self, u: Node, v: Node);
+
+    /// Flush any buffering and report the `(edges, bytes)` watermark the
+    /// sink has made durable — the coordinates a checkpoint records so a
+    /// restarted run can truncate back to exactly this point. Sinks with
+    /// no byte-addressed backing report 0 bytes; sinks that cannot
+    /// support recovery at all keep the default `Unsupported` error
+    /// (checkpointing through them fails loudly instead of silently
+    /// producing an unrecoverable checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` by default; flushing sinks surface their I/O errors.
+    fn checkpoint_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "this edge sink does not support checkpoint watermarks",
+        ))
+    }
 }
 
 impl EdgeSink for EdgeList {
     #[inline]
     fn emit(&mut self, u: Node, v: Node) {
         self.push(u, v);
+    }
+
+    fn checkpoint_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        Ok((self.len() as u64, 0))
     }
 }
 
@@ -43,6 +65,10 @@ impl EdgeSink for CountSink {
     #[inline]
     fn emit(&mut self, _u: Node, _v: Node) {
         self.edges += 1;
+    }
+
+    fn checkpoint_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        Ok((self.edges, 0))
     }
 }
 
@@ -112,6 +138,15 @@ impl<W: Write> StreamingWriterSink<W> {
         }
     }
 
+    /// Continue an interrupted stream: `w` must already hold (and be
+    /// positioned after) `edges` edges in `bytes` bytes — a part file
+    /// truncated to a checkpoint watermark and seeked to its end.
+    pub fn resume(w: W, format: EdgeFormat, edges: u64, bytes: u64) -> Self {
+        Self {
+            writer: EdgeWriter::resume(w, format, edges, bytes),
+        }
+    }
+
     /// Edges streamed so far.
     pub fn count(&self) -> u64 {
         self.writer.count()
@@ -128,6 +163,10 @@ impl<W: Write> EdgeSink for StreamingWriterSink<W> {
     #[inline]
     fn emit(&mut self, u: Node, v: Node) {
         self.writer.push(u, v);
+    }
+
+    fn checkpoint_mark(&mut self) -> std::io::Result<(u64, u64)> {
+        self.writer.checkpoint()
     }
 }
 
@@ -184,6 +223,24 @@ mod tests {
     #[should_panic(expected = "inconsistent n")]
     fn degree_sink_rejects_mismatched_sizes() {
         let _ = DegreeCountSink::merge([DegreeCountSink::new(3), DegreeCountSink::new(4)]);
+    }
+
+    #[test]
+    fn checkpoint_marks_per_sink() {
+        let mut el = EdgeList::new();
+        el.emit(1, 0);
+        assert_eq!(el.checkpoint_mark().unwrap(), (1, 0));
+        let mut c = CountSink::default();
+        c.emit(1, 0);
+        c.emit(2, 0);
+        assert_eq!(c.checkpoint_mark().unwrap(), (2, 0));
+        let mut deg = DegreeCountSink::new(4);
+        let err = deg.checkpoint_mark().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        let mut buf = Vec::new();
+        let mut s = StreamingWriterSink::new(&mut buf, EdgeFormat::Binary);
+        s.emit(1, 0);
+        assert_eq!(s.checkpoint_mark().unwrap(), (1, 16));
     }
 
     #[test]

@@ -68,6 +68,23 @@ pub trait Partition: Send + Sync {
             size: self.size_of(rank),
         }
     }
+
+    /// Number of `rank`'s nodes with labels below `bound` — the length of
+    /// a rank's committed prefix at a label-threshold cut (checkpoint
+    /// epochs). O(log size), by binary search over the strictly
+    /// increasing `node_at` order.
+    fn local_count_below(&self, rank: usize, bound: Node) -> u64 {
+        let (mut lo, mut hi) = (0u64, self.size_of(rank));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.node_at(rank, mid) < bound {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
 }
 
 /// Iterator over a rank's nodes in ascending order.
@@ -246,5 +263,22 @@ mod tests {
         let part = build(Scheme::Rrp, 10, 3);
         let it = part.nodes_of(0);
         assert_eq!(it.len(), 4); // nodes 0, 3, 6, 9
+    }
+
+    #[test]
+    fn local_count_below_matches_linear_scan() {
+        for scheme in Scheme::ALL {
+            let part = build(scheme, 101, 7);
+            for rank in 0..7 {
+                for bound in [0u64, 1, 13, 50, 100, 101, 500] {
+                    let expect = part.nodes_of(rank).filter(|&v| v < bound).count() as u64;
+                    assert_eq!(
+                        part.local_count_below(rank, bound),
+                        expect,
+                        "{scheme} rank {rank} bound {bound}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -110,6 +110,7 @@ pub struct EdgeWriter<W: Write> {
     format: EdgeFormat,
     chunk: Vec<(Node, Node)>,
     written: u64,
+    bytes: u64,
     error: Option<io::Error>,
 }
 
@@ -119,11 +120,20 @@ impl<W: Write> EdgeWriter<W> {
     /// Callers pass the raw sink (e.g. a [`File`]); chunking makes an
     /// extra [`BufWriter`] layer unnecessary.
     pub fn new(w: W, format: EdgeFormat) -> Self {
+        Self::resume(w, format, 0, 0)
+    }
+
+    /// Streaming writer continuing an interrupted stream: `w` must be
+    /// positioned after `bytes` bytes holding `written` edges (e.g. a
+    /// part file truncated to a checkpoint watermark and seeked to its
+    /// end). Counts continue from the given values.
+    pub fn resume(w: W, format: EdgeFormat, written: u64, bytes: u64) -> Self {
         Self {
             w,
             format,
             chunk: Vec::with_capacity(EDGE_WRITER_CHUNK),
-            written: 0,
+            written,
+            bytes,
             error: None,
         }
     }
@@ -161,21 +171,41 @@ impl<W: Write> EdgeWriter<W> {
                     bytes.extend_from_slice(&u.to_le_bytes());
                     bytes.extend_from_slice(&v.to_le_bytes());
                 }
-                self.w.write_all(&bytes)
+                self.w.write_all(&bytes).map(|()| bytes.len() as u64)
             }
             EdgeFormat::Text => {
                 let mut text = String::with_capacity(self.chunk.len() * 12);
                 for &(u, v) in &self.chunk {
                     text.push_str(&format!("{u} {v}\n"));
                 }
-                self.w.write_all(text.as_bytes())
+                self.w
+                    .write_all(text.as_bytes())
+                    .map(|()| text.len() as u64)
             }
         };
-        if let Err(e) = res {
-            self.error = Some(e);
+        match res {
+            Ok(n) => self.bytes += n,
+            Err(e) => self.error = Some(e),
         }
         self.written += self.chunk.len() as u64;
         self.chunk.clear();
+    }
+
+    /// Flush everything through to the sink and report the durable
+    /// `(edges, bytes)` watermark — the coordinates a checkpoint records
+    /// so a restarted run can truncate the stream back to exactly this
+    /// point (byte counts matter because the text encoding is
+    /// variable-width). Unlike [`EdgeWriter::finish`] the writer stays
+    /// usable; a previously recorded I/O error is surfaced (and kept, so
+    /// `finish` still reports it).
+    pub fn checkpoint(&mut self) -> io::Result<(u64, u64)> {
+        self.write_chunk();
+        if let Some(e) = &self.error {
+            // io::Error is not Clone; surface a copy, keep the original.
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        self.w.flush()?;
+        Ok((self.written, self.bytes))
     }
 
     /// Flush the final partial chunk and the sink; returns the total edge
@@ -334,6 +364,70 @@ mod tests {
         assert!(w.has_error());
         let err = w.finish().unwrap_err();
         assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn edge_writer_checkpoint_reports_durable_watermark() {
+        for format in [EdgeFormat::Binary, EdgeFormat::Text] {
+            // Reference encoding of the first two edges alone.
+            let mut prefix = Vec::new();
+            let pw = {
+                let mut pw = EdgeWriter::new(&mut prefix, format);
+                pw.push(12, 3);
+                pw.push(400, 9);
+                pw.finish().unwrap()
+            };
+            assert_eq!(pw, 2);
+            let mut streamed = Vec::new();
+            let mut w = EdgeWriter::new(&mut streamed, format);
+            w.push(12, 3);
+            w.push(400, 9);
+            let (edges, bytes) = w.checkpoint().unwrap();
+            assert_eq!((edges, bytes), (2, prefix.len() as u64), "{format:?}");
+            // The writer stays usable after a checkpoint.
+            w.push(500, 12);
+            assert_eq!(w.finish().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn edge_writer_resume_continues_counts() {
+        let mut first = Vec::new();
+        let mut w = EdgeWriter::new(&mut first, EdgeFormat::Text);
+        w.push(10, 2);
+        let (edges, bytes) = w.checkpoint().unwrap();
+        drop(w);
+        // Second writer appends to the truncated stream.
+        let mut tail = Vec::new();
+        let mut w = EdgeWriter::resume(&mut tail, EdgeFormat::Text, edges, bytes);
+        assert_eq!(w.count(), 1);
+        w.push(11, 0);
+        let (edges2, bytes2) = w.checkpoint().unwrap();
+        assert_eq!(edges2, 2);
+        assert_eq!(w.finish().unwrap(), 2);
+        assert_eq!(bytes2, bytes + tail.len() as u64);
+        first.extend_from_slice(&tail);
+        let back = read_text(&first[..]).unwrap();
+        assert_eq!(back.as_slice(), &[(10, 2), (11, 0)]);
+    }
+
+    #[test]
+    fn edge_writer_checkpoint_surfaces_recorded_error() {
+        struct AlwaysFail;
+        impl Write for AlwaysFail {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = EdgeWriter::new(AlwaysFail, EdgeFormat::Binary);
+        w.push(1, 0);
+        let err = w.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("disk full"));
+        // The original error is preserved for finish().
+        assert!(w.finish().unwrap_err().to_string().contains("disk full"));
     }
 
     #[test]

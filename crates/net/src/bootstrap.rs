@@ -50,11 +50,16 @@ pub struct TcpConfig {
     /// peer that is alive but wedged fails the round loudly instead of
     /// hanging it forever.
     pub collective_timeout: Duration,
+    /// Restart-attempt generation, exchanged in the `HELLO` handshake: a
+    /// fresh launch is epoch 0 and every gang restart bumps it, so a
+    /// straggler process from a previous attempt cannot wire into the
+    /// restarted world.
+    pub epoch: u64,
 }
 
 impl TcpConfig {
     /// A config with the default timeouts (30 s connect, 120 s
-    /// collective).
+    /// collective) at restart epoch 0.
     pub fn new(rank: usize, world: usize, peers: Vec<String>) -> Self {
         TcpConfig {
             rank,
@@ -62,6 +67,7 @@ impl TcpConfig {
             peers,
             connect_timeout: Duration::from_secs(30),
             collective_timeout: Duration::from_secs(120),
+            epoch: 0,
         }
     }
 
@@ -69,19 +75,29 @@ impl TcpConfig {
     /// `world`-sized job and return the matching configs. The listeners
     /// are handed back so in-process multi-rank tests can pass them to
     /// [`TcpTransport::connect_with_listener`] with no bind/dial race.
-    pub fn local_world(world: usize) -> Vec<(TcpConfig, TcpListener)> {
-        let listeners: Vec<TcpListener> = (0..world)
-            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
-            .collect();
-        let peers: Vec<String> = listeners
-            .iter()
-            .map(|l| l.local_addr().expect("listener address").to_string())
-            .collect();
-        listeners
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::LoopbackSetup`] naming the rank whose listener could
+    /// not be bound or inspected (e.g. file-descriptor exhaustion).
+    pub fn local_world(world: usize) -> Result<Vec<(TcpConfig, TcpListener)>, NetError> {
+        let fail = |rank: usize, detail: String| NetError::LoopbackSetup { rank, detail };
+        let mut listeners = Vec::with_capacity(world);
+        let mut peers = Vec::with_capacity(world);
+        for rank in 0..world {
+            let listener = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| fail(rank, format!("bind loopback listener: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| fail(rank, format!("read listener address: {e}")))?;
+            peers.push(addr.to_string());
+            listeners.push(listener);
+        }
+        Ok(listeners
             .into_iter()
             .enumerate()
             .map(|(rank, l)| (TcpConfig::new(rank, world, peers.clone()), l))
-            .collect()
+            .collect())
     }
 
     fn validate(&self) -> Result<(), NetError> {
@@ -160,9 +176,10 @@ fn handshake_out(
     stream
         .set_read_timeout(Some(remaining(deadline)))
         .map_err(|e| fail(e.to_string()))?;
-    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32)
+    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32, cfg.epoch)
         .map_err(|e| fail(format!("sending HELLO: {e}")))?;
-    let (_, rank) = frame::read_hello(stream, cfg.world as u32).map_err(|e| fail(e.to_string()))?;
+    let (_, rank) =
+        frame::read_hello(stream, cfg.world as u32, cfg.epoch).map_err(|e| fail(e.to_string()))?;
     if rank as usize != expect_rank {
         return Err(fail(format!(
             "peer at {} answered as rank {rank}, expected rank {expect_rank} — \
@@ -194,7 +211,8 @@ fn handshake_in(
     stream
         .set_read_timeout(Some(remaining(deadline)))
         .map_err(|e| fail(e.to_string()))?;
-    let (_, rank) = frame::read_hello(stream, cfg.world as u32).map_err(|e| fail(e.to_string()))?;
+    let (_, rank) =
+        frame::read_hello(stream, cfg.world as u32, cfg.epoch).map_err(|e| fail(e.to_string()))?;
     let rank = rank as usize;
     if rank <= cfg.rank || rank >= cfg.world {
         return Err(fail(format!(
@@ -204,7 +222,7 @@ fn handshake_in(
             cfg.world
         )));
     }
-    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32)
+    frame::write_hello(stream, cfg.world as u32, cfg.rank as u32, cfg.epoch)
         .map_err(|e| fail(format!("answering HELLO: {e}")))?;
     stream
         .set_read_timeout(None)
@@ -319,7 +337,7 @@ mod tests {
 
     #[test]
     fn local_world_hands_out_distinct_ports() {
-        let world = TcpConfig::local_world(3);
+        let world = TcpConfig::local_world(3).unwrap();
         assert_eq!(world.len(), 3);
         let peers = &world[0].0.peers;
         assert_eq!(peers.len(), 3);

@@ -48,6 +48,14 @@ pub enum NetError {
         /// How long this rank waited.
         waited: Duration,
     },
+    /// An in-process loopback world (`TcpConfig::local_world`) could not
+    /// set up one rank's listener.
+    LoopbackSetup {
+        /// The rank whose listener failed.
+        rank: usize,
+        /// OS-level failure detail.
+        detail: String,
+    },
     /// A connection was established but the `HELLO` exchange failed:
     /// wrong magic or protocol version, mismatched world size, a rank
     /// claimed twice, or a peer that hung up mid-handshake.
@@ -82,6 +90,12 @@ impl fmt::Display for NetError {
                 f,
                 "peer rank(s) {missing:?} never connected within {waited:?}"
             ),
+            NetError::LoopbackSetup { rank, detail } => {
+                write!(
+                    f,
+                    "cannot set up loopback listener for rank {rank}: {detail}"
+                )
+            }
             NetError::Handshake { peer, detail } => {
                 write!(f, "handshake with {peer} failed: {detail}")
             }
@@ -107,6 +121,17 @@ mod tests {
         assert!(msg.contains("rank 3"), "{msg}");
         assert!(msg.contains("10.0.0.7:9103"), "{msg}");
         assert!(msg.contains("connection refused"), "{msg}");
+    }
+
+    #[test]
+    fn loopback_setup_names_the_rank() {
+        let e = NetError::LoopbackSetup {
+            rank: 2,
+            detail: "too many open files".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("too many open files"), "{msg}");
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::io::{self, Read, Write};
 pub(crate) const MAGIC: u32 = 0x544e_4150;
 
 /// Wire protocol version; bumped on any incompatible format change.
-pub(crate) const VERSION: u32 = 1;
+/// v2 added the restart epoch to `HELLO` so a stale rank from a previous
+/// launch attempt cannot wire into a restarted world.
+pub(crate) const VERSION: u32 = 2;
 
 /// Upper bound on a single frame, as a corruption tripwire: a garbled
 /// length prefix would otherwise ask the reader to allocate gigabytes.
@@ -28,7 +30,9 @@ pub(crate) const MAX_FRAME: usize = 256 << 20;
 /// Frame kinds. The discriminants are the on-wire kind bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Kind {
-    /// Bootstrap handshake: `magic:u32 version:u32 world:u32 rank:u32`.
+    /// Bootstrap handshake:
+    /// `magic:u32 version:u32 world:u32 rank:u32 epoch:u64`, where
+    /// `epoch` is the launcher's restart-attempt generation.
     Hello = 1,
     /// Engine traffic: `count:u32` followed by `count` `Wire`-encoded
     /// messages.
@@ -110,34 +114,44 @@ pub(crate) fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result
     })
 }
 
-/// Write a `Hello` frame identifying this end of the connection.
-pub(crate) fn write_hello(w: &mut impl Write, world: u32, rank: u32) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(21);
+/// Write a `Hello` frame identifying this end of the connection;
+/// `epoch` is the launcher's restart-attempt generation (0 on a first
+/// launch).
+pub(crate) fn write_hello(w: &mut impl Write, world: u32, rank: u32, epoch: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(29);
     build_frame(&mut buf, Kind::Hello, |b| {
         b.extend_from_slice(&MAGIC.to_le_bytes());
         b.extend_from_slice(&VERSION.to_le_bytes());
         b.extend_from_slice(&world.to_le_bytes());
         b.extend_from_slice(&rank.to_le_bytes());
+        b.extend_from_slice(&epoch.to_le_bytes());
     });
     w.write_all(&buf)
 }
 
 /// Read and validate a `Hello` frame; returns the peer's claimed
-/// `(world, rank)`. Magic, version, or world mismatches are
-/// `InvalidData` — they mean the socket is not (this version of) a
-/// `pa-net` peer of the same job.
-pub(crate) fn read_hello(r: &mut impl Read, expect_world: u32) -> io::Result<(u32, u32)> {
+/// `(world, rank)`. Magic, version, world, or restart-epoch mismatches
+/// are `InvalidData` — they mean the socket is not (this version of) a
+/// `pa-net` peer of the same job *attempt*: after a gang restart, a
+/// straggler from the previous attempt still carries the old epoch and
+/// must be turned away instead of wired into the new world.
+pub(crate) fn read_hello(
+    r: &mut impl Read,
+    expect_world: u32,
+    expect_epoch: u64,
+) -> io::Result<(u32, u32)> {
     let mut payload = Vec::new();
     let kind = read_frame(r, &mut payload)?;
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     if kind != Kind::Hello {
         return Err(bad(format!("expected HELLO, got {kind:?}")));
     }
-    if payload.len() != 16 {
+    if payload.len() != 24 {
         return Err(bad(format!("HELLO payload of {} bytes", payload.len())));
     }
     let word = |i: usize| u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap());
     let (magic, version, world, rank) = (word(0), word(1), word(2), word(3));
+    let epoch = u64::from_le_bytes(payload[16..24].try_into().unwrap());
     if magic != MAGIC {
         return Err(bad(format!("bad magic {magic:#x} (not a pa-net peer?)")));
     }
@@ -149,6 +163,12 @@ pub(crate) fn read_hello(r: &mut impl Read, expect_world: u32) -> io::Result<(u3
     if world != expect_world {
         return Err(bad(format!(
             "world-size mismatch: peer launched with -p {world}, this rank with -p {expect_world}"
+        )));
+    }
+    if epoch != expect_epoch {
+        return Err(bad(format!(
+            "restart-epoch mismatch: peer is from launch attempt {epoch}, this rank from \
+             attempt {expect_epoch} — stale rank from a previous attempt?"
         )));
     }
     Ok((world, rank))
@@ -200,15 +220,23 @@ mod tests {
     #[test]
     fn hello_round_trips_and_validates() {
         let mut buf = Vec::new();
-        write_hello(&mut buf, 4, 2).unwrap();
-        assert_eq!(read_hello(&mut &buf[..], 4).unwrap(), (4, 2));
+        write_hello(&mut buf, 4, 2, 7).unwrap();
+        assert_eq!(read_hello(&mut &buf[..], 4, 7).unwrap(), (4, 2));
         // World mismatch is a handshake failure.
         let mut buf2 = Vec::new();
-        write_hello(&mut buf2, 8, 2).unwrap();
-        assert!(read_hello(&mut &buf2[..], 4).is_err());
+        write_hello(&mut buf2, 8, 2, 7).unwrap();
+        assert!(read_hello(&mut &buf2[..], 4, 7).is_err());
         // Corrupt magic is rejected.
         let mut bad = buf.clone();
         bad[5] ^= 0xff;
-        assert!(read_hello(&mut &bad[..], 4).is_err());
+        assert!(read_hello(&mut &bad[..], 4, 7).is_err());
+    }
+
+    #[test]
+    fn hello_rejects_stale_restart_epochs() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 4, 2, 0).unwrap();
+        let err = read_hello(&mut &buf[..], 4, 1).unwrap_err();
+        assert!(err.to_string().contains("restart-epoch"), "{err}");
     }
 }

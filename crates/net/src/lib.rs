@@ -31,7 +31,7 @@
 //! use pa_mpsim::Transport;
 //! use pa_net::{TcpConfig, TcpTransport};
 //!
-//! let mut world = TcpConfig::local_world(2);
+//! let mut world = TcpConfig::local_world(2).unwrap();
 //! let (cfg1, l1) = world.pop().unwrap();
 //! let (cfg0, l0) = world.pop().unwrap();
 //! let peer = std::thread::spawn(move || {

@@ -84,7 +84,11 @@ pub(crate) struct Shared<M> {
     coll: Mutex<CollState>,
     coll_cv: Condvar,
     coll_round: AtomicU64,
-    coll_timeout: Duration,
+    /// Collective deadline in milliseconds. Atomic so the driver can
+    /// tighten it to the engine's stall budget after bootstrap — a
+    /// wedged collective then fires the stall-watchdog diagnostic
+    /// instead of blocking past `GenOptions::stall_timeout`.
+    coll_timeout_ms: AtomicU64,
     term: TermState,
     /// Per-peer: orderly `BYE` received.
     peer_bye: Vec<AtomicBool>,
@@ -146,7 +150,7 @@ impl<M: Wire + Send + 'static> Shared<M> {
             coll: Mutex::new(CollState::default()),
             coll_cv: Condvar::new(),
             coll_round: AtomicU64::new(0),
-            coll_timeout,
+            coll_timeout_ms: AtomicU64::new(coll_timeout.as_millis().max(1) as u64),
             term: TermState {
                 staged: AtomicU64::new(0),
                 target: AtomicU64::new(0),
@@ -261,7 +265,8 @@ impl<M: Wire + Send + 'static> Shared<M> {
             .filter(|&c| c < self.world)
             .collect();
         let expected: usize = children.iter().map(|&c| subtree_size(c, self.world)).sum();
-        let deadline = Instant::now() + self.coll_timeout;
+        let timeout = Duration::from_millis(self.coll_timeout_ms.load(Ordering::Acquire));
+        let deadline = Instant::now() + timeout;
 
         // Up phase: wait for the whole subtree, then contribute upward.
         let mut pairs: Vec<(u32, u64)> = Vec::with_capacity(expected + 1);
@@ -273,9 +278,9 @@ impl<M: Wire + Send + 'static> Shared<M> {
                 self.check_alive("a collective (up phase)");
                 assert!(
                     Instant::now() < deadline,
-                    "rank {r}: collective round {round} timed out after {:?} \
-                     waiting for child contributions — is a peer wedged?",
-                    self.coll_timeout
+                    "stall watchdog fired on rank {r}: collective round {round} made no \
+                     progress for {timeout:?} waiting for child contributions — is a peer \
+                     wedged?"
                 );
                 g = self.coll.lock().unwrap();
                 let (ng, _) = self.coll_cv.wait_timeout(g, WAIT_SLICE).unwrap();
@@ -314,9 +319,8 @@ impl<M: Wire + Send + 'static> Shared<M> {
                 self.check_alive("a collective (down phase)");
                 assert!(
                     Instant::now() < deadline,
-                    "rank {r}: collective round {round} timed out after {:?} \
-                     waiting for the snapshot — is a peer wedged?",
-                    self.coll_timeout
+                    "stall watchdog fired on rank {r}: collective round {round} made no \
+                     progress for {timeout:?} waiting for the snapshot — is a peer wedged?"
                 );
                 g = self.coll.lock().unwrap();
                 let (ng, _) = self.coll_cv.wait_timeout(g, WAIT_SLICE).unwrap();
@@ -576,6 +580,17 @@ impl<M: Wire + Send + 'static> TcpTransport<M> {
         for h in self.readers.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Cap the deadline of every subsequent collective. The driver sets
+    /// this to (at most) `GenOptions::stall_timeout` so a wedged barrier
+    /// or allreduce fires the stall-watchdog diagnostic on the same
+    /// schedule as a wedged point-to-point phase, instead of blocking
+    /// for the full bootstrap-time [`crate::TcpConfig::collective_timeout`].
+    pub fn set_collective_timeout(&self, timeout: Duration) {
+        self.shared
+            .coll_timeout_ms
+            .store(timeout.as_millis().max(1) as u64, Ordering::Release);
     }
 
     /// Abruptly sever every connection *without* the orderly `BYE`,

@@ -20,7 +20,7 @@ use pa_net::{TcpConfig, TcpTransport};
 
 /// Run `f` as every rank of an in-process TCP world.
 fn run_tcp_world(world: usize, f: impl Fn(TcpTransport<u64>) + Send + Sync) {
-    let ranks = TcpConfig::local_world(world);
+    let ranks = TcpConfig::local_world(world).expect("loopback world");
     std::thread::scope(|s| {
         for (cfg, listener) in ranks {
             let f = &f;
@@ -34,7 +34,7 @@ fn run_tcp_world(world: usize, f: impl Fn(TcpTransport<u64>) + Send + Sync) {
 
 #[test]
 fn tcp_conforms_single_rank() {
-    let mut ranks = TcpConfig::local_world(1);
+    let mut ranks = TcpConfig::local_world(1).expect("loopback world");
     let (cfg, listener) = ranks.pop().unwrap();
     check_single_rank(TcpTransport::<u64>::connect_with_listener(cfg, listener).unwrap());
 }
@@ -143,7 +143,7 @@ fn killed_peer_fails_receives_with_a_diagnostic() {
     // Rank 1 vanishes without the orderly BYE (its process would have
     // been killed); rank 0's parked receive must panic with a diagnostic
     // naming rank 1 instead of sleeping forever.
-    let mut ranks = TcpConfig::local_world(2);
+    let mut ranks = TcpConfig::local_world(2).expect("loopback world");
     let (cfg1, l1) = ranks.pop().unwrap();
     let (cfg0, l0) = ranks.pop().unwrap();
     let killer = std::thread::spawn(move || {

@@ -34,7 +34,7 @@ fn run_world<M: Wire + Send + 'static>(
     world: usize,
     rank_fn: impl Fn(usize, &mut TcpTransport<M>) -> EdgeList + Send + Sync,
 ) -> Vec<EdgeList> {
-    let ranks = TcpConfig::local_world(world);
+    let ranks = TcpConfig::local_world(world).expect("loopback world");
     let mut shards: Vec<Option<EdgeList>> = (0..world).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = ranks
@@ -112,7 +112,7 @@ fn tcp_stats_allreduce_agrees_with_local_totals() {
     // wire, nothing double-counted).
     let cfg = PaConfig::new(2_000, 4).with_seed(7);
     let world = 4;
-    let ranks = TcpConfig::local_world(world);
+    let ranks = TcpConfig::local_world(world).expect("loopback world");
     std::thread::scope(|s| {
         for (tcfg, listener) in ranks {
             let cfg = &cfg;
