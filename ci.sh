@@ -26,12 +26,15 @@ chaos_clean="$(mktemp /tmp/pagen_chaos_clean_XXXXXX.txt)"
 chaos_faulty="$(mktemp /tmp/pagen_chaos_faulty_XXXXXX.txt)"
 net_multi="$(mktemp /tmp/pagen_net_multi_XXXXXX.txt)"
 net_single="$(mktemp /tmp/pagen_net_single_XXXXXX.txt)"
+e3_multi="$(mktemp /tmp/pagen_e3_multi_XXXXXX.txt)"
+e3_single="$(mktemp /tmp/pagen_e3_single_XXXXXX.txt)"
 rec_multi="$(mktemp /tmp/pagen_rec_multi_XXXXXX.txt)"
 rec_single="$(mktemp /tmp/pagen_rec_single_XXXXXX.txt)"
 rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
 rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
     "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
+    "$e3_multi" "$e3_single" "$e3_multi.sorted" "$e3_single.sorted" \
     "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
     "$rec_multi".part*; rm -rf "$rec_ckpts"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
@@ -78,6 +81,31 @@ if ! cmp -s "$net_multi.sorted" "$net_single.sorted"; then
     echo "net smoke mismatch: 4-process run diverged from single-process run" >&2
     exit 1
 fi
+
+echo "==> engine3 net smoke run"
+# The communication-free engine end to end through the real binaries: a
+# 4-process TCP world on engine3 must produce exactly the edge set of a
+# same-seed single-process engine3 run (which the determinism suite in
+# turn pins to the engine1/engine2 oracles).
+./target/release/palaunch -p 4 --pagen ./target/release/pagen -- \
+    generate --model pa --n 20000 --x 4 --scheme bcp --seed 7 --engine 3 \
+    --out "$e3_multi" --format txt
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 20000 --x 4 --ranks 4 --scheme bcp --seed 7 --engine 3 \
+    --out "$e3_single" --format txt
+sort "$e3_multi" > "$e3_multi.sorted"
+sort "$e3_single" > "$e3_single.sorted"
+if ! cmp -s "$e3_multi.sorted" "$e3_single.sorted"; then
+    echo "engine3 smoke mismatch: 4-process run diverged from single-process run" >&2
+    exit 1
+fi
+
+echo "==> engine3 zero-communication guard"
+# exp_engine3_vs_engine2 exits non-zero if engine3 sent any message or
+# queued any request — the communication-free property, asserted on the
+# real engine through the real bench binary.
+cargo run -q -p pa-bench --release --bin exp_engine3_vs_engine2 -- \
+    --n 50000 --ranks 4 > /dev/null
 
 echo "==> palaunch crash-recovery smoke run"
 # The recovery layer end to end from a shell: a 4-rank checkpointing

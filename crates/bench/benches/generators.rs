@@ -25,12 +25,30 @@ fn bench_model_zoo(c: &mut Criterion) {
     group.bench_function("pa_parallel_p4_hub_off", |b| {
         b.iter(|| par::generate(black_box(&pa_cfg), Scheme::Rrp, 4, &nohub_opts))
     });
+    group.bench_function("pa_parallel_p4_engine3", |b| {
+        b.iter(|| par::generate3(black_box(&pa_cfg), Scheme::Rrp, 4, &GenOptions::default()))
+    });
+    let nomemo_opts = GenOptions::default().with_chain_memo(0);
+    group.bench_function("pa_parallel_p4_engine3_memo_off", |b| {
+        b.iter(|| par::generate3(black_box(&pa_cfg), Scheme::Rrp, 4, &nomemo_opts))
+    });
     group.bench_function("pa_streaming_count_p4", |b| {
         // Same engine, zero-materialization path: edges fold into a
         // per-rank counter instead of an edge vector, isolating the
         // allocation/commit cost of materialized output.
         b.iter(|| {
             par::generate_streaming(
+                black_box(&pa_cfg),
+                Scheme::Rrp,
+                4,
+                &GenOptions::default(),
+                |_| par::CountSink::default(),
+            )
+        })
+    });
+    group.bench_function("pa_streaming_count_p4_engine3", |b| {
+        b.iter(|| {
+            par::generate3_streaming(
                 black_box(&pa_cfg),
                 Scheme::Rrp,
                 4,

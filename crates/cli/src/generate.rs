@@ -30,10 +30,11 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // edges, so it streams each rank straight to disk instead of
     // materializing per-rank edge vectors (see `stream_pa_to_disk`).
     if model == "pa" && matches!(format.as_str(), "bin" | "txt") {
-        let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
+        let (cfg, scheme, ranks, opts, engine) = parse_pa_params(args, seed)?;
         let stats_flags = StatsFlags::parse(args)?;
         args.finish()?;
-        let (total_edges, comms) = stream_pa_to_disk(&cfg, scheme, ranks, &opts, &path, &format)?;
+        let (total_edges, comms) =
+            stream_pa_to_disk(&cfg, scheme, ranks, &opts, engine, &path, &format)?;
         writeln!(
             out,
             "generated {model}: {} nodes, {total_edges} edges in {:.2}s -> {path} ({format}, streamed)",
@@ -47,9 +48,14 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut pa_stats: Option<(StatsFlags, Vec<pa_mpsim::CommStats>)> = None;
     let (n, shards, attrs): (u64, Vec<EdgeList>, Vec<(String, String)>) = match model.as_str() {
         "pa" => {
-            let (cfg, scheme, ranks, opts) = parse_pa_params(args, seed)?;
+            let (cfg, scheme, ranks, opts, engine) = parse_pa_params(args, seed)?;
             let flags = StatsFlags::parse(args)?;
-            let result = par::generate(&cfg, scheme, ranks, &opts);
+            let result = match engine {
+                1 => par::generate_x1(&cfg, scheme, ranks, &opts),
+                2 => par::generate(&cfg, scheme, ranks, &opts),
+                3 => par::generate3(&cfg, scheme, ranks, &opts),
+                _ => unreachable!("parse_pa_params validated the engine"),
+            };
             pa_stats = Some((flags, result.ranks.iter().map(|r| r.comm.clone()).collect()));
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
             (
@@ -61,6 +67,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                     ("p".into(), cfg.p.to_string()),
                     ("scheme".into(), scheme.to_string()),
                     ("ranks".into(), ranks.to_string()),
+                    ("engine".into(), engine.to_string()),
                 ],
             )
         }
@@ -174,11 +181,12 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Parse the `pa` model's parameters: config, scheme, rank count, knobs.
+/// Parse the `pa` model's parameters: config, scheme, rank count, knobs,
+/// and the engine selection.
 fn parse_pa_params(
     args: &Args,
     seed: u64,
-) -> Result<(PaConfig, Scheme, usize, GenOptions), CliError> {
+) -> Result<(PaConfig, Scheme, usize, GenOptions, u8), CliError> {
     let n = args.u64("n", 100_000)?;
     let x = args.u64("x", 4)?;
     let p = args.f64("p", 0.5)?;
@@ -186,6 +194,12 @@ fn parse_pa_params(
     let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
     if ranks == 0 {
         return Err(CliError::usage("--ranks must be positive"));
+    }
+    let engine = parse_engine(args)?;
+    if engine == 1 && x != 1 {
+        return Err(CliError::usage(
+            "--engine 1 implements Algorithm 3.1 and requires --x 1",
+        ));
     }
     let cfg = validated(n, x, p, seed)?;
     let opts = parse_gen_options(args)?;
@@ -196,7 +210,18 @@ fn parse_pa_params(
             )));
         }
     }
-    Ok((cfg, scheme, ranks, opts))
+    Ok((cfg, scheme, ranks, opts, engine))
+}
+
+/// Parse `--engine 1|2|3` (default 2, the general Algorithm 3.2).
+pub(crate) fn parse_engine(args: &Args) -> Result<u8, CliError> {
+    match args.u64("engine", 2)? {
+        e @ 1..=3 => Ok(e as u8),
+        other => Err(CliError::usage(format!(
+            "--engine must be 1 (Alg. 3.1, x = 1 only), 2 (Alg. 3.2) or \
+             3 (communication-free chain recomputation), got {other}"
+        ))),
+    }
 }
 
 /// Stream a PA network to `path` without ever materializing the edges:
@@ -212,6 +237,7 @@ fn stream_pa_to_disk(
     scheme: Scheme,
     ranks: usize,
     opts: &GenOptions,
+    engine: u8,
     path: &str,
     format: &str,
 ) -> Result<(u64, Vec<pa_mpsim::CommStats>), CliError> {
@@ -230,14 +256,20 @@ fn stream_pa_to_disk(
         files.push(std::sync::Mutex::new(Some(f)));
     }
 
-    let outputs = par::generate_streaming(cfg, scheme, ranks, opts, |rank| {
+    let make_sink = |rank: usize| {
         let f = files[rank]
             .lock()
             .expect("file handoff poisoned")
             .take()
             .expect("sink built twice for one rank");
         par::StreamingWriterSink::new(f, edge_format)
-    });
+    };
+    let outputs = match engine {
+        1 => par::generate_x1_streaming(cfg, scheme, ranks, opts, make_sink),
+        2 => par::generate_streaming(cfg, scheme, ranks, opts, make_sink),
+        3 => par::generate3_streaming(cfg, scheme, ranks, opts, make_sink),
+        _ => unreachable!("parse_pa_params validated the engine"),
+    };
 
     let cleanup = |err: CliError| {
         for rank in 0..ranks {
@@ -326,6 +358,7 @@ pub(crate) fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
         // process; default to a generous timeout that real runs never hit.
         opts = opts.with_stall_timeout(std::time::Duration::from_secs(120));
     }
+    opts = opts.with_chain_memo(args.u64("chain-memo", opts.chain_memo_nodes)?);
     Ok(opts)
 }
 
@@ -344,8 +377,9 @@ pub(crate) fn parse_scheme(s: &str) -> Result<Scheme, CliError> {
         "ucp" => Ok(Scheme::Ucp),
         "lcp" => Ok(Scheme::Lcp),
         "rrp" => Ok(Scheme::Rrp),
+        "bcp" => Ok(Scheme::Bcp),
         other => Err(CliError::usage(format!(
-            "unknown scheme {other:?} (expected ucp, lcp or rrp)"
+            "unknown scheme {other:?} (expected ucp, lcp, rrp or bcp)"
         ))),
     }
 }

@@ -66,11 +66,14 @@ COMMANDS:
                --model pa|er|ws|cl|rmat (default pa)
                --n <nodes> (default 100000)      --x <edges/node> (default 4)
                --p <copy prob> (default 0.5)     --seed <u64> (default 0)
-               --ranks <P> (default 4)           --scheme ucp|lcp|rrp (default rrp)
+               --ranks <P> (default 4)           --scheme ucp|lcp|rrp|bcp (default rrp)
                --out <file> (default graph.pag)  --format pag|bin|txt (default pag)
+               --engine 1|2|3 (default 2; 1 needs x=1, 3 recomputes
+                          dependency chains locally and sends no messages)
                pa tuning: --buffer-cap <msgs> (default 4096)
                           --service-interval <nodes> (default 4096)
                           --hub-cache auto|off|<nodes> (default auto)
+                          --chain-memo <nodes> (engine 3 memo rows; default 1048576, 0 off)
                           --idle-wait-us <µs> (default 200)
                           --idle-flush-interval <waits> (default 16)
                pa chaos:  --chaos-profile off|light|aggressive (default off)

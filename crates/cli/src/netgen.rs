@@ -18,7 +18,7 @@ use pa_mpsim::Transport;
 use pa_net::{TcpConfig, TcpTransport};
 
 use crate::args::{Args, CliError};
-use crate::generate::{parse_gen_options, parse_scheme, validated};
+use crate::generate::{parse_engine, parse_gen_options, parse_scheme, validated};
 use crate::stats::{MergedStats, StatsFlags};
 
 pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -48,6 +48,13 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let x = args.u64("x", 4)?;
     let p = args.f64("p", 0.5)?;
     let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
+    let engine = parse_engine(args)?;
+    if engine == 1 {
+        return Err(CliError::usage(
+            "--backend tcp supports --engine 2 or 3 (engine 1 uses the \
+             x = 1 wire format, which the TCP rank path does not carry)",
+        ));
+    }
     let cfg = validated(n, x, p, seed)?;
     let mut opts = parse_gen_options(args)?;
     if opts.fault_plan.is_some() {
@@ -130,7 +137,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let store = if ckpt_dir.is_empty() {
         None
     } else {
-        let scheme_id = partition::Scheme::ALL
+        let scheme_id = partition::Scheme::EXTENDED
             .iter()
             .position(|s| *s == scheme)
             .unwrap_or(0) as u8;
@@ -141,7 +148,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             p_bits: cfg.p.to_bits(),
             seed: cfg.seed,
             scheme_id,
-            engine_id: 2,
+            engine_id: engine,
             interval: ckpt_interval,
         };
         Some(par::CheckpointStore::new(&ckpt_dir, rank as u32, meta).map_err(CliError::io)?)
@@ -185,15 +192,27 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         )
     };
 
-    let (sink, _counters) = par::generate_rank_streaming_recoverable(
-        &cfg,
-        &part,
-        &opts,
-        &mut t,
-        sink,
-        store.as_ref(),
-        saved.as_ref(),
-    );
+    let (sink, _counters) = match engine {
+        2 => par::generate_rank_streaming_recoverable(
+            &cfg,
+            &part,
+            &opts,
+            &mut t,
+            sink,
+            store.as_ref(),
+            saved.as_ref(),
+        ),
+        3 => par::generate_rank3_streaming_recoverable(
+            &cfg,
+            &part,
+            &opts,
+            &mut t,
+            sink,
+            store.as_ref(),
+            saved.as_ref(),
+        ),
+        _ => unreachable!("engine validated above"),
+    };
     let edges = sink.finish().map_err(CliError::io)?;
 
     // Publish completion before anyone merges, then merge the ledgers.

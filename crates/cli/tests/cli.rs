@@ -352,3 +352,59 @@ fn zero_valued_tuning_flags_are_rejected() {
         assert!(err.contains(flag), "{flag}: {err}");
     }
 }
+
+#[test]
+fn engine3_produces_the_same_network_as_engine2() {
+    // --engine selects the strategy, never the result: engines 2 and 3
+    // must write byte-identical edge sets (and bcp must be accepted).
+    let e2 = tmp("engine2.bin");
+    let e3 = tmp("engine3.bin");
+    let common = [
+        "--model", "pa", "--n", "4000", "--x", "3", "--ranks", "4", "--scheme", "bcp", "--seed",
+        "23", "--format", "bin",
+    ];
+    for (engine, path) in [("2", &e2), ("3", &e3)] {
+        let mut argv: Vec<&str> = vec!["generate"];
+        argv.extend_from_slice(&common);
+        argv.extend_from_slice(&["--engine", engine, "--out", path]);
+        let msg = exec(&argv).unwrap();
+        assert!(msg.contains("4000 nodes"), "{msg}");
+    }
+    let a = pa_graph::io::read_binary_file(&e2).unwrap();
+    let b = pa_graph::io::read_binary_file(&e3).unwrap();
+    assert_eq!(a.canonicalized(), b.canonicalized());
+}
+
+#[test]
+fn engine_flag_rejects_bad_values() {
+    let err = exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "1000",
+        "--engine",
+        "4",
+        "--out",
+        &tmp("e4.pag"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--engine"), "{err}");
+
+    // Engine 1 is the x = 1 specialization; any other x must be refused.
+    let err = exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--n",
+        "1000",
+        "--x",
+        "3",
+        "--engine",
+        "1",
+        "--out",
+        &tmp("e1.pag"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("x"), "{err}");
+}

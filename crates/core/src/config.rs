@@ -85,6 +85,16 @@ impl PaConfig {
 /// is `None` (the cache holds `min(hub_cache_nodes, n) · x` slots).
 pub const DEFAULT_HUB_CACHE_NODES: u64 = 4096;
 
+/// Default chain-memo capacity in *nodes* for the communication-free
+/// engine (engine3): roughly how many recomputed rows each rank keeps
+/// to deduplicate shared chain suffixes (the engine clamps it to `n`
+/// and rounds up to a power of two — direct-mapped slots). The memo is
+/// a pure-function cache, so its size never affects the generated
+/// network — only the amount of redundant recomputation, which grows
+/// steeply once hot low-label rows stop fitting; hence a generous
+/// default (`x = 4` at the full default size costs ~40 MB per rank).
+pub const DEFAULT_CHAIN_MEMO_NODES: u64 = 1 << 20;
+
 /// Tuning knobs for the parallel engines.
 ///
 /// (`Eq` is not derived: [`GenOptions::fault_plan`] carries the fault
@@ -134,6 +144,13 @@ pub struct GenOptions {
     /// flight — exactly the consistent cut a checkpoint needs. `None`
     /// runs the whole range as a single epoch (no extra barriers).
     pub checkpoint_interval: Option<u64>,
+    /// Chain-memo capacity in *nodes* for engine3's local recomputation:
+    /// each rank memoizes this many recently resolved remote rows
+    /// (FIFO-evicted) so chains sharing a suffix are walked once, not
+    /// once per referencing edge. `0` disables the memo. Because every
+    /// memoized row is a pure function of the seed, the memo size cannot
+    /// change the generated network (pinned by the determinism suite).
+    pub chain_memo_nodes: u64,
 }
 
 impl Default for GenOptions {
@@ -147,6 +164,7 @@ impl Default for GenOptions {
             fault_plan: None,
             stall_timeout: None,
             checkpoint_interval: None,
+            chain_memo_nodes: DEFAULT_CHAIN_MEMO_NODES,
         }
     }
 }
@@ -187,6 +205,14 @@ impl GenOptions {
     #[must_use]
     pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
         self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Replace the engine3 chain-memo capacity (in nodes); `0` disables
+    /// the memo (see [`GenOptions::chain_memo_nodes`]).
+    #[must_use]
+    pub fn with_chain_memo(mut self, nodes: u64) -> Self {
+        self.chain_memo_nodes = nodes;
         self
     }
 
@@ -357,6 +383,18 @@ mod tests {
         GenOptions::default()
             .with_stall_timeout(std::time::Duration::ZERO)
             .validate();
+    }
+
+    #[test]
+    fn chain_memo_builder() {
+        assert_eq!(
+            GenOptions::default().chain_memo_nodes,
+            DEFAULT_CHAIN_MEMO_NODES
+        );
+        let opts = GenOptions::default().with_chain_memo(0);
+        assert_eq!(opts.chain_memo_nodes, 0, "0 disables the memo");
+        opts.validate();
+        assert_eq!(GenOptions::default().with_chain_memo(7).chain_memo_nodes, 7);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod rmat;
 pub mod seq;
 pub mod ws;
 
-pub use config::{GenOptions, PaConfig, DEFAULT_HUB_CACHE_NODES};
+pub use config::{GenOptions, PaConfig, DEFAULT_CHAIN_MEMO_NODES, DEFAULT_HUB_CACHE_NODES};
 
 /// The fault-injection schedule consumed by [`GenOptions::fault_plan`]
 /// (re-exported from `pa-mpsim` so callers configuring chaos runs don't

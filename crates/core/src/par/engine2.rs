@@ -172,11 +172,15 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         e: u32,
     ) -> SlotOutcome {
         let x = self.cfg.x;
+        // Hoist the (seed, t) key prefix: every re-draw of this slot then
+        // pays one key mix instead of three (the high-x duplicate-retry
+        // hot spot).
+        let keys = pa_rng::EventKeys::for_node(self.cfg.seed, t);
         loop {
             let slot = self.slot(t, e);
             let attempt = self.attempts[slot];
             self.attempts[slot] += 1;
-            let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, x, t, e, attempt);
+            let c = crate::seq::draw_choice_keyed(&keys, self.cfg.p, x, t, e, attempt);
             let (v, direct) = if c.direct {
                 (c.k, true)
             } else {

@@ -5,18 +5,24 @@
 //! * [`generate`] — Algorithm 3.2, the general `x ≥ 1` engine.
 //! * [`generate_x1`] — Algorithm 3.1, the dedicated `x = 1` engine with
 //!   the paper's two-field messages.
-//! * [`generate_with`] — Algorithm 3.2 over a caller-supplied
-//!   [`Partition`] (for custom layouts beyond UCP/LCP/RRP).
-//! * [`generate_streaming`] / [`generate_x1_streaming`] — the same
-//!   engines delivering every edge to a caller-built [`EdgeSink`] instead
-//!   of materializing per-rank edge lists.
+//! * [`generate3`] — the communication-free engine: every copy chain is
+//!   recomputed locally from the counter-based draws, with zero
+//!   request/resolved traffic.
+//! * [`generate_with`] / [`generate3_with`] — the same over a
+//!   caller-supplied [`Partition`] (for custom layouts beyond
+//!   UCP/LCP/RRP/BCP).
+//! * [`generate_streaming`] / [`generate_x1_streaming`] /
+//!   [`generate3_streaming`] — the same engines delivering every edge to
+//!   a caller-built [`EdgeSink`] instead of materializing per-rank edge
+//!   lists.
 //!
 //! Architecturally the module is three layers:
 //!
 //! * `driver` — the single service/flush/park/termination loop shared
-//!   by both algorithms, generic over the transport and the sink;
-//! * `engine1` / `engine2` — the per-node state machines of
-//!   Algorithms 3.1 and 3.2, plugged into the driver as strategies;
+//!   by all algorithms, generic over the transport and the sink;
+//! * `engine1` / `engine2` / `engine3` — the per-node state machines
+//!   (Algorithms 3.1, 3.2, and local chain recomputation), plugged into
+//!   the driver as strategies;
 //! * [`EdgeSink`] — where edges go: materialized lists, counters, degree
 //!   folds, or streaming disk writers.
 //!
@@ -29,6 +35,7 @@ mod degrees;
 mod driver;
 mod engine1;
 mod engine2;
+mod engine3;
 mod hubcache;
 mod msg;
 mod output;
@@ -94,6 +101,36 @@ where
         World::new(nranks).run(|comm| {
             let rank = comm.rank();
             let algo = engine2::General::new(cfg, part, rank, nranks, opts, make_sink(rank));
+            let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
+            let (sink, counters) = algo.into_parts();
+            (sink, counters, stats)
+        })
+    }
+}
+
+/// Run the communication-free chain-recomputation strategy on every rank
+/// of `part`; same transport selection as [`run_general`].
+fn run_general3<P, S, F>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<(S, output::EngineCounters, CommStats)>
+where
+    P: Partition,
+    S: EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    let nranks = part.nranks();
+    if nranks == 1 {
+        let algo = engine3::Chain::new(cfg, part, 0, opts, make_sink(0));
+        let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
+        let (sink, counters) = algo.into_parts();
+        vec![(sink, counters, stats)]
+    } else {
+        World::new(nranks).run(|comm| {
+            let rank = comm.rank();
+            let algo = engine3::Chain::new(cfg, part, rank, opts, make_sink(rank));
             let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
             let (sink, counters) = algo.into_parts();
             (sink, counters, stats)
@@ -186,6 +223,52 @@ pub fn generate_with<P: Partition>(cfg: &PaConfig, part: &P, opts: &GenOptions) 
     }
 }
 
+/// Generate a PA network with the communication-free engine (engine3) on
+/// `nranks` ranks: every copy dependency is recomputed locally from the
+/// counter-based draws instead of resolved over the wire, so no rank
+/// sends a single algorithm message. Bit-identical to [`generate`] for
+/// every rank count, scheme, and transport.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts` or `nranks == 0`.
+pub fn generate3(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+) -> ParallelOutput {
+    let part = partition::build(scheme, cfg.n, nranks);
+    let mut out = generate3_with(cfg, &part, opts);
+    out.scheme = Some(scheme);
+    out
+}
+
+/// Generate with the communication-free engine over an explicit
+/// partition.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, or if the partition's node count does
+/// not match `cfg.n`.
+pub fn generate3_with<P: Partition>(cfg: &PaConfig, part: &P, opts: &GenOptions) -> ParallelOutput {
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
+    let parts = run_general3(cfg, part, opts, |rank| {
+        EdgeList::with_capacity((part.size_of(rank) * cfg.x + cfg.x * cfg.x) as usize)
+    });
+    ParallelOutput {
+        cfg: *cfg,
+        scheme: None,
+        ranks: to_rank_outputs(parts),
+    }
+}
+
 /// One rank's result from a streaming run: the caller's sink plus the
 /// usual traffic and algorithm reports.
 #[derive(Debug, Clone)]
@@ -253,6 +336,30 @@ where
     opts.validate_for(cfg.n);
     let part = partition::build(scheme, cfg.n, nranks);
     to_stream_outputs(run_general(cfg, &part, opts, make_sink))
+}
+
+/// Generate with the communication-free engine, streaming each rank's
+/// edges into a sink built by `make_sink(rank)` — the engine3 counterpart
+/// of [`generate_streaming`].
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts` or `nranks == 0`.
+pub fn generate3_streaming<S, F>(
+    cfg: &PaConfig,
+    scheme: Scheme,
+    nranks: usize,
+    opts: &GenOptions,
+    make_sink: F,
+) -> Vec<StreamRankOutput<S>>
+where
+    S: EdgeSink + Send,
+    F: Fn(usize) -> S + Send + Sync,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    let part = partition::build(scheme, cfg.n, nranks);
+    to_stream_outputs(run_general3(cfg, &part, opts, make_sink))
 }
 
 /// Generate with Algorithm 3.1 (requires `cfg.x == 1`), streaming each
@@ -382,6 +489,77 @@ where
         "partition rank count does not match the transport world"
     );
     let algo = engine2::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
+    let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
+    algo.into_parts()
+}
+
+/// Run the communication-free engine for **one rank of an external
+/// world** — the engine3 counterpart of [`generate_rank_streaming`]. The
+/// transport only ever carries the driver's collectives (barriers,
+/// termination counting): engine3 sends zero algorithm messages.
+///
+/// # Panics
+///
+/// Panics on invalid `cfg`/`opts`, a partition/transport shape mismatch,
+/// or when `opts.fault_plan` is set (fault injection wraps a transport
+/// whole — apply it outside before calling).
+pub fn generate_rank3_streaming<P, S, T>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    comm: &mut T,
+    sink: S,
+) -> (S, EngineCounters)
+where
+    P: Partition,
+    S: EdgeSink,
+    T: Transport<Msg>,
+{
+    generate_rank3_streaming_recoverable(cfg, part, opts, comm, sink, None, None)
+}
+
+/// [`generate_rank3_streaming`] with coordinated checkpoint/restart —
+/// the engine3 counterpart of [`generate_rank_streaming_recoverable`],
+/// with the same store/resume protocol and caller obligations.
+///
+/// # Panics
+///
+/// Panics as [`generate_rank_streaming_recoverable`] does.
+pub fn generate_rank3_streaming_recoverable<P, S, T>(
+    cfg: &PaConfig,
+    part: &P,
+    opts: &GenOptions,
+    comm: &mut T,
+    sink: S,
+    store: Option<&CheckpointStore>,
+    resume: Option<&SavedCheckpoint>,
+) -> (S, EngineCounters)
+where
+    P: Partition,
+    S: EdgeSink,
+    T: Transport<Msg>,
+{
+    cfg.validate();
+    opts.validate_for(cfg.n);
+    assert!(
+        opts.fault_plan.is_none(),
+        "fault injection must wrap the transport before generate_rank3_streaming"
+    );
+    assert!(
+        (store.is_none() && resume.is_none()) || opts.checkpoint_interval.is_some(),
+        "checkpoint store/resume require GenOptions::checkpoint_interval"
+    );
+    assert_eq!(
+        part.num_nodes(),
+        cfg.n,
+        "partition does not cover cfg.n nodes"
+    );
+    assert_eq!(
+        part.nranks(),
+        comm.nranks(),
+        "partition rank count does not match the transport world"
+    );
+    let algo = engine3::Chain::new(cfg, part, comm.rank(), opts, sink);
     let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
     algo.into_parts()
 }
@@ -611,6 +789,138 @@ mod tests {
     fn generate_x1_rejects_larger_x() {
         let cfg = PaConfig::new(10, 2);
         let _ = generate_x1(&cfg, Scheme::Ucp, 2, &opts());
+    }
+
+    #[test]
+    fn engine3_matches_sequential_for_all_schemes_and_worlds() {
+        let cfg = PaConfig::new(3_000, 4).with_seed(8);
+        let reference = seq::copy_model(&cfg).canonicalized();
+        for nranks in [1usize, 2, 4, 8] {
+            for scheme in Scheme::EXTENDED {
+                let out = generate3(&cfg, scheme, nranks, &opts());
+                assert_eq!(
+                    out.edge_list().canonicalized(),
+                    reference,
+                    "engine3 must be bit-identical: P={nranks} {scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine3_sends_zero_algorithm_messages() {
+        let cfg = PaConfig::new(3_000, 4).with_seed(8);
+        let out = generate3(&cfg, Scheme::Rrp, 8, &opts());
+        for r in &out.ranks {
+            assert_eq!(
+                r.comm.msgs_sent, 0,
+                "rank {} put algorithm messages on the wire",
+                r.rank
+            );
+            assert_eq!(r.comm.msgs_recv, 0, "rank {} received messages", r.rank);
+            assert_eq!(r.counters.requests_sent, 0);
+            assert_eq!(r.counters.hub_updates, 0);
+        }
+        let totals = out.total_counters();
+        assert!(
+            totals.chain_rows_recomputed > 0,
+            "a multi-rank run must have recomputed remote rows"
+        );
+        assert!(totals.chain_peak_depth >= 1);
+    }
+
+    #[test]
+    fn engine3_memo_size_never_changes_the_network() {
+        // The chain memo caches values of a pure function, so any
+        // capacity — including 0 (disabled) and 1 (constant eviction) —
+        // must yield the identical edge set.
+        let cfg = PaConfig::new(2_000, 3).with_seed(19);
+        let reference = seq::copy_model(&cfg).canonicalized();
+        for memo in [0u64, 1, 16, 1 << 20] {
+            let out = generate3(&cfg, Scheme::Ucp, 4, &opts().with_chain_memo(memo));
+            assert_eq!(
+                out.edge_list().canonicalized(),
+                reference,
+                "chain_memo_nodes = {memo}"
+            );
+        }
+        // A warm memo must actually be hit at these sizes.
+        let out = generate3(&cfg, Scheme::Ucp, 4, &opts());
+        assert!(out.total_counters().chain_memo_hits > 0, "memo never hit");
+    }
+
+    #[test]
+    fn engine3_checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let cfg = PaConfig::new(2_400, 3).with_seed(29);
+        let interval = 500u64;
+        let epoch_opts = GenOptions {
+            checkpoint_interval: Some(interval),
+            ..opts()
+        };
+        let part = partition::build(Scheme::Rrp, cfg.n, 3);
+        let dir = std::env::temp_dir().join(format!("pa_core_resume3_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = CheckpointMeta {
+            world: 3,
+            n: cfg.n,
+            x: cfg.x,
+            p_bits: cfg.p.to_bits(),
+            seed: cfg.seed,
+            scheme_id: 2,
+            engine_id: 3,
+            interval,
+        };
+        let ckpt_dir = dir.clone();
+        let full: Vec<EdgeList> = World::new(3).run(|mut comm| {
+            let store = CheckpointStore::new(&ckpt_dir, comm.rank() as u32, meta).unwrap();
+            generate_rank3_streaming_recoverable(
+                &cfg,
+                &part,
+                &epoch_opts,
+                &mut comm,
+                EdgeList::new(),
+                Some(&store),
+                None,
+            )
+            .0
+        });
+        let reference = EdgeList::concat(full.clone()).canonicalized();
+        assert_eq!(
+            reference,
+            seq::copy_model(&cfg).canonicalized(),
+            "checkpointed engine3 run drifted from the sequential oracle"
+        );
+
+        let ckpt_dir = dir.clone();
+        let resumed: Vec<EdgeList> = World::new(3).run(|mut comm| {
+            let rank = comm.rank();
+            let store = CheckpointStore::new(&ckpt_dir, rank as u32, meta).unwrap();
+            let saved = store.load(store.latest().unwrap() - 1).unwrap();
+            let mut sink = EdgeList::new();
+            for &(u, v) in &full[rank].as_slice()[..saved.edges as usize] {
+                sink.push(u, v);
+            }
+            generate_rank3_streaming_recoverable(
+                &cfg,
+                &part,
+                &epoch_opts,
+                &mut comm,
+                sink,
+                None,
+                Some(&saved),
+            )
+            .0
+        });
+        assert_eq!(EdgeList::concat(resumed).canonicalized(), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine3_streaming_counts_match_materialized_run() {
+        let cfg = PaConfig::new(1_500, 2).with_seed(7);
+        let outs = generate3_streaming(&cfg, Scheme::Lcp, 3, &opts(), |_| CountSink::default());
+        let total: u64 = outs.iter().map(|o| o.sink.edges).sum();
+        assert_eq!(total, cfg.expected_edges());
     }
 
     #[test]

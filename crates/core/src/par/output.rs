@@ -49,12 +49,21 @@ pub struct EngineCounters {
     /// Always zero on a clean transport; nonzero only under fault
     /// injection (duplication / retransmission).
     pub stale_resolutions: u64,
+    /// Remote rows re-derived locally by engine3's chain walk (each one
+    /// is a request/resolved round trip that never existed).
+    pub chain_rows_recomputed: u64,
+    /// Chain lookups answered by the per-rank memo of recently
+    /// recomputed rows (engine3 only).
+    pub chain_memo_hits: u64,
+    /// Deepest dependency chain engine3 walked on this rank — the
+    /// empirical counterpart of the paper's Lemma 3.1 O(log n) bound.
+    pub chain_peak_depth: u64,
 }
 
 impl EngineCounters {
     /// Field count of the checkpoint encoding (one `u64` per field, in
     /// declaration order).
-    pub(super) const ENCODED_FIELDS: usize = 14;
+    pub(super) const ENCODED_FIELDS: usize = 17;
 
     /// Append the checkpoint encoding: every field as a little-endian
     /// `u64`, in declaration order.
@@ -74,6 +83,9 @@ impl EngineCounters {
             self.hub_deferred,
             self.hub_updates,
             self.stale_resolutions,
+            self.chain_rows_recomputed,
+            self.chain_memo_hits,
+            self.chain_peak_depth,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -86,7 +98,7 @@ impl EngineCounters {
         for f in &mut fields {
             *f = pa_mpsim::wire::get_u64(input)?;
         }
-        let [nodes, direct_edges, copy_edges, local_immediate, local_deferred, requests_sent, requests_served, requests_queued, duplicate_retries, max_queued_waiters, hub_hits, hub_deferred, hub_updates, stale_resolutions] =
+        let [nodes, direct_edges, copy_edges, local_immediate, local_deferred, requests_sent, requests_served, requests_queued, duplicate_retries, max_queued_waiters, hub_hits, hub_deferred, hub_updates, stale_resolutions, chain_rows_recomputed, chain_memo_hits, chain_peak_depth] =
             fields;
         Some(Self {
             nodes,
@@ -103,6 +115,9 @@ impl EngineCounters {
             hub_deferred,
             hub_updates,
             stale_resolutions,
+            chain_rows_recomputed,
+            chain_memo_hits,
+            chain_peak_depth,
         })
     }
 }
@@ -184,6 +199,9 @@ impl ParallelOutput {
             total.hub_deferred += c.hub_deferred;
             total.hub_updates += c.hub_updates;
             total.stale_resolutions += c.stale_resolutions;
+            total.chain_rows_recomputed += c.chain_rows_recomputed;
+            total.chain_memo_hits += c.chain_memo_hits;
+            total.chain_peak_depth = total.chain_peak_depth.max(c.chain_peak_depth);
         }
         total
     }
@@ -237,6 +255,9 @@ mod tests {
             &mut c.hub_deferred,
             &mut c.hub_updates,
             &mut c.stale_resolutions,
+            &mut c.chain_rows_recomputed,
+            &mut c.chain_memo_hits,
+            &mut c.chain_peak_depth,
         ]
         .into_iter()
         .enumerate()

@@ -122,11 +122,23 @@ pub enum Scheme {
     Lcp,
     /// Round-robin partitioning.
     Rrp,
+    /// Block-cyclic partitioning (default block of
+    /// [`DEFAULT_BCP_BLOCK`] nodes).
+    Bcp,
 }
 
+/// Block size [`build`] uses for [`Scheme::Bcp`] — small enough that
+/// low-label hot nodes still spread across ranks, large enough that
+/// consecutive-node locality survives within a block.
+pub const DEFAULT_BCP_BLOCK: u64 = 64;
+
 impl Scheme {
-    /// All schemes, in the order the paper presents them.
+    /// The paper's three schemes, in the order the paper presents them.
     pub const ALL: [Scheme; 3] = [Scheme::Ucp, Scheme::Lcp, Scheme::Rrp];
+
+    /// Every scheme the workspace implements: the paper's three plus
+    /// block-cyclic.
+    pub const EXTENDED: [Scheme; 4] = [Scheme::Ucp, Scheme::Lcp, Scheme::Rrp, Scheme::Bcp];
 
     /// Short display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -134,6 +146,7 @@ impl Scheme {
             Scheme::Ucp => "UCP",
             Scheme::Lcp => "LCP",
             Scheme::Rrp => "RRP",
+            Scheme::Bcp => "BCP",
         }
     }
 }
@@ -154,6 +167,8 @@ pub enum AnyPartition {
     Lcp(Lcp),
     /// Round robin.
     Rrp(Rrp),
+    /// Block cyclic.
+    Bcp(Bcp),
 }
 
 /// Instantiate `scheme` for `n` nodes over `nranks` ranks.
@@ -162,6 +177,7 @@ pub fn build(scheme: Scheme, n: u64, nranks: usize) -> AnyPartition {
         Scheme::Ucp => AnyPartition::Ucp(Ucp::new(n, nranks)),
         Scheme::Lcp => AnyPartition::Lcp(Lcp::new(n, nranks)),
         Scheme::Rrp => AnyPartition::Rrp(Rrp::new(n, nranks)),
+        Scheme::Bcp => AnyPartition::Bcp(Bcp::new(n, nranks, DEFAULT_BCP_BLOCK)),
     }
 }
 
@@ -171,6 +187,7 @@ macro_rules! dispatch {
             AnyPartition::Ucp($p) => $body,
             AnyPartition::Lcp($p) => $body,
             AnyPartition::Rrp($p) => $body,
+            AnyPartition::Bcp($p) => $body,
         }
     };
 }
@@ -233,7 +250,7 @@ mod tests {
 
     #[test]
     fn build_dispatches_all_schemes() {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::EXTENDED {
             let part = build(scheme, 101, 7);
             assert_eq!(part.num_nodes(), 101);
             assert_eq!(part.nranks(), 7);
@@ -246,11 +263,18 @@ mod tests {
         assert_eq!(Scheme::Ucp.to_string(), "UCP");
         assert_eq!(Scheme::Lcp.to_string(), "LCP");
         assert_eq!(Scheme::Rrp.to_string(), "RRP");
+        assert_eq!(Scheme::Bcp.to_string(), "BCP");
+    }
+
+    #[test]
+    fn extended_extends_all_in_order() {
+        assert_eq!(Scheme::EXTENDED[..3], Scheme::ALL);
+        assert_eq!(Scheme::EXTENDED[3], Scheme::Bcp);
     }
 
     #[test]
     fn single_rank_owns_everything() {
-        for scheme in Scheme::ALL {
+        for scheme in Scheme::EXTENDED {
             let part = build(scheme, 50, 1);
             assert_eq!(part.size_of(0), 50);
             assert_eq!(part.rank_of(49), 0);

@@ -2,7 +2,7 @@
 
 use crate::{Node, PaConfig, NILL};
 use pa_graph::EdgeList;
-use pa_rng::{CounterRng, Rng64};
+use pa_rng::{EventKeys, Rng64};
 
 /// The random choice one attachment event makes, fully determined by
 /// `(seed, t, e, attempt)`.
@@ -30,11 +30,47 @@ pub struct Choice {
 /// Panics if `t <= x` (seed-clique nodes and node `x` do not draw).
 pub fn draw_choice(seed: u64, p: f64, x: u64, t: Node, e: u32, attempt: u32) -> Choice {
     assert!(t > x, "node {t} does not draw (x = {x})");
-    let mut rng = CounterRng::for_event(seed, t, e, attempt);
+    draw_choice_keyed(&EventKeys::for_node(seed, t), p, x, t, e, attempt)
+}
+
+/// [`draw_choice`] with the `(seed, t)` key prefix already hoisted.
+///
+/// Bit-identical to [`draw_choice`] (the draw order and streams are the
+/// same); use it when drawing many events for one node — a whole edge
+/// row, a retry loop, or engine3's chain recomputation — so each event
+/// pays one key mix instead of three. `t` is still passed for the range
+/// bound `k ∈ [x, t)`; the caller must build `keys` for the same node.
+#[inline]
+pub fn draw_choice_keyed(
+    keys: &EventKeys,
+    p: f64,
+    x: u64,
+    t: Node,
+    e: u32,
+    attempt: u32,
+) -> Choice {
+    debug_assert!(t > x, "node {t} does not draw (x = {x})");
+    let mut rng = keys.rng(e, attempt);
     let k = rng.gen_range(x, t);
     let direct = rng.gen_bool(p);
     let l = rng.gen_below(x);
     Choice { k, direct, l }
+}
+
+/// Batch-draw the attempt-0 [`Choice`]s for node `t`'s whole edge row
+/// into `out` (cleared first).
+///
+/// This is the engines' hot path: one key-prefix mix for the node, then
+/// a tight loop of one mix + three draws per slot, with no per-event
+/// re-derivation and no branchy dispatch. Retries (attempt > 0) are rare
+/// and drawn individually via [`draw_choice_keyed`].
+pub fn draw_row_choices(keys: &EventKeys, p: f64, x: u64, t: Node, out: &mut Vec<Choice>) {
+    debug_assert!(t > x, "node {t} does not draw (x = {x})");
+    out.clear();
+    out.reserve(x as usize);
+    for e in 0..x as u32 {
+        out.push(draw_choice_keyed(keys, p, x, t, e, 0));
+    }
 }
 
 /// Resolve the final attachment target `F_t` for `x = 1` by following the
@@ -199,6 +235,29 @@ mod tests {
             "expected a hub far above the mean, max = {}",
             stats.max
         );
+    }
+
+    #[test]
+    fn keyed_and_batched_draws_match_the_reference() {
+        let (seed, p, x) = (41u64, 0.5, 4u64);
+        let mut row = Vec::new();
+        for t in [5u64, 6, 100, 2_999] {
+            let keys = EventKeys::for_node(seed, t);
+            for e in 0..x as u32 {
+                for attempt in [0u32, 1, 5] {
+                    assert_eq!(
+                        draw_choice_keyed(&keys, p, x, t, e, attempt),
+                        draw_choice(seed, p, x, t, e, attempt),
+                        "t={t} e={e} attempt={attempt}"
+                    );
+                }
+            }
+            draw_row_choices(&keys, p, x, t, &mut row);
+            assert_eq!(row.len(), x as usize);
+            for (e, c) in row.iter().enumerate() {
+                assert_eq!(*c, draw_choice(seed, p, x, t, e as u32, 0));
+            }
+        }
     }
 
     #[test]

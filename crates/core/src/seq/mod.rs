@@ -21,5 +21,7 @@ mod copy_model;
 mod naive;
 
 pub use batagelj_brandes::generate as batagelj_brandes;
-pub use copy_model::{draw_choice, generate as copy_model, target_for, Choice};
+pub use copy_model::{
+    draw_choice, draw_choice_keyed, draw_row_choices, generate as copy_model, target_for, Choice,
+};
 pub use naive::generate as naive;

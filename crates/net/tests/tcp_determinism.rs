@@ -5,7 +5,9 @@
 //! sockets, messages crossing as bytes) must reproduce them for every
 //! partition scheme at 2 and 4 ranks.
 
-use pa_core::par::{generate_rank_streaming, generate_rank_x1_streaming, Msg, Msg1};
+use pa_core::par::{
+    generate_rank3_streaming, generate_rank_streaming, generate_rank_x1_streaming, Msg, Msg1,
+};
 use pa_core::partition::{self, Scheme};
 use pa_core::{GenOptions, PaConfig};
 use pa_graph::EdgeList;
@@ -99,6 +101,46 @@ fn tcp_backend_reproduces_the_oracles_for_every_scheme() {
                 ORACLE_X1,
                 "general path (x=1) drifted over TCP: P={world} {scheme}"
             );
+        }
+    }
+}
+
+#[test]
+fn tcp_engine3_reproduces_the_oracles_with_zero_data_messages() {
+    // Engine3 resolves every dependency chain locally, so over real
+    // sockets it must (a) still land on the PR-1 fingerprints for every
+    // scheme — including block-cyclic — and (b) leave the point-to-point
+    // ledger at exactly zero on every rank (collectives are tracked
+    // separately and are the driver's, not the engine's).
+    let cfg1 = PaConfig::new(3_000, 1).with_seed(41);
+    let cfg4 = PaConfig::new(3_000, 4).with_seed(41);
+    for world in [2usize, 4] {
+        for scheme in Scheme::EXTENDED {
+            for (cfg, oracle, label) in [(&cfg4, ORACLE_X4, "x=4"), (&cfg1, ORACLE_X1, "x=1")] {
+                let shards = run_world::<Msg>(world, |_, t| {
+                    let part = partition::build(scheme, cfg.n, world);
+                    let shard = generate_rank3_streaming(
+                        cfg,
+                        &part,
+                        &GenOptions::default(),
+                        t,
+                        EdgeList::new(),
+                    )
+                    .0;
+                    assert_eq!(
+                        t.stats().msgs_sent,
+                        0,
+                        "engine3 sent data messages over TCP: P={world} {scheme} {label}"
+                    );
+                    assert_eq!(t.stats().msgs_recv, 0);
+                    shard
+                });
+                assert_eq!(
+                    fnv1a(&EdgeList::concat(shards).canonicalized()),
+                    oracle,
+                    "engine3 ({label}) drifted over TCP: P={world} {scheme}"
+                );
+            }
         }
     }
 }

@@ -19,6 +19,9 @@
 //!   logical event `(seed, node, edge, attempt)` owns an independent short
 //!   stream, so the random choices a node makes do not depend on which rank
 //!   executes it or in which order.
+//! * [`EventKeys`] — the `(seed, node)` prefix of [`draw_key`] hoisted out,
+//!   so batched per-node draws (whole edge rows, retry loops) pay one mix
+//!   per event instead of three; keys are bit-identical to [`draw_key`]'s.
 //! * [`Rng64`] — the minimal trait the workspace programs against, with
 //!   provided methods for unbiased range sampling ([`Rng64::gen_range`]),
 //!   floating-point draws ([`Rng64::next_f64`]) and Bernoulli trials
@@ -33,7 +36,7 @@ mod counter;
 mod splitmix;
 mod xoshiro;
 
-pub use counter::{draw_key, CounterRng};
+pub use counter::{draw_key, CounterRng, EventKeys};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256pp;
 

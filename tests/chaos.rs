@@ -106,6 +106,33 @@ fn chaos_matrix_p8() {
 }
 
 #[test]
+fn engine3_survives_chaos_without_sending_anything() {
+    // Engine3 gives the fault injector nothing to chew on: its only
+    // traffic is the driver's collectives. The fingerprint must still
+    // hold under every plan, and the comm ledger must show zero
+    // point-to-point messages — faulted or not.
+    let cfg4 = cfg_x4();
+    for scheme in Scheme::EXTENDED {
+        for fault_seed in 0..4 {
+            let opts = chaos_opts(plan_for(fault_seed));
+            let out = par::generate3(&cfg4, scheme, 4, &opts);
+            assert_eq!(
+                fnv1a(&out.edge_list().canonicalized()),
+                ORACLE_X4,
+                "engine3 edge set diverged under faults: {scheme} fault_seed={fault_seed}"
+            );
+            for r in &out.ranks {
+                assert_eq!(
+                    r.comm.msgs_sent, 0,
+                    "engine3 sent point-to-point traffic: {scheme} fault_seed={fault_seed}"
+                );
+                assert_eq!(r.comm.msgs_recv, 0);
+            }
+        }
+    }
+}
+
+#[test]
 fn faults_are_actually_injected_and_recovered() {
     // Guard against the suite silently testing nothing: an aggressive
     // plan over a multi-rank run must inject faults, recover drops, and

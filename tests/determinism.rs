@@ -120,6 +120,36 @@ fn unified_driver_reproduces_pre_unification_oracle_hashes() {
 }
 
 #[test]
+fn engine3_reproduces_pre_unification_oracle_hashes() {
+    // Engine3 never exchanges a single request/resolved message, yet it
+    // must land on exactly the PR-1 fingerprints the message-passing
+    // engines are pinned to — for every rank count and every scheme the
+    // workspace implements (including block-cyclic, which the paper's
+    // engines never ran under).
+    const ORACLE_X1: u64 = 0xdefa6458a590e3ba;
+    const ORACLE_X4: u64 = 0x66b9ce422f65dc31;
+    let cfg1 = PaConfig::new(3_000, 1).with_seed(41);
+    let cfg4 = PaConfig::new(3_000, 4).with_seed(41);
+    for nranks in [1usize, 2, 4, 8] {
+        for scheme in Scheme::EXTENDED {
+            let opts = GenOptions::default();
+            let gen1 = par::generate3(&cfg1, scheme, nranks, &opts);
+            assert_eq!(
+                fnv1a(&gen1.edge_list().canonicalized()),
+                ORACLE_X1,
+                "engine3 (x=1) drifted from the PR-1 oracle: P={nranks} {scheme}"
+            );
+            let gen4 = par::generate3(&cfg4, scheme, nranks, &opts);
+            assert_eq!(
+                fnv1a(&gen4.edge_list().canonicalized()),
+                ORACLE_X4,
+                "engine3 (x=4) drifted from the PR-1 oracle: P={nranks} {scheme}"
+            );
+        }
+    }
+}
+
+#[test]
 fn sequential_generators_are_deterministic() {
     let cfg = PaConfig::new(2_000, 3).with_seed(77);
     assert_eq!(seq::copy_model(&cfg), seq::copy_model(&cfg));
