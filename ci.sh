@@ -28,6 +28,8 @@ net_multi="$(mktemp /tmp/pagen_net_multi_XXXXXX.txt)"
 net_single="$(mktemp /tmp/pagen_net_single_XXXXXX.txt)"
 e3_multi="$(mktemp /tmp/pagen_e3_multi_XXXXXX.txt)"
 e3_single="$(mktemp /tmp/pagen_e3_single_XXXXXX.txt)"
+nlpa_multi="$(mktemp /tmp/pagen_nlpa_multi_XXXXXX.txt)"
+nlpa_single="$(mktemp /tmp/pagen_nlpa_single_XXXXXX.txt)"
 rec_multi="$(mktemp /tmp/pagen_rec_multi_XXXXXX.txt)"
 rec_single="$(mktemp /tmp/pagen_rec_single_XXXXXX.txt)"
 rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
@@ -35,6 +37,7 @@ rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
     "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
     "$e3_multi" "$e3_single" "$e3_multi.sorted" "$e3_single.sorted" \
+    "$nlpa_multi" "$nlpa_single" "$nlpa_multi.sorted" "$nlpa_single.sorted" \
     "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
     "$rec_multi".part*; rm -rf "$rec_ckpts"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
@@ -99,6 +102,30 @@ if ! cmp -s "$e3_multi.sorted" "$e3_single.sorted"; then
     echo "engine3 smoke mismatch: 4-process run diverged from single-process run" >&2
     exit 1
 fi
+
+echo "==> nlpa net smoke run"
+# The nonlinear-PA model end to end through the real binaries: a
+# 4-process TCP world running --model nlpa --alpha 1.5 must produce
+# exactly the edge set of a same-seed single-process nlpa run.
+./target/release/palaunch -p 4 --pagen ./target/release/pagen -- \
+    generate --model nlpa --alpha 1.5 --n 20000 --x 4 --scheme rrp --seed 7 \
+    --out "$nlpa_multi" --format txt
+cargo run -q -p pa-cli --release -- generate --model nlpa --alpha 1.5 \
+    --n 20000 --x 4 --ranks 4 --scheme rrp --seed 7 \
+    --out "$nlpa_single" --format txt
+sort "$nlpa_multi" > "$nlpa_multi.sorted"
+sort "$nlpa_single" > "$nlpa_single.sorted"
+if ! cmp -s "$nlpa_multi.sorted" "$nlpa_single.sorted"; then
+    echo "nlpa smoke mismatch: 4-process run diverged from single-process run" >&2
+    exit 1
+fi
+
+echo "==> nlpa exponent-sweep guard"
+# exp_nlpa_degree_dist exits non-zero unless the fitted degree exponent
+# strictly decreases as alpha grows — i.e. unless --alpha actually
+# reaches the draw streams.
+cargo run -q -p pa-bench --release --bin exp_nlpa_degree_dist -- \
+    --n 100000 --ranks 4 > /dev/null
 
 echo "==> engine3 zero-communication guard"
 # exp_engine3_vs_engine2 exits non-zero if engine3 sent any message or

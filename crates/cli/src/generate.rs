@@ -26,10 +26,10 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let started = std::time::Instant::now();
 
-    // The PA model writing a raw edge file needs no global view of the
-    // edges, so it streams each rank straight to disk instead of
+    // The PA-family models writing a raw edge file need no global view
+    // of the edges, so they stream each rank straight to disk instead of
     // materializing per-rank edge vectors (see `stream_pa_to_disk`).
-    if model == "pa" && matches!(format.as_str(), "bin" | "txt") {
+    if matches!(model.as_str(), "pa" | "nlpa") && matches!(format.as_str(), "bin" | "txt") {
         let (cfg, scheme, ranks, opts, engine) = parse_pa_params(args, seed)?;
         let stats_flags = StatsFlags::parse(args)?;
         args.finish()?;
@@ -47,7 +47,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut pa_stats: Option<(StatsFlags, Vec<pa_mpsim::CommStats>)> = None;
     let (n, shards, attrs): (u64, Vec<EdgeList>, Vec<(String, String)>) = match model.as_str() {
-        "pa" => {
+        "pa" | "nlpa" => {
             let (cfg, scheme, ranks, opts, engine) = parse_pa_params(args, seed)?;
             let flags = StatsFlags::parse(args)?;
             let result = match engine {
@@ -58,18 +58,26 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             };
             pa_stats = Some((flags, result.ranks.iter().map(|r| r.comm.clone()).collect()));
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
-            (
-                cfg.n,
-                shards,
-                vec![
-                    ("model".into(), "preferential-attachment".into()),
-                    ("x".into(), cfg.x.to_string()),
-                    ("p".into(), cfg.p.to_string()),
-                    ("scheme".into(), scheme.to_string()),
-                    ("ranks".into(), ranks.to_string()),
-                    ("engine".into(), engine.to_string()),
-                ],
-            )
+            let mut attrs = vec![
+                (
+                    "model".into(),
+                    match opts.model {
+                        pa_core::ModelKind::Pa => "preferential-attachment".to_string(),
+                        pa_core::ModelKind::Nlpa { .. } => {
+                            "nonlinear-preferential-attachment".to_string()
+                        }
+                    },
+                ),
+                ("x".into(), cfg.x.to_string()),
+                ("p".into(), cfg.p.to_string()),
+                ("scheme".into(), scheme.to_string()),
+                ("ranks".into(), ranks.to_string()),
+                ("engine".into(), engine.to_string()),
+            ];
+            if let pa_core::ModelKind::Nlpa { alpha } = opts.model {
+                attrs.push(("alpha".into(), alpha.to_string()));
+            }
+            (cfg.n, shards, attrs)
         }
         "er" => {
             let n = args.u64("n", 100_000)?;
@@ -140,7 +148,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError::usage(format!(
-                "unknown model {other:?} (expected pa, er, ws, cl or rmat)"
+                "unknown model {other:?} (expected pa, nlpa, er, ws, cl or rmat)"
             )))
         }
     };
@@ -202,7 +210,7 @@ fn parse_pa_params(
         ));
     }
     let cfg = validated(n, x, p, seed)?;
-    let opts = parse_gen_options(args)?;
+    let opts = parse_gen_options(args)?.with_model(parse_model_kind(args)?);
     if let Some(hub) = opts.hub_cache_nodes {
         if hub > n {
             return Err(CliError::usage(format!(
@@ -211,6 +219,23 @@ fn parse_pa_params(
         }
     }
     Ok((cfg, scheme, ranks, opts, engine))
+}
+
+/// Parse the attachment model: `--model pa` (default) or `--model nlpa`
+/// with its `--alpha` exponent. Invalid `--alpha` values (negative, NaN,
+/// infinite) fail here with the model's own diagnostic instead of
+/// panicking inside the engines. Callers dispatch on the model string
+/// first, so anything that is not `nlpa` is the classical copy model.
+pub(crate) fn parse_model_kind(args: &Args) -> Result<pa_core::ModelKind, CliError> {
+    if args.str("model", "pa") != "nlpa" {
+        return Ok(pa_core::ModelKind::Pa);
+    }
+    let kind = pa_core::ModelKind::Nlpa {
+        alpha: args.f64("alpha", 1.0)?,
+    };
+    kind.check()
+        .map_err(|e| CliError::usage(format!("--alpha: {e}")))?;
+    Ok(kind)
 }
 
 /// Parse `--engine 1|2|3` (default 2, the general Algorithm 3.2).

@@ -63,13 +63,18 @@ USAGE:
 
 COMMANDS:
     generate   Generate a network and write it to disk
-               --model pa|er|ws|cl|rmat (default pa)
+               --model pa|nlpa|er|ws|cl|rmat (default pa)
                --n <nodes> (default 100000)      --x <edges/node> (default 4)
                --p <copy prob> (default 0.5)     --seed <u64> (default 0)
                --ranks <P> (default 4)           --scheme ucp|lcp|rrp|bcp (default rrp)
                --out <file> (default graph.pag)  --format pag|bin|txt (default pag)
+               --alpha <f64> (nlpa exponent, default 1.0; 1.0 is exactly pa)
                --engine 1|2|3 (default 2; 1 needs x=1, 3 recomputes
                           dependency chains locally and sends no messages)
+               engine/model support: engines 2 and 3 run pa and nlpa on
+                          every backend; engine 1 runs pa and nlpa with
+                          x=1 on mpsim only (the tcp wire format does
+                          not carry its x=1 messages)
                pa tuning: --buffer-cap <msgs> (default 4096)
                           --service-interval <nodes> (default 4096)
                           --hub-cache auto|off|<nodes> (default auto)

@@ -18,14 +18,14 @@ use pa_mpsim::Transport;
 use pa_net::{TcpConfig, TcpTransport};
 
 use crate::args::{Args, CliError};
-use crate::generate::{parse_engine, parse_gen_options, parse_scheme, validated};
+use crate::generate::{parse_engine, parse_gen_options, parse_model_kind, parse_scheme, validated};
 use crate::stats::{MergedStats, StatsFlags};
 
 pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let model = args.str("model", "pa");
-    if model != "pa" {
+    if !matches!(model.as_str(), "pa" | "nlpa") {
         return Err(CliError::usage(format!(
-            "--backend tcp only supports --model pa, got {model:?}"
+            "--backend tcp only supports --model pa or nlpa, got {model:?}"
         )));
     }
     let seed = args.u64("seed", 0)?;
@@ -56,7 +56,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         ));
     }
     let cfg = validated(n, x, p, seed)?;
-    let mut opts = parse_gen_options(args)?;
+    let mut opts = parse_gen_options(args)?.with_model(parse_model_kind(args)?);
     if opts.fault_plan.is_some() {
         return Err(CliError::usage(
             "--chaos-profile is not supported with --backend tcp \
@@ -149,7 +149,9 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             seed: cfg.seed,
             scheme_id,
             engine_id: engine,
+            model_id: opts.model.id(),
             interval: ckpt_interval,
+            alpha_bits: opts.model.alpha_bits(),
         };
         Some(par::CheckpointStore::new(&ckpt_dir, rank as u32, meta).map_err(CliError::io)?)
     };
@@ -258,7 +260,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         merge().map_err(CliError::io)?;
         writeln!(
             out,
-            "generated pa: {n} nodes, {total_edges} edges in {:.2}s -> {path} \
+            "generated {model}: {n} nodes, {total_edges} edges in {:.2}s -> {path} \
              ({format}, tcp x {world} processes)",
             started.elapsed().as_secs_f64()
         )

@@ -408,3 +408,171 @@ fn engine_flag_rejects_bad_values() {
     .unwrap_err();
     assert!(err.contains("x"), "{err}");
 }
+
+#[test]
+fn nlpa_alpha_one_matches_pa() {
+    // --model nlpa --alpha 1.0 must route through the same draw stream
+    // as --model pa: same edge set through engine 2 (whose streamed byte
+    // order varies with thread timing), byte-identical files through the
+    // communication-free engine 3 (whose commit order is label order).
+    let common = [
+        "--n", "2000", "--x", "3", "--ranks", "4", "--scheme", "rrp", "--seed", "9", "--format",
+        "bin",
+    ];
+    let run_one = |model_flags: &[&str], engine: &str, out: &str| {
+        let mut argv: Vec<&str> = vec!["generate"];
+        argv.extend_from_slice(model_flags);
+        argv.extend_from_slice(&common);
+        argv.extend_from_slice(&["--engine", engine, "--out", out]);
+        exec(&argv).unwrap();
+    };
+    for engine in ["2", "3"] {
+        let pa = tmp(&format!("nlpa_vs_pa_pa_e{engine}.bin"));
+        let nl = tmp(&format!("nlpa_vs_pa_nl_e{engine}.bin"));
+        run_one(&["--model", "pa"], engine, &pa);
+        run_one(&["--model", "nlpa", "--alpha", "1.0"], engine, &nl);
+        let a = pa_graph::io::read_binary_file(&pa).unwrap();
+        let b = pa_graph::io::read_binary_file(&nl).unwrap();
+        assert_eq!(a.canonicalized(), b.canonicalized(), "engine {engine}");
+        if engine == "3" {
+            assert_eq!(
+                std::fs::read(&pa).unwrap(),
+                std::fs::read(&nl).unwrap(),
+                "engine 3 streams in label order; files must match byte-for-byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn nlpa_records_its_exponent_in_the_container() {
+    let path = tmp("nlpa_meta.pag");
+    let msg = exec(&[
+        "generate", "--model", "nlpa", "--alpha", "1.5", "--n", "3000", "--x", "2", "--ranks", "2",
+        "--seed", "3", "--out", &path,
+    ])
+    .unwrap();
+    assert!(msg.contains("generated nlpa"), "{msg}");
+    let info = exec(&["info", "--in", &path]).unwrap();
+    assert!(info.contains("nonlinear-preferential-attachment"), "{info}");
+    assert!(info.contains("alpha = 1.5"), "{info}");
+}
+
+#[test]
+fn nlpa_works_through_every_engine() {
+    // Engines 2 and 3 must agree on the nlpa edge set; engine 1 runs the
+    // x = 1 specialization of the same model.
+    let e2 = tmp("nlpa_e2.bin");
+    let e3 = tmp("nlpa_e3.bin");
+    for (engine, out) in [("2", &e2), ("3", &e3)] {
+        exec(&[
+            "generate", "--model", "nlpa", "--alpha", "0.5", "--n", "4000", "--x", "2", "--ranks",
+            "4", "--seed", "5", "--engine", engine, "--out", out, "--format", "bin",
+        ])
+        .unwrap();
+    }
+    let a = pa_graph::io::read_binary_file(&e2).unwrap();
+    let b = pa_graph::io::read_binary_file(&e3).unwrap();
+    assert_eq!(a.canonicalized(), b.canonicalized());
+
+    let msg = exec(&[
+        "generate",
+        "--model",
+        "nlpa",
+        "--alpha",
+        "1.5",
+        "--n",
+        "1000",
+        "--x",
+        "1",
+        "--ranks",
+        "2",
+        "--engine",
+        "1",
+        "--out",
+        &tmp("nlpa_e1.pag"),
+    ])
+    .unwrap();
+    assert!(msg.contains("1000 nodes"), "{msg}");
+}
+
+#[test]
+fn nlpa_rejects_bad_alpha_values() {
+    for (alpha, needle) in [("-1.0", "non-negative"), ("nan", "NaN"), ("inf", "finite")] {
+        let err = exec(&[
+            "generate",
+            "--model",
+            "nlpa",
+            "--alpha",
+            alpha,
+            "--n",
+            "100",
+            "--x",
+            "1",
+            "--out",
+            &tmp("nlpa_bad.pag"),
+        ])
+        .unwrap_err();
+        assert!(err.contains(needle), "alpha {alpha}: {err}");
+        assert!(err.contains("--alpha"), "alpha {alpha}: {err}");
+    }
+    // Not a number at all: the flag parser's own diagnostic.
+    let err = exec(&[
+        "generate",
+        "--model",
+        "nlpa",
+        "--alpha",
+        "fast",
+        "--n",
+        "100",
+        "--x",
+        "1",
+        "--out",
+        &tmp("nlpa_bad.pag"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--alpha must be a number"), "{err}");
+}
+
+#[test]
+fn alpha_without_nlpa_is_flagged_as_unknown() {
+    let err = exec(&[
+        "generate",
+        "--model",
+        "pa",
+        "--alpha",
+        "1.5",
+        "--n",
+        "100",
+        "--x",
+        "1",
+        "--out",
+        &tmp("pa_alpha.pag"),
+    ])
+    .unwrap_err();
+    assert!(err.contains("--alpha"), "{err}");
+}
+
+#[test]
+fn chain_memo_rejects_non_integer_values() {
+    for bad in ["-1", "many", "1.5"] {
+        let err = exec(&[
+            "generate",
+            "--model",
+            "pa",
+            "--n",
+            "100",
+            "--x",
+            "1",
+            "--chain-memo",
+            bad,
+            "--out",
+            &tmp("memo_bad.pag"),
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("--chain-memo must be an integer"),
+            "{bad}: {err}"
+        );
+    }
+}

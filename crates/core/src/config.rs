@@ -151,6 +151,11 @@ pub struct GenOptions {
     /// memoized row is a pure function of the seed, the memo size cannot
     /// change the generated network (pinned by the determinism suite).
     pub chain_memo_nodes: u64,
+    /// Which attachment model to generate (see [`crate::ModelKind`]).
+    /// The default is the paper's copy model; `Nlpa { alpha }` re-weights
+    /// the direct-vs-copy coin to `p^alpha` (nonlinear preferential
+    /// attachment surrogate), with `alpha = 1` bit-identical to `Pa`.
+    pub model: crate::ModelKind,
 }
 
 impl Default for GenOptions {
@@ -165,6 +170,7 @@ impl Default for GenOptions {
             stall_timeout: None,
             checkpoint_interval: None,
             chain_memo_nodes: DEFAULT_CHAIN_MEMO_NODES,
+            model: crate::ModelKind::Pa,
         }
     }
 }
@@ -216,6 +222,20 @@ impl GenOptions {
         self
     }
 
+    /// Replace the attachment model (see [`crate::ModelKind`]).
+    #[must_use]
+    pub fn with_model(mut self, model: crate::ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Select nonlinear preferential attachment with exponent `alpha`
+    /// (shorthand for `with_model(ModelKind::Nlpa { alpha })`).
+    #[must_use]
+    pub fn with_alpha(self, alpha: f64) -> Self {
+        self.with_model(crate::ModelKind::Nlpa { alpha })
+    }
+
     /// Effective hub-cache size in nodes for an `n`-node run.
     pub fn hub_nodes(&self, n: u64) -> u64 {
         self.hub_cache_nodes
@@ -227,7 +247,9 @@ impl GenOptions {
     ///
     /// # Panics
     ///
-    /// Panics if any knob that must be positive is zero.
+    /// Panics if any knob that must be positive is zero, or if the
+    /// model parameters are invalid (negative, NaN or non-finite
+    /// `alpha`; see [`crate::ModelKind::check`]).
     pub fn validate(&self) {
         assert!(
             self.buffer_capacity > 0,
@@ -261,6 +283,7 @@ impl GenOptions {
                 "checkpoint_interval must be positive (use None for a single epoch)"
             );
         }
+        self.model.validate();
     }
 
     /// Validate option values against a concrete run of `n` nodes.
@@ -455,5 +478,36 @@ mod tests {
             ..GenOptions::default()
         }
         .validate_for(100);
+    }
+
+    #[test]
+    fn model_builders() {
+        assert_eq!(GenOptions::default().model, crate::ModelKind::Pa);
+        let opts = GenOptions::default().with_alpha(1.5);
+        assert_eq!(opts.model, crate::ModelKind::Nlpa { alpha: 1.5 });
+        opts.validate();
+        let opts = GenOptions::default().with_model(crate::ModelKind::Pa);
+        assert_eq!(opts.model, crate::ModelKind::Pa);
+        GenOptions::default().with_alpha(0.0).validate_for(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_rejected_by_validate() {
+        GenOptions::default().with_alpha(-0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_alpha_rejected_by_validate_for() {
+        GenOptions::default().with_alpha(f64::NAN).validate_for(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_alpha_rejected_by_validate() {
+        GenOptions::default()
+            .with_alpha(f64::INFINITY)
+            .validate_for(100);
     }
 }

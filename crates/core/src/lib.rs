@@ -65,6 +65,7 @@ pub mod cl;
 mod config;
 pub mod er;
 pub mod math;
+mod model;
 pub mod par;
 pub mod partition;
 pub mod rmat;
@@ -72,6 +73,7 @@ pub mod seq;
 pub mod ws;
 
 pub use config::{GenOptions, PaConfig, DEFAULT_CHAIN_MEMO_NODES, DEFAULT_HUB_CACHE_NODES};
+pub use model::{Model, ModelKind};
 
 /// The fault-injection schedule consumed by [`GenOptions::fault_plan`]
 /// (re-exported from `pa-mpsim` so callers configuring chaos runs don't

@@ -26,8 +26,11 @@ use pa_mpsim::wire::{get_u32, get_u64, get_u8};
 
 /// Magic number at the head of every checkpoint file (`"PACK"`).
 const MAGIC: u32 = 0x4b43_4150;
-/// Checkpoint format version.
-const VERSION: u32 = 1;
+/// Checkpoint format version. Version 2 added the attachment-model
+/// identity (`model_id`, `alpha_bits`) to the header; version-1 files
+/// are rejected on load (treated as absent) rather than resumed under a
+/// guessed model.
+const VERSION: u32 = 2;
 
 /// Identity of a run, embedded in every checkpoint and re-verified on
 /// load so stale or foreign checkpoints are rejected instead of
@@ -50,8 +53,15 @@ pub struct CheckpointMeta {
     /// Engine discriminant (caller-defined; the CLI uses 2 for the
     /// general engine).
     pub engine_id: u8,
+    /// Attachment-model discriminant ([`crate::ModelKind::id`]): a
+    /// checkpoint taken under one model must never resume under another.
+    pub model_id: u8,
     /// Epoch length in node labels ([`crate::GenOptions::checkpoint_interval`]).
     pub interval: u64,
+    /// Model parameter as raw IEEE-754 bits
+    /// ([`crate::ModelKind::alpha_bits`]; 0 for the parameter-free copy
+    /// model) — exact compare, like `p_bits`.
+    pub alpha_bits: u64,
 }
 
 /// One rank's checkpoint as read back from disk.
@@ -145,7 +155,9 @@ impl CheckpointStore {
         put_u64(&mut buf, self.meta.seed);
         buf.push(self.meta.scheme_id);
         buf.push(self.meta.engine_id);
+        buf.push(self.meta.model_id);
         put_u64(&mut buf, self.meta.interval);
+        put_u64(&mut buf, self.meta.alpha_bits);
         put_u64(&mut buf, edges);
         put_u64(&mut buf, bytes);
         put_u64(&mut buf, payload.len() as u64);
@@ -242,7 +254,9 @@ impl CheckpointStore {
             || get_u64(&mut r)? != self.meta.seed
             || get_u8(&mut r)? != self.meta.scheme_id
             || get_u8(&mut r)? != self.meta.engine_id
+            || get_u8(&mut r)? != self.meta.model_id
             || get_u64(&mut r)? != self.meta.interval
+            || get_u64(&mut r)? != self.meta.alpha_bits
         {
             return None;
         }
@@ -275,7 +289,9 @@ mod tests {
             seed: 41,
             scheme_id: 1,
             engine_id: 2,
+            model_id: 0,
             interval: 500,
+            alpha_bits: 0,
         }
     }
 
@@ -341,6 +357,38 @@ mod tests {
         let other = CheckpointStore::new(&dir, 1, CheckpointMeta { seed: 99, ..meta() }).unwrap();
         assert!(other.load(0).is_none(), "foreign seed rejected");
         assert!(store.load(0).is_some(), "matching identity still loads");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_model_identity_is_rejected() {
+        let dir = scratch("model");
+        let store = CheckpointStore::new(&dir, 0, meta()).unwrap();
+        store.save(0, 500, 10, 0, &[1, 2, 3]).unwrap();
+        // A checkpoint taken under PA must not resume under nlpa (or
+        // under nlpa with a different alpha).
+        let nlpa = CheckpointStore::new(
+            &dir,
+            0,
+            CheckpointMeta {
+                model_id: 1,
+                alpha_bits: 1.5f64.to_bits(),
+                ..meta()
+            },
+        )
+        .unwrap();
+        assert!(nlpa.load(0).is_none(), "foreign model rejected");
+        let other_alpha = CheckpointStore::new(
+            &dir,
+            0,
+            CheckpointMeta {
+                alpha_bits: 0.5f64.to_bits(),
+                ..meta()
+            },
+        )
+        .unwrap();
+        assert!(other_alpha.load(0).is_none(), "foreign alpha rejected");
+        assert!(store.load(0).is_some(), "matching model still loads");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -11,9 +11,10 @@
 //!
 //! * the [`Transport`] carrying the messages (threaded world, loopback,
 //!   eventually a real MPI binding), and
-//! * a [`Strategy`] supplying the algorithm-specific state machine: the
-//!   `x = 1` two-field message path ([`super::engine1`]) and the general
-//!   in-order-slots path ([`super::engine2`]) are thin impls.
+//! * a [`Strategy`] supplying the algorithm-specific state machine — the
+//!   strategies, their wire schemas, and their private state (hub
+//!   replica, waiter tables) all live in [`super::strategy`]; this
+//!   module knows nothing about any particular algorithm or model.
 //!
 //! The loop structure — and with it the determinism argument (in-order
 //! slot commits giving every attempt the sequential generator's exact
@@ -41,8 +42,9 @@
 use pa_mpsim::{BufferedComm, Packet, Transport};
 
 use super::checkpoint::{CheckpointStore, SavedCheckpoint};
+use super::strategy::Strategy;
 use crate::partition::Partition;
-use crate::{GenOptions, Node};
+use crate::GenOptions;
 
 /// The driver's communication bundle, handed to every [`Strategy`] hook.
 ///
@@ -83,77 +85,6 @@ impl<'t, M: Send, T: Transport<M>> Net<'t, M, T> {
     fn flush_all(&mut self) {
         self.req.flush_all(&mut *self.comm);
         self.res.flush_all(&mut *self.comm);
-    }
-}
-
-/// The algorithm-specific half of an engine; [`run`] supplies the loop.
-///
-/// Hook order per rank and per epoch `[lo, hi)`:
-/// [`Strategy::register`] (seed edges + pending-slot count for the
-/// epoch's labels) → barrier → [`Strategy::attach_seed_node`] (the
-/// deterministic first attachment, when its label falls in the epoch) →
-/// sweep ([`Strategy::start_node`] + [`Strategy::drain_local`] per node)
-/// → completion loop ([`Strategy::handle_msgs`] on traffic) →
-/// [`Strategy::finish`]. Un-epoched runs are the single epoch `[0, n)`.
-pub(super) trait Strategy {
-    /// The wire message type of this algorithm.
-    type Msg: Send + 'static;
-
-    /// Emit this rank's deterministic seed edges whose owner label lies
-    /// in `[lo, hi)` and return the number of *pending slots* the epoch
-    /// registers with the termination detector.
-    fn register(&mut self, lo: Node, hi: Node) -> u64;
-
-    /// Commit the deterministic first attaching node (node `x`) if this
-    /// rank owns it and its label lies in `[lo, hi)`. Runs after the
-    /// registration barrier, so completions are never observed before
-    /// every rank has added its work.
-    fn attach_seed_node<T: Transport<Self::Msg>>(
-        &mut self,
-        net: &mut Net<'_, Self::Msg, T>,
-        lo: Node,
-        hi: Node,
-    );
-
-    /// Drive node `t` as far as it goes without remote answers.
-    fn start_node<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>, t: Node);
-
-    /// Cascade locally produced resolutions until quiescent.
-    fn drain_local<T: Transport<Self::Msg>>(&mut self, net: &mut Net<'_, Self::Msg, T>);
-
-    /// Process one received batch of messages (drain `msgs`).
-    fn handle_msgs<T: Transport<Self::Msg>>(
-        &mut self,
-        net: &mut Net<'_, Self::Msg, T>,
-        src: usize,
-        msgs: &mut Vec<Self::Msg>,
-    );
-
-    /// Post-quiescence invariant checks (debug assertions), run at the
-    /// end of every epoch — empty waiter tables are exactly what makes
-    /// the epoch cut checkpointable.
-    fn finish(&mut self) {}
-
-    /// Flush the edge sink and report its `(edges, bytes)` watermark for
-    /// a checkpoint (see [`super::sink::EdgeSink::checkpoint_mark`]).
-    fn sink_mark(&mut self) -> std::io::Result<(u64, u64)>;
-
-    /// Serialize the committed engine state below label `hi` into `out`
-    /// (the epoch-cut invariants guarantee this is the *whole* state).
-    fn snapshot(&mut self, hi: Node, out: &mut Vec<u8>);
-
-    /// Rebuild the engine from a [`Strategy::snapshot`] taken at `hi`.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable reason when the payload does not match this
-    /// rank's shape (truncation, foreign partition, hub-size mismatch).
-    fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String>;
-
-    /// One-line progress summary (uncommitted slots, waiter-table depths)
-    /// for the stall watchdog's report.
-    fn stall_report(&self) -> String {
-        String::new()
     }
 }
 

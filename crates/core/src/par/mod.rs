@@ -33,14 +33,10 @@
 mod checkpoint;
 mod degrees;
 mod driver;
-mod engine1;
-mod engine2;
-mod engine3;
-mod hubcache;
 mod msg;
 mod output;
 mod sink;
-mod waiters;
+mod strategy;
 
 pub use checkpoint::{CheckpointMeta, CheckpointStore, SavedCheckpoint};
 pub use degrees::{distributed_degrees, merge_degrees};
@@ -59,7 +55,7 @@ use pa_mpsim::{CommStats, FaultTransport, LoopbackTransport, Transport, World};
 fn drive<P, T, A>(part: &P, x: u64, opts: &GenOptions, mut comm: T, algo: A) -> (A, CommStats)
 where
     P: Partition,
-    A: driver::Strategy,
+    A: strategy::Strategy,
     A::Msg: Clone,
     T: Transport<A::Msg>,
 {
@@ -93,14 +89,14 @@ where
 {
     let nranks = part.nranks();
     if nranks == 1 {
-        let algo = engine2::General::new(cfg, part, 0, 1, opts, make_sink(0));
+        let algo = strategy::General::new(cfg, part, 0, 1, opts, make_sink(0));
         let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
         let (sink, counters) = algo.into_parts();
         vec![(sink, counters, stats)]
     } else {
         World::new(nranks).run(|comm| {
             let rank = comm.rank();
-            let algo = engine2::General::new(cfg, part, rank, nranks, opts, make_sink(rank));
+            let algo = strategy::General::new(cfg, part, rank, nranks, opts, make_sink(rank));
             let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
             let (sink, counters) = algo.into_parts();
             (sink, counters, stats)
@@ -123,14 +119,14 @@ where
 {
     let nranks = part.nranks();
     if nranks == 1 {
-        let algo = engine3::Chain::new(cfg, part, 0, opts, make_sink(0));
+        let algo = strategy::Chain::new(cfg, part, 0, opts, make_sink(0));
         let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
         let (sink, counters) = algo.into_parts();
         vec![(sink, counters, stats)]
     } else {
         World::new(nranks).run(|comm| {
             let rank = comm.rank();
-            let algo = engine3::Chain::new(cfg, part, rank, opts, make_sink(rank));
+            let algo = strategy::Chain::new(cfg, part, rank, opts, make_sink(rank));
             let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
             let (sink, counters) = algo.into_parts();
             (sink, counters, stats)
@@ -153,14 +149,14 @@ where
 {
     let nranks = part.nranks();
     if nranks == 1 {
-        let algo = engine1::X1::new(cfg, part, 0, make_sink(0));
+        let algo = strategy::X1::new(cfg, part, 0, opts, make_sink(0));
         let (algo, stats) = drive(part, cfg.x, opts, LoopbackTransport::new(), algo);
         let (sink, counters) = algo.into_parts();
         vec![(sink, counters, stats)]
     } else {
         World::new(nranks).run(|comm| {
             let rank = comm.rank();
-            let algo = engine1::X1::new(cfg, part, rank, make_sink(rank));
+            let algo = strategy::X1::new(cfg, part, rank, opts, make_sink(rank));
             let (algo, stats) = drive(part, cfg.x, opts, comm, algo);
             let (sink, counters) = algo.into_parts();
             (sink, counters, stats)
@@ -432,7 +428,7 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = engine2::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
+    let algo = strategy::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
     let algo = driver::run(part, cfg.x, opts, comm, algo);
     algo.into_parts()
 }
@@ -488,7 +484,7 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = engine2::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
+    let algo = strategy::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
     let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
     algo.into_parts()
 }
@@ -559,7 +555,7 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = engine3::Chain::new(cfg, part, comm.rank(), opts, sink);
+    let algo = strategy::Chain::new(cfg, part, comm.rank(), opts, sink);
     let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
     algo.into_parts()
 }
@@ -600,7 +596,7 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = engine1::X1::new(cfg, part, comm.rank(), sink);
+    let algo = strategy::X1::new(cfg, part, comm.rank(), opts, sink);
     let algo = driver::run(part, cfg.x, opts, comm, algo);
     algo.into_parts()
 }
@@ -868,7 +864,9 @@ mod tests {
             seed: cfg.seed,
             scheme_id: 2,
             engine_id: 3,
+            model_id: 0,
             interval,
+            alpha_bits: 0,
         };
         let ckpt_dir = dir.clone();
         let full: Vec<EdgeList> = World::new(3).run(|mut comm| {
@@ -983,7 +981,9 @@ mod tests {
             seed: cfg.seed,
             scheme_id: 2,
             engine_id: 2,
+            model_id: 0,
             interval,
+            alpha_bits: 0,
         };
         let ckpt_dir = dir.clone();
         let full: Vec<EdgeList> = World::new(3).run(|mut comm| {
@@ -1042,7 +1042,9 @@ mod tests {
             seed: cfg.seed,
             scheme_id: 0,
             engine_id: 2,
+            model_id: 0,
             interval: 0,
+            alpha_bits: 0,
         };
         let store = CheckpointStore::new(&dir, 0, meta).unwrap();
         let mut t = LoopbackTransport::new();

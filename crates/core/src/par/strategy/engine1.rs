@@ -7,20 +7,23 @@
 //! the seed — bit-identical for every rank count and partitioning scheme
 //! — which the test suite exploits heavily.
 //!
-//! The service/flush/park/termination loop lives in [`super::driver`];
-//! this module only supplies the per-node state machine.
+//! The service/flush/park/termination loop lives in
+//! [`crate::par::driver`]; this module only supplies the per-node state
+//! machine. All randomness flows through [`crate::Model`], so the x = 1
+//! protocol serves any counter-pure attachment model.
 
 use std::collections::VecDeque;
 
 use pa_mpsim::Transport;
 
-use super::driver::{Net, Strategy};
-use super::msg::Msg1;
-use super::output::EngineCounters;
-use super::sink::EdgeSink;
 use super::waiters::{Taken, WaiterTable};
+use super::Strategy;
+use crate::par::driver::Net;
+use crate::par::msg::Msg1;
+use crate::par::output::EngineCounters;
+use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
-use crate::{Node, PaConfig, NILL};
+use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 #[derive(Debug, Clone, Copy)]
 enum Waiter {
@@ -28,10 +31,11 @@ enum Waiter {
     Remote { t: Node, src: usize },
 }
 
-pub(super) struct X1<'a, P: Partition, S: EdgeSink> {
-    cfg: &'a PaConfig,
+pub(crate) struct X1<'a, P: Partition, S: EdgeSink> {
     part: &'a P,
     rank: usize,
+    /// The resolved attachment model this rank draws from.
+    model: Model,
     /// `F_t` per local node (by local index).
     f: Vec<Node>,
     waiters: WaiterTable<Waiter>,
@@ -41,13 +45,19 @@ pub(super) struct X1<'a, P: Partition, S: EdgeSink> {
 }
 
 impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
-    pub(super) fn new(cfg: &'a PaConfig, part: &'a P, rank: usize, sink: S) -> Self {
+    pub(crate) fn new(
+        cfg: &'a PaConfig,
+        part: &'a P,
+        rank: usize,
+        opts: &GenOptions,
+        sink: S,
+    ) -> Self {
         assert_eq!(cfg.x, 1, "Algorithm 3.1 requires x = 1");
         let size = part.size_of(rank) as usize;
         X1 {
-            cfg,
             part,
             rank,
+            model: Model::resolve(cfg, opts.model),
             f: vec![NILL; size],
             waiters: WaiterTable::new(size),
             local_events: VecDeque::new(),
@@ -59,8 +69,8 @@ impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
         }
     }
 
-    /// The sink and counters, after [`super::driver::run`] returns.
-    pub(super) fn into_parts(self) -> (S, EngineCounters) {
+    /// The sink and counters, after [`crate::par::driver::run`] returns.
+    pub(crate) fn into_parts(self) -> (S, EngineCounters) {
         (self.edges, self.counters)
     }
 
@@ -126,7 +136,7 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
 
     /// Algorithm 3.1 lines 3–9 for node `t`.
     fn start_node<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>, t: Node) {
-        let c = crate::seq::draw_choice(self.cfg.seed, self.cfg.p, 1, t, 0, 0);
+        let c = self.model.draw(t, 0, 0);
         if c.direct {
             self.counters.direct_edges += 1;
             self.commit(net, t, c.k);

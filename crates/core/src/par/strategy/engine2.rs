@@ -26,21 +26,22 @@
 //!
 //! The service/flush/park/termination loop — and the termination argument
 //! (a `request` in flight always belongs to an uncommitted slot) — lives
-//! in [`super::driver`]; this module only supplies the per-slot state
+//! in [`crate::par::driver`]; this module only supplies the per-slot state
 //! machine.
 
 use std::collections::{HashMap, VecDeque};
 
 use pa_mpsim::Transport;
 
-use super::driver::{Net, Strategy};
-use super::hubcache::HubCache;
-use super::msg::Msg;
-use super::output::EngineCounters;
-use super::sink::EdgeSink;
+use super::hub::HubCache;
 use super::waiters::{Taken, WaiterTable};
+use super::Strategy;
+use crate::par::driver::Net;
+use crate::par::msg::Msg;
+use crate::par::output::EngineCounters;
+use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
-use crate::{GenOptions, Node, PaConfig, NILL};
+use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 /// Someone waiting for a local slot to resolve.
 #[derive(Debug, Clone, Copy)]
@@ -62,11 +63,13 @@ enum SlotOutcome {
     Waiting,
 }
 
-pub(super) struct General<'a, P: Partition, S: EdgeSink> {
+pub(crate) struct General<'a, P: Partition, S: EdgeSink> {
     cfg: &'a PaConfig,
     part: &'a P,
     rank: usize,
     nranks: usize,
+    /// The resolved attachment model this rank draws from.
+    model: Model,
     /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
     f: Vec<Node>,
     /// Per-slot retry counters (`attempt` in the draw key).
@@ -75,7 +78,7 @@ pub(super) struct General<'a, P: Partition, S: EdgeSink> {
     next_e: Vec<u32>,
     /// Waiters per local slot index.
     waiters: WaiterTable<Waiter>,
-    /// Replicated low-label slots (see `hubcache`).
+    /// Replicated low-label slots (see [`super::hub`]).
     hub: HubCache,
     /// Slots parked for a hub broadcast that has not arrived yet, keyed
     /// by the hub slot `k·x + l`. Sparse by construction — only slots a
@@ -95,7 +98,7 @@ pub(super) struct General<'a, P: Partition, S: EdgeSink> {
 }
 
 impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
-    pub(super) fn new(
+    pub(crate) fn new(
         cfg: &'a PaConfig,
         part: &'a P,
         rank: usize,
@@ -117,6 +120,7 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
             part,
             rank,
             nranks,
+            model: Model::resolve(cfg, opts.model),
             f: vec![NILL; slots],
             attempts: vec![0; slots],
             next_e: vec![0; size as usize],
@@ -133,8 +137,8 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         }
     }
 
-    /// The sink and counters, after [`super::driver::run`] returns.
-    pub(super) fn into_parts(self) -> (S, EngineCounters) {
+    /// The sink and counters, after [`crate::par::driver::run`] returns.
+    pub(crate) fn into_parts(self) -> (S, EngineCounters) {
         (self.edges, self.counters)
     }
 
@@ -175,12 +179,12 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         // Hoist the (seed, t) key prefix: every re-draw of this slot then
         // pays one key mix instead of three (the high-x duplicate-retry
         // hot spot).
-        let keys = pa_rng::EventKeys::for_node(self.cfg.seed, t);
+        let keys = self.model.keys_for(t);
         loop {
             let slot = self.slot(t, e);
             let attempt = self.attempts[slot];
             self.attempts[slot] += 1;
-            let c = crate::seq::draw_choice_keyed(&keys, self.cfg.p, x, t, e, attempt);
+            let c = self.model.draw_keyed(&keys, t, e, attempt);
             let (v, direct) = if c.direct {
                 (c.k, true)
             } else {
@@ -384,21 +388,7 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
     type Msg = Msg;
 
     fn register(&mut self, lo: Node, hi: Node) -> u64 {
-        let x = self.cfg.x;
-        // Clique edges are emitted by the owner of their higher endpoint,
-        // in the epoch containing that endpoint's label.
-        for i in lo..hi.min(x) {
-            if self.part.rank_of(i) == self.rank {
-                for j in 0..i {
-                    self.edges.emit(i, j);
-                }
-            }
-        }
-        // Every local node t >= x in `[lo, hi)` owns x pending slots.
-        let start = lo.max(x).min(hi);
-        let pending_nodes = self.part.local_count_below(self.rank, hi)
-            - self.part.local_count_below(self.rank, start);
-        pending_nodes * x
+        super::register_clique(self.part, self.rank, self.cfg.x, lo, hi, &mut self.edges)
     }
 
     fn attach_seed_node<T: Transport<Msg>>(

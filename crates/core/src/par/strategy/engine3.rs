@@ -54,13 +54,14 @@
 use pa_mpsim::Transport;
 use pa_rng::EventKeys;
 
-use super::driver::{Net, Strategy};
-use super::msg::Msg;
-use super::output::EngineCounters;
-use super::sink::EdgeSink;
+use super::Strategy;
+use crate::par::driver::Net;
+use crate::par::msg::Msg;
+use crate::par::output::EngineCounters;
+use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
-use crate::seq::{draw_choice_keyed, draw_row_choices, Choice};
-use crate::{GenOptions, Node, PaConfig, NILL};
+use crate::seq::Choice;
+use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 /// One suspended row recomputation in the chain walk: node `k`'s
 /// attempt loop, paused while a deeper frame resolves one of its copy
@@ -284,10 +285,14 @@ impl Memo {
     }
 }
 
-pub(super) struct Chain<'a, P: Partition, S: EdgeSink> {
+pub(crate) struct Chain<'a, P: Partition, S: EdgeSink> {
     cfg: &'a PaConfig,
     part: &'a P,
     rank: usize,
+    /// The resolved attachment model this rank draws from — and, because
+    /// engine3 *recomputes* other ranks' rows, the model it replays for
+    /// every remote node too (all ranks resolve the identical model).
+    model: Model,
     /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
     f: Vec<Node>,
     /// Next edge index each local node must commit (restore bookkeeping
@@ -307,7 +312,7 @@ pub(super) struct Chain<'a, P: Partition, S: EdgeSink> {
 }
 
 impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
-    pub(super) fn new(
+    pub(crate) fn new(
         cfg: &'a PaConfig,
         part: &'a P,
         rank: usize,
@@ -320,6 +325,7 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
             cfg,
             part,
             rank,
+            model: Model::resolve(cfg, opts.model),
             f: vec![NILL; slots],
             next_e: vec![0; size as usize],
             memo: Memo::new(opts.chain_memo_nodes, cfg.n, cfg.x),
@@ -334,8 +340,8 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
         }
     }
 
-    /// The sink and counters, after [`super::driver::run`] returns.
-    pub(super) fn into_parts(self) -> (S, EngineCounters) {
+    /// The sink and counters, after [`crate::par::driver::run`] returns.
+    pub(crate) fn into_parts(self) -> (S, EngineCounters) {
         (self.edges, self.counters)
     }
 
@@ -370,7 +376,7 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
     /// resuming from the memoized prefix (if any) and reusing pooled
     /// allocations when available.
     fn new_frame(&mut self, k: Node, goal: u64) -> Frame {
-        let keys = EventKeys::for_node(self.cfg.seed, k);
+        let keys = self.model.keys_for(k);
         let mut frame = self.frame_pool.pop().unwrap_or(Frame {
             k,
             keys,
@@ -401,7 +407,9 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
                     .take()
                     .expect("resumed frame without a delivered child value")
             } else {
-                let c = draw_choice_keyed(&frame.keys, self.cfg.p, x, frame.k, e, frame.attempt);
+                let c = self
+                    .model
+                    .draw_keyed(&frame.keys, frame.k, e, frame.attempt);
                 if c.direct {
                     c.k
                 } else if c.k == x {
@@ -491,9 +499,9 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
     /// call commits all `x` slots.
     fn generate_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node) {
         let x = self.cfg.x;
-        let keys = EventKeys::for_node(self.cfg.seed, t);
+        let keys = self.model.keys_for(t);
         let mut choices0 = std::mem::take(&mut self.scratch);
-        draw_row_choices(&keys, self.cfg.p, x, t, &mut choices0);
+        self.model.draw_row(&keys, t, &mut choices0);
         let li = self.part.local_index(t) as usize;
         let row0 = li * x as usize;
         for e in 0..x as u32 {
@@ -502,7 +510,7 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
                 let c = if attempt == 0 {
                     choices0[e as usize]
                 } else {
-                    draw_choice_keyed(&keys, self.cfg.p, x, t, e, attempt)
+                    self.model.draw_keyed(&keys, t, e, attempt)
                 };
                 let (cand, direct) = if c.direct {
                     (c.k, true)
@@ -536,21 +544,7 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for Chain<'a, P, S> {
     type Msg = Msg;
 
     fn register(&mut self, lo: Node, hi: Node) -> u64 {
-        let x = self.cfg.x;
-        // Clique edges are emitted by the owner of their higher endpoint,
-        // in the epoch containing that endpoint's label.
-        for i in lo..hi.min(x) {
-            if self.part.rank_of(i) == self.rank {
-                for j in 0..i {
-                    self.edges.emit(i, j);
-                }
-            }
-        }
-        // Every local node t >= x in `[lo, hi)` owns x pending slots.
-        let start = lo.max(x).min(hi);
-        let pending_nodes = self.part.local_count_below(self.rank, hi)
-            - self.part.local_count_below(self.rank, start);
-        pending_nodes * x
+        super::register_clique(self.part, self.rank, self.cfg.x, lo, hi, &mut self.edges)
     }
 
     fn attach_seed_node<T: Transport<Msg>>(

@@ -4,7 +4,7 @@
 //! `(1-p)(H_{n-1} − H_k)` — request traffic concentrates sharply on the
 //! lowest-labelled nodes. Each rank therefore keeps a read-mostly replica
 //! of the first `H` nodes' committed `F` slots. Owners broadcast a
-//! [`super::msg::Msg::Hub`] update when they commit a hub slot (piggybacked
+//! [`crate::par::msg::Msg::Hub`] update when they commit a hub slot (piggybacked
 //! on the existing resolved-message flushes), and `start_edge` consults the
 //! replica before emitting a remote request.
 //!

@@ -105,6 +105,16 @@ pub fn target_for(seed: u64, p: f64, t: Node) -> Node {
 /// `attempt` whenever the candidate already appears among `t`'s chosen
 /// targets).
 pub fn generate(cfg: &PaConfig) -> EdgeList {
+    generate_with_model(cfg, crate::Model::resolve(cfg, crate::ModelKind::Pa))
+}
+
+/// The model-generic sequential generator: the seed clique, the
+/// flattened `F` table, and the duplicate-avoidance retry loop are
+/// identical for every attachment model — only the draw itself goes
+/// through [`crate::Model`]. This is the reference semantics ("the
+/// oracle") each parallel engine must reproduce bit-for-bit, for every
+/// model.
+pub(crate) fn generate_with_model(cfg: &PaConfig, model: crate::Model) -> EdgeList {
     cfg.validate();
     let (n, x) = (cfg.n, cfg.x);
     let mut edges = EdgeList::with_capacity(cfg.expected_edges() as usize);
@@ -123,13 +133,14 @@ pub fn generate(cfg: &PaConfig) -> EdgeList {
         f[(x * x + e) as usize] = e;
         edges.push(x, e);
     }
-    // Every later node draws x targets via the copy model.
+    // Every later node draws x targets via the model's choice stream.
     for t in (x + 1)..n {
+        let keys = model.keys_for(t);
         let row = (t * x) as usize;
         for e in 0..x {
             let mut attempt = 0u32;
             let v = loop {
-                let c = draw_choice(cfg.seed, cfg.p, x, t, e as u32, attempt);
+                let c = model.draw_keyed(&keys, t, e as u32, attempt);
                 let cand = if c.direct {
                     c.k
                 } else {

@@ -1,0 +1,110 @@
+//! Sequential nonlinear-PA reference generator (the nlpa oracle).
+//!
+//! Nonlinear preferential attachment (NLPA) attaches proportionally to
+//! `degree^α` (Allendorf–Meyer–Penschuck–Tran; Krapivsky–Redner): `α = 1`
+//! is the classical linear kernel, `α < 1` flattens the rich-get-richer
+//! feedback (thinner tail, larger exponent γ), `α > 1` sharpens it
+//! (heavier tail, smaller γ, hub condensation in the `α ≫ 1` limit).
+//!
+//! This implementation realizes NLPA as a *redirection surrogate* on the
+//! copy model: the direct-vs-copy coin is re-weighted to `p_eff = p^α`
+//! (see [`crate::ModelKind::Nlpa`]), which shifts the generated degree
+//! exponent `γ ≈ 1 + 1/(1 − p_eff)` monotonically with α while keeping
+//! every draw a pure function of `(seed, node, edge, attempt)` — exactly
+//! the property the distributed engines, the chaos harness, and
+//! checkpoint/restart rely on. It is a surrogate, not an exact `k^α`
+//! kernel: exactness would require global degree state, which no exact
+//! distributed algorithm can maintain without serializing.
+//!
+//! **Degenerate corner.** `α = 0` gives `p_eff = 1` (pure uniform
+//! attachment — every choice is direct). That is well-defined only for
+//! `x = 1`: with `x > 1`, node `x+1` must fill `x` distinct slots but the
+//! only reachable candidate is `k = x` (the direct range `[x, x+1)` has a
+//! single element and copying never happens), so generation cannot make
+//! progress. Use `x = 1` when driving `α` to zero.
+//!
+//! Like [`super::copy_model`], this sequential generator is the
+//! reference semantics for the parallel paths: both the message-passing
+//! engine (Algorithm 3.2) and the communication-free engine must
+//! reproduce its edge set bit-for-bit at any processor count.
+
+use crate::{Model, ModelKind, PaConfig};
+use pa_graph::EdgeList;
+
+/// Generate an NLPA network with exponent `alpha` sequentially.
+///
+/// `alpha = 1.0` is bit-identical to [`super::copy_model`].
+///
+/// # Panics
+///
+/// Panics on invalid `cfg` or non-finite / negative `alpha`.
+pub fn generate(cfg: &PaConfig, alpha: f64) -> EdgeList {
+    super::copy_model::generate_with_model(cfg, Model::resolve(cfg, ModelKind::Nlpa { alpha }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_graph::validate::assert_valid_pa_network;
+
+    #[test]
+    fn alpha_one_is_bit_identical_to_the_copy_model() {
+        for (n, x, seed) in [(2_000u64, 1u64, 7u64), (1_500, 4, 41)] {
+            let cfg = PaConfig::new(n, x).with_seed(seed);
+            assert_eq!(generate(&cfg, 1.0), super::super::copy_model(&cfg));
+        }
+    }
+
+    #[test]
+    fn output_is_a_valid_pa_network_for_every_alpha() {
+        // α = 0 is excluded here: p_eff = 1 with x > 1 is degenerate (see
+        // the module docs) and is covered by `alpha_zero_is_uniform_attachment`
+        // at x = 1.
+        for alpha in [0.5, 1.0, 1.5, 2.5] {
+            let cfg = PaConfig::new(2_000, 3).with_seed(13);
+            let edges = generate(&cfg, alpha);
+            assert_valid_pa_network(2_000, 3, &edges);
+            let csr = pa_graph::Csr::from_edges(2_000, &edges);
+            assert_eq!(csr.connected_components(), 1, "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_alpha() {
+        let cfg = PaConfig::new(800, 2).with_seed(42);
+        assert_eq!(generate(&cfg, 1.5), generate(&cfg, 1.5));
+        assert_ne!(generate(&cfg, 1.5), generate(&cfg, 0.5));
+    }
+
+    #[test]
+    fn tail_thickens_with_alpha() {
+        // Larger α → smaller p_eff → longer copy chains → heavier hubs.
+        let cfg = PaConfig::new(20_000, 2).with_seed(1);
+        let max_deg = |alpha: f64| {
+            let deg = pa_graph::degrees::degree_sequence(20_000, &generate(&cfg, alpha));
+            pa_graph::degrees::degree_stats(&deg).unwrap().max
+        };
+        let (lo, mid, hi) = (max_deg(0.5), max_deg(1.0), max_deg(1.5));
+        assert!(
+            lo < mid && mid < hi,
+            "max degree should grow with alpha: {lo} (α=0.5) vs {mid} (α=1.0) vs {hi} (α=1.5)"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform_attachment() {
+        // p_eff = 1: every choice is direct, no copy chains at all.
+        let cfg = PaConfig::new(500, 1).with_seed(5);
+        let edges = generate(&cfg, 0.0);
+        for (t, v) in edges.iter().skip(1) {
+            let c = crate::seq::draw_choice(cfg.seed, 1.0, 1, t, 0, 0);
+            assert_eq!(v, c.k, "node {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_panics() {
+        let _ = generate(&PaConfig::new(100, 1), -1.0);
+    }
+}

@@ -146,6 +146,42 @@ fn tcp_engine3_reproduces_the_oracles_with_zero_data_messages() {
 }
 
 #[test]
+fn tcp_backend_reproduces_the_nlpa_oracles() {
+    // The nlpa model over real sockets: α = 1.0 must land on the PA
+    // oracle byte-for-byte (the surrogate is defined to degenerate to
+    // the copy model there), and α = 1.5 on the fingerprint pinned by
+    // `tests/models.rs` — through both the message-passing and the
+    // communication-free engine.
+    let cfg4 = PaConfig::new(3_000, 4).with_seed(41);
+    const NLPA_X4_A15: u64 = 0x5fd6a4040af24989;
+    for (alpha, oracle) in [(1.0f64, ORACLE_X4), (1.5, NLPA_X4_A15)] {
+        let opts = GenOptions::default().with_alpha(alpha);
+        for world in [2usize, 4] {
+            for scheme in Scheme::ALL {
+                let shards = run_world::<Msg>(world, |_, t| {
+                    let part = partition::build(scheme, cfg4.n, world);
+                    generate_rank_streaming(&cfg4, &part, &opts, t, EdgeList::new()).0
+                });
+                assert_eq!(
+                    fnv1a(&EdgeList::concat(shards).canonicalized()),
+                    oracle,
+                    "engine2 nlpa drifted over TCP: alpha={alpha} P={world} {scheme}"
+                );
+                let shards = run_world::<Msg>(world, |_, t| {
+                    let part = partition::build(scheme, cfg4.n, world);
+                    generate_rank3_streaming(&cfg4, &part, &opts, t, EdgeList::new()).0
+                });
+                assert_eq!(
+                    fnv1a(&EdgeList::concat(shards).canonicalized()),
+                    oracle,
+                    "engine3 nlpa drifted over TCP: alpha={alpha} P={world} {scheme}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn tcp_stats_allreduce_agrees_with_local_totals() {
     // The merged-statistics path the CLI uses: after generation, every
     // rank allreduces its message counters; the global totals must agree
