@@ -34,12 +34,13 @@ rec_multi="$(mktemp /tmp/pagen_rec_multi_XXXXXX.txt)"
 rec_single="$(mktemp /tmp/pagen_rec_single_XXXXXX.txt)"
 rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
 rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
+serve_dir=""
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
     "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
     "$e3_multi" "$e3_single" "$e3_multi.sorted" "$e3_single.sorted" \
     "$nlpa_multi" "$nlpa_single" "$nlpa_multi.sorted" "$nlpa_single.sorted" \
     "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
-    "$rec_multi".part*; rm -rf "$rec_ckpts"' EXIT
+    "$rec_multi".part*; rm -rf "$rec_ckpts"; [ -z "$serve_dir" ] || rm -rf "$serve_dir"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -185,5 +186,69 @@ if ls "$rec_ckpts"/*.ckpt* >/dev/null 2>&1; then
     echo "recovery smoke: finished job left checkpoints behind" >&2
     exit 1
 fi
+
+echo "==> serve soak test"
+# The multi-tenant daemon under concurrent load, in-process through the
+# CLI layer. #[ignore]d in the default suite (it is a load test), run
+# here explicitly.
+cargo test -q -p pa-bench --test serve_soak -- --ignored
+
+echo "==> pagen serve smoke run"
+# The daemon end to end through the real binary: three concurrent
+# fetches of one engine-3 tuple (one interrupted mid-stream and then
+# resumed), all byte-identical to a solo run of the same tuple, then a
+# clean drain with no temp litter in the jobs dir.
+serve_dir="$(mktemp -d /tmp/pagen_serve_smoke_XXXXXX)"
+serve_log="$serve_dir/serve.log"
+serve_job=(--n 50000 --x 2 --p 0.5 --seed 11 --ranks 2 --scheme rrp --engine 3 --format bin)
+serve_addr="127.0.0.1:$(( 20000 + RANDOM % 20000 ))"
+./target/release/pagen serve --addr "$serve_addr" \
+    --jobs-dir "$serve_dir/jobs" --workers 2 > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    (exec 3<>"/dev/tcp/${serve_addr%:*}/${serve_addr#*:}") 2>/dev/null && { exec 3>&-; break; }
+    sleep 0.05
+done
+cargo run -q -p pa-cli --release -- generate --model pa \
+    "${serve_job[@]}" --out "$serve_dir/solo.bin"
+./target/release/pagen fetch --addr "$serve_addr" \
+    "${serve_job[@]}" --out "$serve_dir/f1.bin" &
+f1=$!
+./target/release/pagen fetch --addr "$serve_addr" \
+    "${serve_job[@]}" --out "$serve_dir/f2.bin" &
+f2=$!
+# The third client dies mid-stream at a deterministic byte...
+if ./target/release/pagen fetch --addr "$serve_addr" \
+    "${serve_job[@]}" --out "$serve_dir/f3.bin" \
+    --stop-after-bytes 100000 --max-attempts 1 > /dev/null 2>&1; then
+    echo "serve smoke: interrupted fetch unexpectedly succeeded" >&2
+    exit 1
+fi
+wait "$f1" "$f2"
+# ...and resumes from the 100000 bytes it already has.
+./target/release/pagen fetch --addr "$serve_addr" \
+    "${serve_job[@]}" --out "$serve_dir/f3.bin" --resume on
+for f in f1 f2 f3; do
+    if ! cmp -s "$serve_dir/solo.bin" "$serve_dir/$f.bin"; then
+        echo "serve smoke mismatch: $f.bin diverged from the solo engine-3 run" >&2
+        exit 1
+    fi
+done
+./target/release/pagen drain --addr "$serve_addr"
+if ! wait "$serve_pid"; then
+    echo "serve smoke: daemon did not exit cleanly after drain" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+if ! grep -q "drained:" "$serve_log"; then
+    echo "serve smoke: daemon never printed its drain stats line" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+if ls "$serve_dir/jobs"/*.tmp* >/dev/null 2>&1; then
+    echo "serve smoke: jobs dir holds leftover temp files" >&2
+    exit 1
+fi
+rm -rf "$serve_dir"
 
 echo "CI OK"

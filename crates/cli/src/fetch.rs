@@ -1,0 +1,123 @@
+//! `pagen fetch` and `pagen drain` — the serve daemon's clients.
+//!
+//! `fetch` names a job by the same flags `generate` takes, asks a
+//! daemon for its artifact, and streams it to `--out`, transparently
+//! reconnecting with capped backoff and resuming from the last byte on
+//! disk. `--resume on` continues a previously-interrupted fetch of the
+//! *same* tuple instead of starting over. `drain` tells a daemon to
+//! wind down cleanly.
+
+use std::io::Write;
+use std::time::Duration;
+
+use crate::args::{Args, CliError};
+use crate::generate::{parse_engine, parse_model_kind, parse_scheme, validated};
+use crate::serve::spec_from_raw;
+use pa_core::job::JobDescriptor;
+use pa_graph::io::EdgeFormat;
+use pa_net::serve::{fetch, FetchError, FetchOptions};
+
+/// Build the job descriptor from `generate`-style flags.
+fn parse_job(args: &Args) -> Result<JobDescriptor, CliError> {
+    let n = args.u64("n", 100_000)?;
+    let x = args.u64("x", 4)?;
+    let p = args.f64("p", 0.5)?;
+    let seed = args.u64("seed", 0)?;
+    let ranks = args.u64("ranks", 4)?;
+    let scheme = parse_scheme(&args.str("scheme", "rrp"))?;
+    let engine = parse_engine(args)?;
+    let model = parse_model_kind(args)?;
+    let format = match args.str("format", "bin").as_str() {
+        "bin" => EdgeFormat::Binary,
+        "txt" => EdgeFormat::Text,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format {other:?} (the serve protocol streams bin or txt)"
+            )))
+        }
+    };
+    let desc = JobDescriptor {
+        cfg: validated(n, x, p, seed)?,
+        scheme,
+        engine,
+        model,
+        ranks: u32::try_from(ranks)
+            .map_err(|_| CliError::usage(format!("--ranks {ranks} does not fit in u32")))?,
+        format,
+    };
+    desc.validate().map_err(CliError::usage)?;
+    Ok(desc)
+}
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.str_required("addr")?;
+    let out_path = args.str("out", "fetched.bin");
+    let desc = parse_job(args)?;
+    let mut opts = FetchOptions::new(&addr, spec_from_raw(&desc.to_raw()), &out_path);
+    opts.resume = match args.str("resume", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "--resume must be on or off, got {other:?}"
+            )))
+        }
+    };
+    opts.max_attempts = args.u64("max-attempts", u64::from(opts.max_attempts))? as u32;
+    if opts.max_attempts == 0 {
+        return Err(CliError::usage("--max-attempts must be positive"));
+    }
+    opts.backoff_initial =
+        Duration::from_millis(args.u64("backoff-ms", opts.backoff_initial.as_millis() as u64)?);
+    opts.backoff_cap =
+        Duration::from_millis(args.u64("backoff-cap-ms", opts.backoff_cap.as_millis() as u64)?);
+    let jitter_seed = args.u64("backoff-seed", 0)?;
+    if jitter_seed != 0 {
+        opts.backoff_seed = Some(jitter_seed);
+    }
+    opts.connect_timeout = Duration::from_millis(args.u64(
+        "connect-timeout-ms",
+        opts.connect_timeout.as_millis() as u64,
+    )?);
+    opts.io_timeout =
+        Duration::from_millis(args.u64("io-timeout-ms", opts.io_timeout.as_millis() as u64)?);
+    // Deterministic crash simulation for tests and smoke scripts: the
+    // local sink fails once the file holds exactly this many bytes.
+    let stop_after = args.u64("stop-after-bytes", 0)?;
+    if stop_after != 0 {
+        opts.stop_after_bytes = Some(stop_after);
+    }
+    args.finish()?;
+
+    let report = fetch(&opts).map_err(|e| match e {
+        FetchError::Sink(e) => CliError::io(e),
+        other => CliError::usage(other.to_string()),
+    })?;
+    writeln!(
+        out,
+        "fetched job {:016x}: {} byte(s) -> {out_path} ({} transferred, resumed from {}, \
+         {} attempt(s), checksum {:016x})",
+        report.job_id,
+        report.total,
+        report.transferred,
+        report.resumed_from,
+        report.attempts,
+        report.checksum
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}
+
+pub(crate) fn drain(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.str_required("addr")?;
+    let timeout = Duration::from_millis(args.u64("timeout-ms", 10_000)?);
+    args.finish()?;
+    let (running, dropped) = pa_net::serve::drain(&addr, timeout)
+        .map_err(|e| CliError::usage(format!("drain of {addr} failed: {e}")))?;
+    writeln!(
+        out,
+        "drain acknowledged by {addr}: {running} job(s) finishing, {dropped} queued job(s) dropped"
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}

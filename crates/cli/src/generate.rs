@@ -33,8 +33,19 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let (cfg, scheme, ranks, opts, engine) = parse_pa_params(args, seed)?;
         let stats_flags = StatsFlags::parse(args)?;
         args.finish()?;
-        let (total_edges, comms) =
-            stream_pa_to_disk(&cfg, scheme, ranks, &opts, engine, &path, &format)?;
+        let edge_format = match format.as_str() {
+            "bin" => io::EdgeFormat::Binary,
+            _ => io::EdgeFormat::Text,
+        };
+        let (total_edges, comms) = stream_pa_to_disk(
+            &cfg,
+            scheme,
+            ranks,
+            &opts,
+            engine,
+            std::path::Path::new(&path),
+            edge_format,
+        )?;
         writeln!(
             out,
             "generated {model}: {} nodes, {total_edges} edges in {:.2}s -> {path} ({format}, streamed)",
@@ -257,21 +268,24 @@ pub(crate) fn parse_engine(args: &Args) -> Result<u8, CliError> {
 ///
 /// Returns the total number of edges written plus the per-rank
 /// communication ledgers (for `--stats` / `--stats-json`).
-fn stream_pa_to_disk(
+///
+/// This is the single streaming code path shared by `pagen generate`
+/// and the `pagen serve` job runner — sharing it is what guarantees a
+/// served artifact is byte-identical to a solo run of the same tuple.
+pub(crate) fn stream_pa_to_disk(
     cfg: &PaConfig,
     scheme: Scheme,
     ranks: usize,
     opts: &GenOptions,
     engine: u8,
-    path: &str,
-    format: &str,
+    path: &std::path::Path,
+    edge_format: io::EdgeFormat,
 ) -> Result<(u64, Vec<pa_mpsim::CommStats>), CliError> {
-    let edge_format = match format {
-        "bin" => io::EdgeFormat::Binary,
-        "txt" => io::EdgeFormat::Text,
-        other => unreachable!("stream_pa_to_disk called with format {other:?}"),
+    let part_path = |rank: usize| {
+        let mut p = path.as_os_str().to_owned();
+        p.push(format!(".part{rank}"));
+        std::path::PathBuf::from(p)
     };
-    let part_path = |rank: usize| format!("{path}.part{rank}");
 
     // Pre-create the per-rank files so creation errors surface before any
     // rank spawns; each rank thread then takes its own handle.
@@ -293,7 +307,7 @@ fn stream_pa_to_disk(
         1 => par::generate_x1_streaming(cfg, scheme, ranks, opts, make_sink),
         2 => par::generate_streaming(cfg, scheme, ranks, opts, make_sink),
         3 => par::generate3_streaming(cfg, scheme, ranks, opts, make_sink),
-        _ => unreachable!("parse_pa_params validated the engine"),
+        _ => unreachable!("callers validate the engine"),
     };
 
     let cleanup = |err: CliError| {

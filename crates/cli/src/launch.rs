@@ -191,18 +191,19 @@ fn prefix_lines(
 /// instead.
 pub fn execute(plan: &LaunchPlan) -> Result<i32, CliError> {
     let mut attempt = 0usize;
+    let mut backoff = pa_net::Backoff::new(Duration::from_millis(200), Duration::from_secs(2));
     loop {
         let code = run_world_once(plan, attempt)?;
         if code == 0 || attempt >= plan.restart_failed {
             return Ok(code);
         }
         attempt += 1;
-        let backoff = Duration::from_millis((200u64 << (attempt - 1).min(4)).min(2_000));
+        let delay = backoff.next_delay();
         eprintln!(
-            "palaunch: restarting world (attempt {attempt} of {}) after {backoff:?} backoff",
+            "palaunch: restarting world (attempt {attempt} of {}) after {delay:?} backoff",
             plan.restart_failed
         );
-        std::thread::sleep(backoff);
+        std::thread::sleep(delay);
     }
 }
 

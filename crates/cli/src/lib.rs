@@ -5,6 +5,9 @@
 //! pagen analyze  --in g.pag
 //! pagen info     --in g.pag
 //! pagen chains   --n 1000000 --p 0.5
+//! pagen serve    --addr 127.0.0.1:9900 --jobs-dir jobs
+//! pagen fetch    --addr 127.0.0.1:9900 --n 1000000 --x 4 --out g.bin
+//! pagen drain    --addr 127.0.0.1:9900
 //! palaunch -p 4 -- generate --n 1000000 --x 4 --out g.bin --format bin
 //! ```
 //!
@@ -21,10 +24,12 @@
 mod analyze;
 mod args;
 mod chains;
+mod fetch;
 mod generate;
 mod info;
 pub mod launch;
 mod netgen;
+mod serve;
 mod stats;
 
 pub use args::{Args, CliError};
@@ -43,6 +48,9 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "analyze" => analyze::run(&args, out),
         "info" => info::run(&args, out),
         "chains" => chains::run(&args, out),
+        "serve" => serve::run(&args, out),
+        "fetch" => fetch::run(&args, out),
+        "drain" => fetch::drain(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(CliError::io)?;
             Ok(())
@@ -106,6 +114,26 @@ COMMANDS:
     chains     Dependency-chain statistics (Theorem 3.3)
                --n <nodes> (default 1000000)  --p <prob> (default 0.5)
                --seed <u64> (default 0)
+    serve      Run the generation-as-a-service daemon (stop with drain)
+               --addr <host:port> (default 127.0.0.1:9900)
+               --jobs-dir <dir> (default pagen-jobs)
+               --queue-cap <jobs> (default 16)    --workers <threads> (default 2)
+               --chunk-kb <KiB> (default 256)     --retry-after-ms <ms> (default 200)
+               --request-timeout-ms <ms> (default 10000)
+               --max-ranks <P> (default 64)       --max-nodes <n> (default 2^32)
+    fetch      Submit a job to a serve daemon and stream its artifact
+               --addr <host:port> (required)      --out <file> (default fetched.bin)
+               job:   --n --x --p --seed --ranks --scheme --engine
+                      --model pa|nlpa --alpha     --format bin|txt (default bin)
+                      (same byte-identity tuple as generate; the file an
+                      uninterrupted fetch writes equals a solo generate)
+               retry: --resume on|off (default off; on continues --out)
+                      --max-attempts <k> (default 8)
+                      --backoff-ms / --backoff-cap-ms (default 50 / 2000)
+                      --backoff-seed <u64> (0 = no jitter)
+                      --connect-timeout-ms / --io-timeout-ms
+    drain      Wind a serve daemon down cleanly
+               --addr <host:port> (required)  --timeout-ms <ms> (default 10000)
     help       Show this text
 
 Multi-process runs: `palaunch [-p <ranks>] -- generate ...` spawns the

@@ -137,17 +137,13 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let store = if ckpt_dir.is_empty() {
         None
     } else {
-        let scheme_id = partition::Scheme::EXTENDED
-            .iter()
-            .position(|s| *s == scheme)
-            .unwrap_or(0) as u8;
         let meta = par::CheckpointMeta {
             world: world as u32,
             n: cfg.n,
             x: cfg.x,
             p_bits: cfg.p.to_bits(),
             seed: cfg.seed,
-            scheme_id,
+            scheme_id: scheme.id(),
             engine_id: engine,
             model_id: opts.model.id(),
             interval: ckpt_interval,

@@ -1,0 +1,143 @@
+//! `pagen serve` — run the generation-as-a-service daemon.
+//!
+//! The daemon glue: `pa-net::serve` owns sockets, queueing and
+//! streaming; this module supplies the [`JobRunner`] that maps a wire
+//! [`JobSpec`] onto the engines via `pa-core::job::JobDescriptor` and
+//! produces artifacts through the *same* streaming writer as
+//! `pagen generate --format bin|txt` — which is what makes a served
+//! artifact byte-identical to a solo run of the same parameter tuple.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::args::{Args, CliError};
+use pa_core::job::{JobDescriptor, RawJob};
+use pa_core::GenOptions;
+use pa_net::serve::{JobRunner, JobSpec, ServeConfig, Server};
+
+/// Convert the wire tuple to `pa-core`'s raw form (same fields, owned by
+/// different layers — `pa-net` must not depend on `pa-core`).
+pub(crate) fn raw_from_spec(spec: &JobSpec) -> RawJob {
+    RawJob {
+        n: spec.n,
+        x: spec.x,
+        p_bits: spec.p_bits,
+        seed: spec.seed,
+        alpha_bits: spec.alpha_bits,
+        ranks: spec.ranks,
+        scheme_id: spec.scheme_id,
+        engine_id: spec.engine_id,
+        model_id: spec.model_id,
+        format_id: spec.format_id,
+    }
+}
+
+/// Inverse of [`raw_from_spec`].
+pub(crate) fn spec_from_raw(raw: &RawJob) -> JobSpec {
+    JobSpec {
+        n: raw.n,
+        x: raw.x,
+        p_bits: raw.p_bits,
+        seed: raw.seed,
+        alpha_bits: raw.alpha_bits,
+        ranks: raw.ranks,
+        scheme_id: raw.scheme_id,
+        engine_id: raw.engine_id,
+        model_id: raw.model_id,
+        format_id: raw.format_id,
+    }
+}
+
+/// The production job runner: validates via [`JobDescriptor`] and
+/// generates through [`crate::generate::stream_pa_to_disk`].
+struct EngineRunner {
+    /// Admission caps protecting the daemon from jobs sized to hurt it;
+    /// violations are named `bad-request` rejections, not failures.
+    max_ranks: u32,
+    max_nodes: u64,
+}
+
+impl EngineRunner {
+    fn descriptor(&self, spec: &JobSpec) -> Result<JobDescriptor, String> {
+        let desc = JobDescriptor::from_raw(&raw_from_spec(spec))?;
+        if desc.ranks > self.max_ranks {
+            return Err(format!(
+                "ranks = {} exceeds this server's cap of {} (--max-ranks)",
+                desc.ranks, self.max_ranks
+            ));
+        }
+        if desc.cfg.n > self.max_nodes {
+            return Err(format!(
+                "n = {} exceeds this server's cap of {} (--max-nodes)",
+                desc.cfg.n, self.max_nodes
+            ));
+        }
+        Ok(desc)
+    }
+}
+
+impl JobRunner for EngineRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        self.descriptor(spec).map(|_| ())
+    }
+
+    fn run(&self, spec: &JobSpec, out: &Path) -> Result<(), String> {
+        let desc = self.descriptor(spec)?;
+        crate::generate::stream_pa_to_disk(
+            &desc.cfg,
+            desc.scheme,
+            desc.ranks as usize,
+            &desc.gen_options(GenOptions::default()),
+            desc.engine,
+            out,
+            desc.format,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+    }
+}
+
+pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.str("addr", "127.0.0.1:9900");
+    let jobs_dir = args.str("jobs-dir", "pagen-jobs");
+    let mut cfg = ServeConfig::new(&jobs_dir);
+    cfg.queue_cap = args.u64("queue-cap", cfg.queue_cap as u64)? as usize;
+    cfg.workers = args.u64("workers", cfg.workers as u64)? as usize;
+    let chunk_kb = args.u64("chunk-kb", (cfg.chunk_bytes >> 10) as u64)?;
+    if chunk_kb == 0 {
+        return Err(CliError::usage("--chunk-kb must be positive"));
+    }
+    cfg.chunk_bytes = (chunk_kb << 10) as usize;
+    cfg.retry_after = Duration::from_millis(args.u64("retry-after-ms", 200)?);
+    cfg.request_timeout = Duration::from_millis(args.u64("request-timeout-ms", 10_000)?);
+    if cfg.request_timeout.is_zero() {
+        return Err(CliError::usage("--request-timeout-ms must be positive"));
+    }
+    let runner = EngineRunner {
+        max_ranks: args.u64("max-ranks", 64)? as u32,
+        max_nodes: args.u64("max-nodes", 1 << 32)?,
+    };
+    args.finish()?;
+
+    let server = Server::bind(&addr, cfg, runner)
+        .map_err(|e| CliError::usage(format!("cannot start serve daemon on {addr}: {e}")))?;
+    writeln!(
+        out,
+        "serving on {} (jobs in {jobs_dir}); send `pagen drain --addr {}` to stop",
+        server.addr(),
+        server.addr()
+    )
+    .map_err(CliError::io)?;
+    out.flush().map_err(CliError::io)?;
+
+    // Blocks until a DRAIN_REQ arrives and all in-flight work finishes.
+    let stats = server.join();
+    writeln!(
+        out,
+        "drained: {} job(s) run, {} coalesced, {} rejected, {} dropped by drain, {} byte(s) streamed",
+        stats.jobs_run, stats.jobs_coalesced, stats.rejects, stats.jobs_drained, stats.bytes_streamed
+    )
+    .map_err(CliError::io)?;
+    Ok(())
+}

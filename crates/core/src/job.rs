@@ -1,0 +1,404 @@
+//! Generation-job descriptors for the serving layer.
+//!
+//! `pagen serve` turns the batch generator into a service: a client
+//! submits the full parameter tuple of a run and streams the resulting
+//! edge file back. This module owns the *meaning* of that tuple on the
+//! engine side — which [`PaConfig`]/[`GenOptions`]/[`Scheme`]/engine a
+//! raw wire descriptor selects — while `pa-net::serve` owns its wire
+//! encoding. The two agree on one **canonical byte encoding** (see
+//! [`JobDescriptor::canonical_bytes`]) whose FNV-1a digest is the
+//! **job id**: jobs with identical parameters hash to the same id on
+//! every host and every build, which is what makes results cacheable,
+//! coalescable (concurrent submits of one tuple run once) and safely
+//! resumable.
+//!
+//! **Resume tokens.** A dropped stream needs no server-side session
+//! state to resume: the token is just `(job id, durable byte offset)`,
+//! the same byte-watermark coordinates
+//! [`pa_graph::io::EdgeWriter::checkpoint`] records for crash
+//! recovery. A client re-submits the descriptor with the offset it has
+//! and receives exactly the missing suffix — of the server's *cached
+//! artifact*, which is immutable once generated. The generated edge
+//! **set** is a pure function of the descriptor for every engine;
+//! the byte *order* additionally is for engine 3 (label-order local
+//! recomputation), while engines 1 and 2 emit in resolution order,
+//! which varies run to run. Serving stays consistent either way
+//! because resumes always continue one immutable artifact, and the
+//! whole-artifact checksum turns any cross-run divergence (e.g. a
+//! server restart that re-ran an engine-2 job) into a named error
+//! instead of a silently stitched hybrid.
+//!
+//! Note that `ranks` *is* part of the tuple: the generated edge **set**
+//! is independent of the rank count, but the on-disk byte order
+//! interleaves per-rank partitions in rank order, so byte-identical
+//! streams require the same `ranks` value.
+
+use crate::partition::Scheme;
+use crate::{GenOptions, ModelKind, PaConfig};
+use pa_graph::io::{EdgeFormat, Fnv1a};
+
+/// Length of the canonical job encoding: five `u64` fields, one `u32`,
+/// four id bytes.
+pub const JOB_CANONICAL_LEN: usize = 48;
+
+/// The raw (wire-shaped) form of a job: plain numbers, no invariants.
+///
+/// This is the shape descriptors cross process boundaries in;
+/// [`JobDescriptor::from_raw`] is the *only* way back to typed form and
+/// rejects every invalid combination with a named error (never a
+/// panic — these fields arrive from the network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawJob {
+    /// Number of nodes `n`.
+    pub n: u64,
+    /// Edges per new node `x`.
+    pub x: u64,
+    /// Copy-model probability `p` as IEEE-754 bits (exact identity).
+    pub p_bits: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Model parameter as IEEE-754 bits (0 for the parameter-free `pa`).
+    pub alpha_bits: u64,
+    /// Rank count the edge stream is laid out for.
+    pub ranks: u32,
+    /// [`Scheme::id`] discriminant.
+    pub scheme_id: u8,
+    /// Engine selector (1, 2 or 3).
+    pub engine_id: u8,
+    /// [`ModelKind::id`] discriminant.
+    pub model_id: u8,
+    /// [`EdgeFormat::id`] discriminant.
+    pub format_id: u8,
+}
+
+/// A validated generation job: everything that determines the output
+/// bytes of a run, and nothing that does not (tuning knobs like buffer
+/// sizes change timing, never bytes, so they stay server-side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobDescriptor {
+    /// Model parameters (`n`, `x`, `p`, seed).
+    pub cfg: PaConfig,
+    /// Partitioning scheme.
+    pub scheme: Scheme,
+    /// Engine (1, 2 or 3).
+    pub engine: u8,
+    /// Attachment model.
+    pub model: ModelKind,
+    /// Rank count the stream's per-rank sections are concatenated for.
+    pub ranks: u32,
+    /// On-disk edge encoding.
+    pub format: EdgeFormat,
+}
+
+impl JobDescriptor {
+    /// Validate every cross-field rule, with named errors.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated rule: the
+    /// mirrors of [`PaConfig::validate`]'s panics, engine range and the
+    /// engine-1 `x = 1` constraint, model parameter checks, and a
+    /// positive rank count.
+    pub fn validate(&self) -> Result<(), String> {
+        let cfg = &self.cfg;
+        if cfg.x == 0 {
+            return Err("x must be at least 1".into());
+        }
+        if cfg.n <= cfg.x {
+            return Err(format!(
+                "n = {} must exceed x = {} (seed clique plus one attaching node)",
+                cfg.n, cfg.x
+            ));
+        }
+        if !cfg.p.is_finite() || !(0.0..=1.0).contains(&cfg.p) {
+            return Err(format!("p = {} must lie in [0, 1]", cfg.p));
+        }
+        if !(1..=3).contains(&self.engine) {
+            return Err(format!("engine must be 1, 2 or 3, got {}", self.engine));
+        }
+        if self.engine == 1 && cfg.x != 1 {
+            return Err(format!(
+                "engine 1 (Algorithm 3.1) requires x = 1, got x = {}",
+                cfg.x
+            ));
+        }
+        if self.ranks == 0 {
+            return Err("ranks must be at least 1".into());
+        }
+        self.model.check()?;
+        Ok(())
+    }
+
+    /// The engine options this job runs under: `base` (the server's
+    /// tuning knobs) with the job's model applied. Only the model
+    /// reaches the draw streams; every other knob is byte-neutral.
+    #[must_use]
+    pub fn gen_options(&self, base: GenOptions) -> GenOptions {
+        base.with_model(self.model)
+    }
+
+    /// The canonical encoding job identity is hashed over: every field
+    /// little-endian, fixed order, fixed width. `pa-net`'s wire
+    /// `JobSpec` encodes the identical bytes, so client, server and
+    /// engine all derive the same [`JobDescriptor::job_id`] — pinned by
+    /// a cross-crate test in `pa-cli`.
+    pub fn canonical_bytes(&self) -> [u8; JOB_CANONICAL_LEN] {
+        let raw = self.to_raw();
+        let mut out = [0u8; JOB_CANONICAL_LEN];
+        out[0..8].copy_from_slice(&raw.n.to_le_bytes());
+        out[8..16].copy_from_slice(&raw.x.to_le_bytes());
+        out[16..24].copy_from_slice(&raw.p_bits.to_le_bytes());
+        out[24..32].copy_from_slice(&raw.seed.to_le_bytes());
+        out[32..40].copy_from_slice(&raw.alpha_bits.to_le_bytes());
+        out[40..44].copy_from_slice(&raw.ranks.to_le_bytes());
+        out[44] = raw.scheme_id;
+        out[45] = raw.engine_id;
+        out[46] = raw.model_id;
+        out[47] = raw.format_id;
+        out
+    }
+
+    /// Stable job identity: FNV-1a over [`JobDescriptor::canonical_bytes`].
+    pub fn job_id(&self) -> u64 {
+        Fnv1a::hash(&self.canonical_bytes())
+    }
+
+    /// Lower to the raw wire-shaped form.
+    pub fn to_raw(&self) -> RawJob {
+        RawJob {
+            n: self.cfg.n,
+            x: self.cfg.x,
+            p_bits: self.cfg.p.to_bits(),
+            seed: self.cfg.seed,
+            alpha_bits: self.model.alpha_bits(),
+            ranks: self.ranks,
+            scheme_id: self.scheme.id(),
+            engine_id: self.engine,
+            model_id: self.model.id(),
+            format_id: self.format.id(),
+        }
+    }
+
+    /// Lift a raw descriptor into typed, validated form.
+    ///
+    /// # Errors
+    ///
+    /// Named errors for unknown scheme/model/format discriminants, a
+    /// model-parameter field inconsistent with its model (`pa` with
+    /// nonzero `alpha_bits` would silently lose the parameter on the
+    /// round trip), and everything [`JobDescriptor::validate`] rejects.
+    pub fn from_raw(raw: &RawJob) -> Result<Self, String> {
+        let scheme = Scheme::from_id(raw.scheme_id)
+            .ok_or_else(|| format!("unknown scheme id {}", raw.scheme_id))?;
+        let format = EdgeFormat::from_id(raw.format_id)
+            .ok_or_else(|| format!("unknown edge-format id {}", raw.format_id))?;
+        let model = match raw.model_id {
+            0 => {
+                if raw.alpha_bits != 0 {
+                    return Err(format!(
+                        "model pa carries no alpha, but alpha_bits = {:#x}",
+                        raw.alpha_bits
+                    ));
+                }
+                ModelKind::Pa
+            }
+            1 => ModelKind::Nlpa {
+                alpha: f64::from_bits(raw.alpha_bits),
+            },
+            other => return Err(format!("unknown model id {other}")),
+        };
+        let desc = JobDescriptor {
+            cfg: PaConfig {
+                n: raw.n,
+                x: raw.x,
+                p: f64::from_bits(raw.p_bits),
+                seed: raw.seed,
+            },
+            scheme,
+            engine: raw.engine_id,
+            model,
+            ranks: raw.ranks,
+            format,
+        };
+        desc.validate()?;
+        Ok(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobDescriptor {
+        JobDescriptor {
+            cfg: PaConfig::new(10_000, 4).with_seed(7),
+            scheme: Scheme::Rrp,
+            engine: 2,
+            model: ModelKind::Pa,
+            ranks: 4,
+            format: EdgeFormat::Binary,
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_identity() {
+        let d = sample();
+        let back = JobDescriptor::from_raw(&d.to_raw()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.job_id(), d.job_id());
+
+        let nlpa = JobDescriptor {
+            model: ModelKind::Nlpa { alpha: 1.5 },
+            ..sample()
+        };
+        let back = JobDescriptor::from_raw(&nlpa.to_raw()).unwrap();
+        assert_eq!(back, nlpa);
+    }
+
+    #[test]
+    fn job_id_is_sensitive_to_every_field() {
+        let base = sample();
+        let variants = [
+            JobDescriptor {
+                cfg: PaConfig {
+                    n: 10_001,
+                    ..base.cfg
+                },
+                ..base
+            },
+            JobDescriptor {
+                cfg: PaConfig { x: 5, ..base.cfg },
+                ..base
+            },
+            JobDescriptor {
+                cfg: PaConfig {
+                    p: 0.25,
+                    ..base.cfg
+                },
+                ..base
+            },
+            JobDescriptor {
+                cfg: PaConfig {
+                    seed: 8,
+                    ..base.cfg
+                },
+                ..base
+            },
+            JobDescriptor {
+                scheme: Scheme::Lcp,
+                ..base
+            },
+            JobDescriptor { engine: 3, ..base },
+            JobDescriptor {
+                model: ModelKind::Nlpa { alpha: 1.0 },
+                ..base
+            },
+            JobDescriptor { ranks: 8, ..base },
+            JobDescriptor {
+                format: EdgeFormat::Text,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.job_id(), base.job_id(), "{v:?} collided with base");
+        }
+    }
+
+    #[test]
+    fn canonical_layout_is_pinned() {
+        // The byte layout is wire identity: if this test moves, the
+        // serve protocol version must be bumped.
+        let d = sample();
+        let bytes = d.canonical_bytes();
+        assert_eq!(bytes.len(), JOB_CANONICAL_LEN);
+        assert_eq!(&bytes[0..8], &10_000u64.to_le_bytes());
+        assert_eq!(&bytes[8..16], &4u64.to_le_bytes());
+        assert_eq!(&bytes[16..24], &0.5f64.to_bits().to_le_bytes());
+        assert_eq!(&bytes[24..32], &7u64.to_le_bytes());
+        assert_eq!(&bytes[32..40], &0u64.to_le_bytes());
+        assert_eq!(&bytes[40..44], &4u32.to_le_bytes());
+        assert_eq!(&bytes[44..48], &[2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn validate_names_each_violation() {
+        let check = |d: JobDescriptor, needle: &str| {
+            let err = d.validate().unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        let base = sample();
+        check(
+            JobDescriptor {
+                cfg: PaConfig { x: 0, ..base.cfg },
+                ..base
+            },
+            "x must be",
+        );
+        check(
+            JobDescriptor {
+                cfg: PaConfig {
+                    n: 4,
+                    x: 4,
+                    ..base.cfg
+                },
+                ..base
+            },
+            "must exceed",
+        );
+        check(
+            JobDescriptor {
+                cfg: PaConfig { p: 1.5, ..base.cfg },
+                ..base
+            },
+            "[0, 1]",
+        );
+        check(
+            JobDescriptor {
+                cfg: PaConfig {
+                    p: f64::NAN,
+                    ..base.cfg
+                },
+                ..base
+            },
+            "[0, 1]",
+        );
+        check(JobDescriptor { engine: 4, ..base }, "engine must be");
+        check(JobDescriptor { engine: 1, ..base }, "requires x = 1");
+        check(JobDescriptor { ranks: 0, ..base }, "ranks");
+        check(
+            JobDescriptor {
+                model: ModelKind::Nlpa { alpha: -1.0 },
+                ..base
+            },
+            "non-negative",
+        );
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_discriminants() {
+        let raw = sample().to_raw();
+        let bad = |f: fn(&mut RawJob), needle: &str| {
+            let mut r = raw;
+            f(&mut r);
+            let err = JobDescriptor::from_raw(&r).unwrap_err();
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        };
+        bad(|r| r.scheme_id = 9, "unknown scheme");
+        bad(|r| r.model_id = 9, "unknown model");
+        bad(|r| r.format_id = 9, "unknown edge-format");
+        bad(|r| r.alpha_bits = 1, "carries no alpha");
+        bad(|r| r.engine_id = 0, "engine must be");
+    }
+
+    #[test]
+    fn gen_options_applies_the_model_only() {
+        let d = JobDescriptor {
+            model: ModelKind::Nlpa { alpha: 1.5 },
+            ..sample()
+        };
+        let base = GenOptions::default().with_chain_memo(77);
+        let opts = d.gen_options(base);
+        assert_eq!(opts.model, ModelKind::Nlpa { alpha: 1.5 });
+        assert_eq!(opts.chain_memo_nodes, 77, "tuning knobs pass through");
+    }
+}

@@ -64,6 +64,7 @@ pub mod chains;
 pub mod cl;
 mod config;
 pub mod er;
+pub mod job;
 pub mod math;
 mod model;
 pub mod par;

@@ -149,6 +149,22 @@ impl Scheme {
             Scheme::Bcp => "BCP",
         }
     }
+
+    /// Stable discriminant for wire and checkpoint identity: the
+    /// scheme's position in [`Scheme::EXTENDED`]. A job descriptor or
+    /// checkpoint header written by one build must name the same scheme
+    /// on every other build.
+    pub fn id(&self) -> u8 {
+        Scheme::EXTENDED
+            .iter()
+            .position(|s| s == self)
+            .expect("every scheme appears in EXTENDED") as u8
+    }
+
+    /// Inverse of [`Scheme::id`]; `None` for unknown discriminants.
+    pub fn from_id(id: u8) -> Option<Scheme> {
+        Scheme::EXTENDED.get(id as usize).copied()
+    }
 }
 
 impl std::fmt::Display for Scheme {
@@ -270,6 +286,19 @@ mod tests {
     fn extended_extends_all_in_order() {
         assert_eq!(Scheme::EXTENDED[..3], Scheme::ALL);
         assert_eq!(Scheme::EXTENDED[3], Scheme::Bcp);
+    }
+
+    #[test]
+    fn scheme_ids_round_trip_and_stay_pinned() {
+        // The discriminants are wire/checkpoint identity: never renumber.
+        assert_eq!(Scheme::Ucp.id(), 0);
+        assert_eq!(Scheme::Lcp.id(), 1);
+        assert_eq!(Scheme::Rrp.id(), 2);
+        assert_eq!(Scheme::Bcp.id(), 3);
+        for scheme in Scheme::EXTENDED {
+            assert_eq!(Scheme::from_id(scheme.id()), Some(scheme));
+        }
+        assert_eq!(Scheme::from_id(4), None);
     }
 
     #[test]

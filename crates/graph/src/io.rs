@@ -89,6 +89,163 @@ pub enum EdgeFormat {
     Binary,
 }
 
+impl EdgeFormat {
+    /// Stable wire/checkpoint discriminant (a job descriptor must mean
+    /// the same format on every build).
+    pub fn id(self) -> u8 {
+        match self {
+            EdgeFormat::Text => 0,
+            EdgeFormat::Binary => 1,
+        }
+    }
+
+    /// Inverse of [`EdgeFormat::id`]; `None` for unknown discriminants.
+    pub fn from_id(id: u8) -> Option<EdgeFormat> {
+        match id {
+            0 => Some(EdgeFormat::Text),
+            1 => Some(EdgeFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The format name as the CLI spells it (`txt` / `bin`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeFormat::Text => "txt",
+            EdgeFormat::Binary => "bin",
+        }
+    }
+}
+
+/// Streaming FNV-1a (64-bit) hasher.
+///
+/// The workspace's determinism suites pin generated outputs by FNV-1a
+/// digests; the serve layer reuses the same function as an artifact
+/// checksum so a resumed fetch can prove its stitched-together file
+/// matches the server's copy byte for byte. Implements [`Write`], so a
+/// file can be hashed with `io::copy(&mut file, &mut hasher)`.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// FNV-1a offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET_BASIS)
+    }
+
+    /// Resume hashing from a previously computed digest — FNV-1a is a
+    /// running fold, so the digest of a prefix (e.g. from
+    /// [`hash_file_prefix`]) *is* the full hasher state.
+    pub fn from_digest(digest: u64) -> Self {
+        Self(digest)
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Self::new();
+        h.update(bytes);
+        h.digest()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Write for Fnv1a {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Hash the first `len` bytes of the file at `path` with [`Fnv1a`].
+///
+/// This is the resume-side integrity primitive: a client holding a
+/// partial stream hashes its on-disk prefix, continues hashing the
+/// re-streamed tail, and compares the combined digest against the
+/// server's whole-artifact checksum.
+///
+/// # Errors
+///
+/// I/O errors opening or reading the file; `UnexpectedEof` if the file
+/// holds fewer than `len` bytes.
+pub fn hash_file_prefix<P: AsRef<Path>>(path: P, len: u64) -> io::Result<u64> {
+    let file = File::open(path)?;
+    let mut hasher = Fnv1a::new();
+    let copied = io::copy(&mut file.take(len), &mut hasher)?;
+    if copied < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("file holds {copied} bytes, cannot hash a {len}-byte prefix"),
+        ));
+    }
+    Ok(hasher.digest())
+}
+
+/// Re-stream the file at `path` from byte `offset` in `chunk`-sized
+/// pieces: `f(chunk_offset, bytes)` is called for each piece, in order,
+/// with contiguous offsets. Returns the file length.
+///
+/// This is the serving side of the byte-watermark resume protocol: a
+/// dropped transfer reconnects with the offset it durably received, and
+/// the server re-streams exactly the missing suffix — the complement of
+/// [`EdgeWriter::resume`], which *writes* from a watermark.
+///
+/// # Errors
+///
+/// I/O errors from opening, seeking, or reading, from the callback, or
+/// `InvalidInput` when `offset` lies beyond the end of the file.
+pub fn stream_file_from<P: AsRef<Path>>(
+    path: P,
+    offset: u64,
+    chunk: usize,
+    mut f: impl FnMut(u64, &[u8]) -> io::Result<()>,
+) -> io::Result<u64> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if offset > len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("resume offset {offset} beyond end of {len}-byte file"),
+        ));
+    }
+    use std::io::Seek;
+    file.seek(io::SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; chunk];
+    let mut pos = offset;
+    while pos < len {
+        let want = usize::try_from((len - pos).min(chunk as u64)).expect("chunk fits usize");
+        file.read_exact(&mut buf[..want])?;
+        f(pos, &buf[..want])?;
+        pos += want as u64;
+    }
+    Ok(len)
+}
+
 /// Number of edges [`EdgeWriter`] buffers before writing a chunk out.
 ///
 /// At 16 bytes per binary edge this is a 1 MiB write unit — large enough
@@ -428,6 +585,73 @@ mod tests {
         assert!(err.to_string().contains("disk full"));
         // The original error is preserved for finish().
         assert!(w.finish().unwrap_err().to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn edge_format_ids_round_trip() {
+        for f in [EdgeFormat::Text, EdgeFormat::Binary] {
+            assert_eq!(EdgeFormat::from_id(f.id()), Some(f));
+        }
+        assert_eq!(EdgeFormat::from_id(9), None);
+        assert_eq!(EdgeFormat::Text.name(), "txt");
+        assert_eq!(EdgeFormat::Binary.name(), "bin");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+        // Incremental updates equal one-shot hashing.
+        let mut h = Fnv1a::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.digest(), Fnv1a::hash(b"foobar"));
+        // The Write impl absorbs the same way.
+        let mut w = Fnv1a::new();
+        io::copy(&mut &b"foobar"[..], &mut w).unwrap();
+        assert_eq!(w.digest(), Fnv1a::hash(b"foobar"));
+    }
+
+    #[test]
+    fn stream_file_from_restreams_the_missing_suffix() {
+        let dir = std::env::temp_dir().join("pa_graph_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("artifact.bin");
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&p, &data).unwrap();
+
+        for offset in [0u64, 1, 4096, 9_999, 10_000] {
+            let mut got = Vec::new();
+            let mut expect_off = offset;
+            let len = stream_file_from(&p, offset, 1_000, |off, bytes| {
+                assert_eq!(off, expect_off, "chunks must be contiguous");
+                expect_off += bytes.len() as u64;
+                got.extend_from_slice(bytes);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(len, data.len() as u64);
+            assert_eq!(got, data[offset as usize..], "offset {offset}");
+        }
+
+        // An offset past the end is a named error, not an empty stream.
+        let err = stream_file_from(&p, 10_001, 1_000, |_, _| Ok(())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("beyond end"), "{err}");
+
+        // Prefix hashing: prefix digest continued over the suffix equals
+        // the whole-file digest.
+        let whole = Fnv1a::hash(&data);
+        assert_eq!(hash_file_prefix(&p, data.len() as u64).unwrap(), whole);
+        let cut = 2_500u64;
+        let mut h = Fnv1a::from_digest(hash_file_prefix(&p, cut).unwrap());
+        h.update(&data[cut as usize..]);
+        assert_eq!(h.digest(), whole);
+        assert!(hash_file_prefix(&p, data.len() as u64 + 1).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

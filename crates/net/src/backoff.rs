@@ -1,0 +1,177 @@
+//! Capped exponential backoff with optional deterministic jitter.
+//!
+//! Every long-lived-connection loop in the workspace retries the same
+//! way: start with a short delay, double it on each failure, stop
+//! growing at a cap. Three call sites share this one schedule —
+//! [`bootstrap`](crate::bootstrap)'s peer dial (which turns exhaustion
+//! into [`NetError::Unreachable`](crate::NetError)), `palaunch`'s
+//! whole-world restart loop, and the [`serve`](crate::serve) fetch
+//! client's reconnect — so the shape is tested once, here, instead of
+//! re-derived (subtly differently) at each site.
+//!
+//! Jitter is *deterministic*: a pure function of `(seed, attempt)`, so
+//! tests can pin the exact schedule while a fleet of clients with
+//! distinct seeds still spreads its reconnect stampede.
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule.
+///
+/// [`Backoff::next_delay`] returns `initial << attempt`, saturating at
+/// `cap`; with a jitter seed, a deterministic extra delay in
+/// `[0, base/4]` is added on top (the cap applies to the *base*, so the
+/// jittered delay may exceed it by at most 25%).
+///
+/// ```
+/// use std::time::Duration;
+/// use pa_net::Backoff;
+///
+/// let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500));
+/// let delays: Vec<u64> = (0..8).map(|_| b.next_delay().as_millis() as u64).collect();
+/// assert_eq!(delays, [10, 20, 40, 80, 160, 320, 500, 500]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    initial: Duration,
+    cap: Duration,
+    attempt: u32,
+    jitter_seed: Option<u64>,
+}
+
+impl Backoff {
+    /// Schedule starting at `initial`, doubling per attempt, capped at
+    /// `cap`, without jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero (the schedule could never grow) or
+    /// `cap < initial` (the first delay would already overshoot the cap).
+    pub fn new(initial: Duration, cap: Duration) -> Self {
+        assert!(!initial.is_zero(), "backoff initial delay must be positive");
+        assert!(
+            cap >= initial,
+            "backoff cap {cap:?} must be at least the initial delay {initial:?}"
+        );
+        Self {
+            initial,
+            cap,
+            attempt: 0,
+            jitter_seed: None,
+        }
+    }
+
+    /// Add deterministic jitter derived from `seed`: attempt `k` gains
+    /// an extra `hash(seed, k) mod (base/4 + 1)` delay. Two schedules
+    /// with the same seed are identical; different seeds de-synchronize.
+    #[must_use]
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Restart the schedule from the initial delay (e.g. after a
+    /// successful connection, so the *next* outage starts fast again).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The delay to sleep before the next retry, advancing the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(30);
+        self.attempt = self.attempt.saturating_add(1);
+        let base = self.initial.saturating_mul(1u32 << shift).min(self.cap);
+        match self.jitter_seed {
+            None => base,
+            Some(seed) => {
+                let span = base.as_millis() as u64 / 4 + 1;
+                let extra = splitmix64(seed ^ u64::from(self.attempt)) % span;
+                base + Duration::from_millis(extra)
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche mix, used here
+/// only to spread jitter; no statistical quality beyond that is needed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        let mut b = Backoff::new(Duration::from_millis(200), Duration::from_secs(2));
+        let delays: Vec<u64> = (0..6).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, [200, 400, 800, 1600, 2000, 2000]);
+        assert_eq!(b.attempt(), 6);
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500));
+        let first: Vec<Duration> = (0..4).map(|_| b.next_delay()).collect();
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let second: Vec<Duration> = (0..4).map(|_| b.next_delay()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut a = Backoff::new(Duration::from_millis(100), Duration::from_secs(1)).with_jitter(7);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(1)).with_jitter(7);
+        let mut base = Backoff::new(Duration::from_millis(100), Duration::from_secs(1));
+        for _ in 0..12 {
+            let (da, db, dbase) = (a.next_delay(), b.next_delay(), base.next_delay());
+            assert_eq!(da, db, "same seed must give the same schedule");
+            assert!(da >= dbase, "jitter only adds delay");
+            // Jitter is at most a quarter of the un-jittered base delay.
+            assert!(da <= dbase + dbase.div_f64(4.0) + Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b =
+                Backoff::new(Duration::from_millis(100), Duration::from_secs(10)).with_jitter(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_ne!(
+            schedule(1),
+            schedule(2),
+            "distinct seeds should not produce identical jitter"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1));
+        for _ in 0..100 {
+            assert!(b.next_delay() <= Duration::from_secs(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_initial_rejected() {
+        let _ = Backoff::new(Duration::ZERO, Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least")]
+    fn cap_below_initial_rejected() {
+        let _ = Backoff::new(Duration::from_secs(1), Duration::from_millis(10));
+    }
+}

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use pa_mpsim::Wire;
 
+use crate::backoff::Backoff;
 use crate::error::NetError;
 use crate::frame;
 use crate::transport::TcpTransport;
@@ -134,11 +135,18 @@ fn resolve(spec: &str) -> Result<SocketAddr, NetError> {
         })
 }
 
+/// The shared dial schedule: 10 ms doubling to a 500 ms cap (see
+/// [`Backoff`]). The serve-layer fetch client reuses the same shape
+/// (with jitter) for its reconnects.
+pub(crate) fn dial_backoff() -> Backoff {
+    Backoff::new(Duration::from_millis(10), Duration::from_millis(500))
+}
+
 /// Dial `peer` with capped exponential backoff until `deadline`.
 fn dial(peer: usize, spec: &str, deadline: Instant) -> Result<TcpStream, NetError> {
     let addr = resolve(spec)?;
     let start = Instant::now();
-    let mut backoff = Duration::from_millis(10);
+    let mut backoff = dial_backoff();
     let mut last_err = String::from("never attempted");
     loop {
         let now = Instant::now();
@@ -155,8 +163,8 @@ fn dial(peer: usize, spec: &str, deadline: Instant) -> Result<TcpStream, NetErro
             Ok(stream) => return Ok(stream),
             Err(e) => last_err = e.to_string(),
         }
-        std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
-        backoff = (backoff * 2).min(Duration::from_millis(500));
+        let delay = backoff.next_delay();
+        std::thread::sleep(delay.min(deadline.saturating_duration_since(Instant::now())));
     }
 }
 

@@ -88,17 +88,24 @@ pub(crate) fn build_frame(buf: &mut Vec<u8>, kind: Kind, payload: impl FnOnce(&m
     finish_frame(buf);
 }
 
-/// Read one frame: returns its kind and fills `payload` with the bytes
-/// after the kind byte. Errors on EOF, short reads, unknown kinds, and
-/// length prefixes outside `1..=MAX_FRAME`.
-pub(crate) fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<Kind> {
+/// Read one frame without interpreting the kind byte: returns the raw
+/// kind and fills `payload` with the bytes after it. Errors on EOF,
+/// short reads, and length prefixes outside `1..=max` (`max` lets the
+/// serve layer cap client requests far below the transport's
+/// [`MAX_FRAME`]). Shared by the transport kinds ([`read_frame`]) and
+/// the serve protocol, which owns a disjoint kind-byte space.
+pub(crate) fn read_raw_frame(
+    r: &mut impl Read,
+    payload: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<u8> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len) as usize;
-    if len == 0 || len > MAX_FRAME {
+    if len == 0 || len > max {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("bad frame length {len}"),
+            format!("bad frame length {len} (limit {max})"),
         ));
     }
     let mut kind = [0u8; 1];
@@ -106,12 +113,29 @@ pub(crate) fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result
     payload.clear();
     payload.resize(len - 1, 0);
     r.read_exact(payload)?;
-    Kind::from_byte(kind[0]).ok_or_else(|| {
+    Ok(kind[0])
+}
+
+/// Read one frame: returns its kind and fills `payload` with the bytes
+/// after the kind byte. Errors on EOF, short reads, unknown kinds, and
+/// length prefixes outside `1..=MAX_FRAME`.
+pub(crate) fn read_frame(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<Kind> {
+    let kind = read_raw_frame(r, payload, MAX_FRAME)?;
+    Kind::from_byte(kind).ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unknown frame kind {}", kind[0]),
+            format!("unknown frame kind {kind}"),
         )
     })
+}
+
+/// [`build_frame`] for a raw kind byte (the serve protocol's kinds live
+/// outside the transport's [`Kind`] enum).
+pub(crate) fn build_raw_frame(buf: &mut Vec<u8>, kind: u8, payload: impl FnOnce(&mut Vec<u8>)) {
+    buf.clear();
+    buf.extend_from_slice(&[0, 0, 0, 0, kind]);
+    payload(buf);
+    finish_frame(buf);
 }
 
 /// Write a `Hello` frame identifying this end of the connection;

@@ -49,11 +49,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 pub mod bootstrap;
 mod error;
 mod frame;
+pub mod serve;
 pub mod transport;
 
+pub use backoff::Backoff;
 pub use bootstrap::TcpConfig;
 pub use error::NetError;
 pub use transport::TcpTransport;

@@ -1,0 +1,422 @@
+//! The serve client: submit a job, stream the artifact to disk, and
+//! survive the network.
+//!
+//! [`fetch`] owns the full retry story so callers don't have to:
+//! connection failures and mid-stream disconnects reconnect with
+//! capped-exponential backoff and **resume from the last byte on
+//! disk** — the durable watermark, not an in-memory count — so a crash
+//! of the client itself also resumes correctly. `QueueFull` rejections
+//! honour the server's `retry_after` hint. Local *sink* errors (the
+//! output disk) are fatal and never retried: retrying cannot fix a full
+//! or broken disk, and failing fast leaves a clean prefix that a later
+//! `--resume` continues from.
+//!
+//! Integrity spans reconnects: the client hashes the pre-existing
+//! prefix it is resuming over, continues the same FNV-1a over every
+//! streamed byte, and compares against the server's *whole-artifact*
+//! checksum from the `DONE` frame — a stitched-together file that
+//! diverged anywhere fails loudly.
+
+use std::fs::OpenOptions;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use super::proto::{read_reply, write_drain_req, write_submit, JobSpec, RejectCode, ServeMsg};
+use crate::backoff::Backoff;
+use pa_graph::io::{hash_file_prefix, Fnv1a};
+
+/// Everything [`fetch`] needs. All fields public; [`FetchOptions::new`]
+/// provides defaults.
+#[derive(Debug, Clone)]
+pub struct FetchOptions {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// The job to fetch.
+    pub spec: JobSpec,
+    /// Output path.
+    pub out: PathBuf,
+    /// Resume from `out`'s current length instead of truncating it.
+    pub resume: bool,
+    /// Maximum connection/submission attempts before giving up.
+    pub max_attempts: u32,
+    /// First reconnect delay.
+    pub backoff_initial: Duration,
+    /// Reconnect delay ceiling.
+    pub backoff_cap: Duration,
+    /// Optional jitter seed for the reconnect schedule (see
+    /// [`Backoff::with_jitter`]); `None` for the deterministic schedule.
+    pub backoff_seed: Option<u64>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout once connected.
+    pub io_timeout: Duration,
+    /// Test hook: fail the local sink once this many bytes are on disk,
+    /// leaving a file of *exactly* this length. Simulates a client
+    /// crash mid-stream deterministically (sink failures are fatal, so
+    /// no retry blurs the cut). `None` in production.
+    pub stop_after_bytes: Option<u64>,
+}
+
+impl FetchOptions {
+    /// Defaults: fresh fetch, 8 attempts, 50 ms → 2 s backoff without
+    /// jitter, 2 s connect timeout, 10 s I/O timeout.
+    pub fn new(addr: impl Into<String>, spec: JobSpec, out: impl Into<PathBuf>) -> Self {
+        FetchOptions {
+            addr: addr.into(),
+            spec,
+            out: out.into(),
+            resume: false,
+            max_attempts: 8,
+            backoff_initial: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            backoff_seed: None,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            stop_after_bytes: None,
+        }
+    }
+}
+
+/// What a successful [`fetch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchReport {
+    /// The job's identity.
+    pub job_id: u64,
+    /// Total artifact length in bytes.
+    pub total: u64,
+    /// Bytes transferred by *this* call (0 if the file was complete).
+    pub transferred: u64,
+    /// Offset this call started from (0 unless resuming).
+    pub resumed_from: u64,
+    /// Connection attempts used.
+    pub attempts: u32,
+    /// Whole-artifact FNV-1a checksum, verified against the server's.
+    pub checksum: u64,
+}
+
+/// Why a [`fetch`] failed for good.
+#[derive(Debug)]
+pub enum FetchError {
+    /// The server turned the job away with a non-retryable code (or a
+    /// retryable one after the attempt budget ran out — see
+    /// [`FetchError::Exhausted`]).
+    Rejected {
+        /// The server's reject code.
+        code: RejectCode,
+        /// Its retry hint.
+        retry_after: Duration,
+        /// Its message.
+        msg: String,
+    },
+    /// The local output file failed. Never retried.
+    Sink(io::Error),
+    /// The server broke the protocol (wrong job id, non-contiguous
+    /// chunks, `DONE` before all bytes, unparseable frames).
+    Protocol(String),
+    /// The stitched file does not match the server's artifact.
+    ChecksumMismatch {
+        /// The server's whole-artifact digest.
+        expected: u64,
+        /// What the local file hashes to.
+        actual: u64,
+    },
+    /// Every attempt failed with a transient error; `last` is the most
+    /// recent one.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final transient error.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Rejected {
+                code,
+                retry_after,
+                msg,
+            } => {
+                write!(f, "server rejected the job ({code}): {msg}")?;
+                if code.is_retryable() {
+                    write!(f, " (retry after {retry_after:?})")?;
+                }
+                Ok(())
+            }
+            FetchError::Sink(e) => write!(f, "writing the output file failed: {e}"),
+            FetchError::Protocol(msg) => write!(f, "server protocol violation: {msg}"),
+            FetchError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: server artifact {expected:#018x}, local file {actual:#018x}"
+            ),
+            FetchError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s); last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// How one connection attempt ended, for the retry loop's eyes.
+enum Attempt {
+    Done { total: u64, checksum: u64 },
+    Fatal(FetchError),
+    Retry { why: String, after: Duration },
+}
+
+/// Fetch a job's artifact to `opts.out`, reconnecting and resuming as
+/// needed.
+///
+/// # Errors
+///
+/// See [`FetchError`]. The output file always holds a clean artifact
+/// prefix on failure (every written byte was verified contiguous), so a
+/// later resume can continue it.
+pub fn fetch(opts: &FetchOptions) -> Result<FetchReport, FetchError> {
+    let job_id = opts.spec.job_id();
+    let mut on_disk: u64 = if opts.resume {
+        std::fs::metadata(&opts.out).map(|m| m.len()).unwrap_or(0)
+    } else {
+        0
+    };
+    let resumed_from = on_disk;
+    let mut hasher = if on_disk > 0 {
+        Fnv1a::from_digest(hash_file_prefix(&opts.out, on_disk).map_err(FetchError::Sink)?)
+    } else {
+        Fnv1a::new()
+    };
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&opts.out)
+        .map_err(FetchError::Sink)?;
+    // Truncate to the watermark: a fresh fetch discards any stale file,
+    // a resume trims nothing (the length *is* the watermark).
+    file.set_len(on_disk).map_err(FetchError::Sink)?;
+    file.seek(SeekFrom::Start(on_disk))
+        .map_err(FetchError::Sink)?;
+
+    let mut backoff = Backoff::new(opts.backoff_initial.max(Duration::from_millis(1)), {
+        opts.backoff_cap
+            .max(opts.backoff_initial)
+            .max(Duration::from_millis(1))
+    });
+    if let Some(seed) = opts.backoff_seed {
+        backoff = backoff.with_jitter(seed);
+    }
+    let mut attempts = 0u32;
+    let mut transferred = 0u64;
+    let mut last = String::from("no attempt made");
+    while attempts < opts.max_attempts.max(1) {
+        attempts += 1;
+        let before = on_disk;
+        let outcome = attempt(
+            opts,
+            job_id,
+            &mut file,
+            &mut hasher,
+            &mut on_disk,
+            &mut transferred,
+        );
+        match outcome {
+            Attempt::Done { total, checksum } => {
+                file.sync_all().map_err(FetchError::Sink)?;
+                return Ok(FetchReport {
+                    job_id,
+                    total,
+                    transferred,
+                    resumed_from,
+                    attempts,
+                    checksum,
+                });
+            }
+            Attempt::Fatal(e) => return Err(e),
+            Attempt::Retry { why, after } => {
+                last = why;
+                if on_disk > before {
+                    // Progress was made; the outage is fresh. Start the
+                    // backoff schedule over.
+                    backoff.reset();
+                }
+                if attempts < opts.max_attempts.max(1) {
+                    std::thread::sleep(backoff.next_delay().max(after));
+                }
+            }
+        }
+    }
+    Err(FetchError::Exhausted { attempts, last })
+}
+
+/// One connection attempt: connect, submit at the current watermark,
+/// stream into `file` until `DONE` or an error.
+fn attempt(
+    opts: &FetchOptions,
+    job_id: u64,
+    file: &mut std::fs::File,
+    hasher: &mut Fnv1a,
+    on_disk: &mut u64,
+    transferred: &mut u64,
+) -> Attempt {
+    let retry = |why: String| Attempt::Retry {
+        why,
+        after: Duration::ZERO,
+    };
+    let mut stream = match connect(&opts.addr, opts.connect_timeout) {
+        Ok(s) => s,
+        Err(e) => return retry(format!("connect to {}: {e}", opts.addr)),
+    };
+    let _ = stream.set_read_timeout(Some(opts.io_timeout));
+    let _ = stream.set_write_timeout(Some(opts.io_timeout));
+    let _ = stream.set_nodelay(true);
+    if let Err(e) = write_submit(&mut stream, &opts.spec, *on_disk) {
+        return retry(format!("submitting job: {e}"));
+    }
+    let total = match read_reply(&mut stream) {
+        Ok(ServeMsg::Accept {
+            job_id: jid,
+            offset,
+            total,
+        }) => {
+            if jid != job_id {
+                return Attempt::Fatal(FetchError::Protocol(format!(
+                    "server accepted job {jid:#018x}, submitted {job_id:#018x} — \
+                     job-id derivation disagrees across the wire"
+                )));
+            }
+            if offset != *on_disk {
+                return Attempt::Fatal(FetchError::Protocol(format!(
+                    "server echoed offset {offset}, submitted {on_disk}"
+                )));
+            }
+            total
+        }
+        Ok(ServeMsg::Reject {
+            code,
+            retry_after,
+            msg,
+        }) => {
+            if code.is_retryable() {
+                return Attempt::Retry {
+                    why: format!("server rejected ({code}): {msg}"),
+                    after: retry_after,
+                };
+            }
+            return Attempt::Fatal(FetchError::Rejected {
+                code,
+                retry_after,
+                msg,
+            });
+        }
+        Ok(other) => {
+            return Attempt::Fatal(FetchError::Protocol(format!(
+                "expected ACCEPT or REJECT, got {other:?}"
+            )))
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Attempt::Fatal(FetchError::Protocol(e.to_string()))
+        }
+        Err(e) => return retry(format!("reading server reply: {e}")),
+    };
+    loop {
+        match read_reply(&mut stream) {
+            Ok(ServeMsg::Chunk { offset, data }) => {
+                if offset != *on_disk {
+                    return Attempt::Fatal(FetchError::Protocol(format!(
+                        "non-contiguous chunk: at byte {offset}, watermark {on_disk}"
+                    )));
+                }
+                let mut data: &[u8] = &data;
+                if let Some(limit) = opts.stop_after_bytes {
+                    let room = limit.saturating_sub(*on_disk);
+                    if (data.len() as u64) > room {
+                        // Write exactly up to the limit, then fail the
+                        // sink: the file length is deterministic.
+                        data = &data[..room as usize];
+                        if let Err(e) = file.write_all(data).and_then(|()| file.sync_all()) {
+                            return Attempt::Fatal(FetchError::Sink(e));
+                        }
+                        return Attempt::Fatal(FetchError::Sink(io::Error::other(format!(
+                            "simulated sink failure after {limit} bytes"
+                        ))));
+                    }
+                }
+                if let Err(e) = file.write_all(data) {
+                    return Attempt::Fatal(FetchError::Sink(e));
+                }
+                hasher.update(data);
+                *on_disk += data.len() as u64;
+                *transferred += data.len() as u64;
+            }
+            Ok(ServeMsg::Done {
+                total: done_total,
+                checksum,
+            }) => {
+                if done_total != total {
+                    return Attempt::Fatal(FetchError::Protocol(format!(
+                        "DONE total {done_total} contradicts ACCEPT total {total}"
+                    )));
+                }
+                if *on_disk != total {
+                    return Attempt::Fatal(FetchError::Protocol(format!(
+                        "DONE at watermark {on_disk}, expected {total} bytes"
+                    )));
+                }
+                let actual = hasher.digest();
+                if actual != checksum {
+                    return Attempt::Fatal(FetchError::ChecksumMismatch {
+                        expected: checksum,
+                        actual,
+                    });
+                }
+                return Attempt::Done { total, checksum };
+            }
+            Ok(other) => {
+                return Attempt::Fatal(FetchError::Protocol(format!(
+                    "expected CHUNK or DONE, got {other:?}"
+                )))
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Attempt::Fatal(FetchError::Protocol(e.to_string()))
+            }
+            Err(e) => return retry(format!("mid-stream: {e}")),
+        }
+    }
+}
+
+fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: no address"))
+    })?;
+    TcpStream::connect_timeout(&sockaddr, timeout)
+}
+
+/// Ask the daemon at `addr` to drain: stop admitting, cancel queued
+/// jobs, finish in-flight ones, then exit. Returns `(running, dropped)`
+/// from the `DRAIN_ACK`.
+///
+/// # Errors
+///
+/// Connection failures, and `InvalidData` if the peer answers with
+/// anything but a `DRAIN_ACK`.
+pub fn drain(addr: &str, timeout: Duration) -> io::Result<(u32, u32)> {
+    let mut stream = connect(addr, timeout)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    write_drain_req(&mut stream)?;
+    match read_reply(&mut stream)? {
+        ServeMsg::DrainAck { running, dropped } => Ok((running, dropped)),
+        ServeMsg::Reject { code, msg, .. } => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("drain rejected ({code}): {msg}"),
+        )),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected DRAIN_ACK, got {other:?}"),
+        )),
+    }
+}

@@ -1,0 +1,50 @@
+//! Generation-as-a-service: the `pagen serve` daemon and its client.
+//!
+//! The batch pipeline runs one job per process invocation. This module
+//! turns the same engines into a **long-running multi-tenant service**:
+//! a daemon accepts connections on one TCP port, each carrying either a
+//! *job submission* (generate `{n, x, p, scheme, engine, model, seed,
+//! format}` laid out for `ranks` ranks, stream the bytes back) or a
+//! *control message* (drain). The pieces:
+//!
+//! * [`proto`] — the wire protocol: a kind-byte space disjoint from the
+//!   rank-to-rank transport's, layered on the same length-prefixed
+//!   frames, so one `pa-net` reader serves both.
+//! * [`Server`] — bounded FIFO job queue, a worker pool running jobs
+//!   through a caller-supplied [`JobRunner`], an artifact cache keyed
+//!   by job id, and per-connection streaming with resume-from-offset.
+//! * [`fetch`] — the client: submit, stream to disk, and transparently
+//!   reconnect with capped-exponential backoff, resuming from the last
+//!   durable byte. [`drain`] asks a daemon to wind down cleanly.
+//!
+//! # Identity, caching and resume
+//!
+//! A job is keyed by the FNV-1a digest of its canonical parameter
+//! encoding ([`JobSpec::job_id`]). Submitting the same tuple twice —
+//! concurrently or later — never generates twice: concurrent submits
+//! **coalesce** onto one run, later submits stream the cached artifact.
+//! Because the artifact's bytes are a pure function of the tuple, a
+//! resume token is just `(tuple, byte offset)`: a client that lost its
+//! connection re-submits with `offset` set to what it has, and the
+//! server re-streams exactly the missing suffix of the artifact. A
+//! whole-artifact checksum in the final frame lets the client verify
+//! the stitched result without re-reading the server's copy.
+//!
+//! # Backpressure and drain
+//!
+//! The queue bound counts *queued* jobs only. When it is full the
+//! server does not buffer or block — it answers
+//! [`RejectCode::QueueFull`] with an explicit `retry_after` hint and
+//! closes, keeping the daemon's memory bounded no matter how many
+//! clients pile on. Drain is a protocol message, not a signal: on
+//! [`drain`] the daemon stops admitting, fails queued jobs with a named
+//! [`RejectCode::Draining`] rejection, lets in-flight jobs finish and
+//! stream to their waiting clients, then exits its accept loop.
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::{drain, fetch, FetchError, FetchOptions, FetchReport};
+pub use proto::{JobSpec, RejectCode, MAX_REQUEST_FRAME, SERVE_VERSION};
+pub use server::{JobRunner, ServeConfig, ServeStats, Server};

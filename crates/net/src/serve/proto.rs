@@ -1,0 +1,704 @@
+//! The serve wire protocol.
+//!
+//! Serve messages ride the same `len:u32 kind:u8 payload` frames as the
+//! rank-to-rank transport (see `crate::frame`), in a disjoint kind-byte
+//! space (`0x41..`), so a stray engine peer dialing a serve port — or
+//! vice versa — fails with a named error instead of misparsing. Every
+//! multi-byte field is little-endian and explicitly serialized.
+//!
+//! A connection carries exactly one conversation:
+//!
+//! ```text
+//! data:    client  SUBMIT{spec, offset}
+//!          server  ACCEPT{job_id, offset, total}      (or REJECT)
+//!                  CHUNK{offset, bytes}*
+//!                  DONE{total, checksum}
+//! control: client  DRAIN_REQ
+//!          server  DRAIN_ACK{running, dropped}
+//! ```
+//!
+//! Client→server frames are tiny by construction, so the server reads
+//! them under the [`MAX_REQUEST_FRAME`] cap — a garbled or hostile
+//! length prefix is rejected before any allocation, long before the
+//! transport's 256 MiB corruption tripwire.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use crate::frame::{build_raw_frame, read_raw_frame, MAGIC, MAX_FRAME};
+use pa_graph::io::Fnv1a;
+
+/// Serve protocol version, negotiated in every `SUBMIT`/`DRAIN_REQ`;
+/// bumped on any incompatible change to message layouts *or* to the
+/// canonical job encoding (the job-id function is part of the wire
+/// contract).
+pub const SERVE_VERSION: u32 = 1;
+
+/// Upper bound on any client→server frame. Requests are fixed-size and
+/// small; anything larger is garbage or abuse and is rejected before
+/// allocation.
+pub const MAX_REQUEST_FRAME: usize = 1024;
+
+/// Kind byte of a `SUBMIT` frame (client → server).
+pub const KIND_SUBMIT: u8 = 0x41;
+/// Kind byte of an `ACCEPT` frame (server → client).
+pub const KIND_ACCEPT: u8 = 0x42;
+/// Kind byte of a `REJECT` frame (server → client).
+pub const KIND_REJECT: u8 = 0x43;
+/// Kind byte of a `CHUNK` frame (server → client).
+pub const KIND_CHUNK: u8 = 0x44;
+/// Kind byte of a `DONE` frame (server → client).
+pub const KIND_DONE: u8 = 0x45;
+/// Kind byte of a `DRAIN_REQ` frame (client → server).
+pub const KIND_DRAIN_REQ: u8 = 0x46;
+/// Kind byte of a `DRAIN_ACK` frame (server → client).
+pub const KIND_DRAIN_ACK: u8 = 0x47;
+
+/// Length of [`JobSpec::canonical_bytes`].
+pub const JOB_CANONICAL_LEN: usize = 48;
+
+/// `SUBMIT` payload length: magic, version, canonical job, offset.
+const SUBMIT_LEN: usize = 4 + 4 + JOB_CANONICAL_LEN + 8;
+
+/// The raw parameter tuple of a generation job, as it crosses the wire.
+///
+/// This is pure data — the serve layer never interprets it beyond
+/// hashing; `pa-core`'s `job::JobDescriptor` owns validation and the
+/// mapping onto engines, and encodes the **identical** canonical bytes
+/// (pinned by a cross-crate test), so both sides of the wire agree on
+/// [`JobSpec::job_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// Number of nodes `n`.
+    pub n: u64,
+    /// Edges per new node `x`.
+    pub x: u64,
+    /// Copy-model probability `p` as IEEE-754 bits.
+    pub p_bits: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Model parameter as IEEE-754 bits (0 for plain `pa`).
+    pub alpha_bits: u64,
+    /// Rank count the byte stream is laid out for (part of identity:
+    /// the edge *set* is rank-independent, the byte *order* is not).
+    pub ranks: u32,
+    /// Partition-scheme discriminant.
+    pub scheme_id: u8,
+    /// Engine selector.
+    pub engine_id: u8,
+    /// Attachment-model discriminant.
+    pub model_id: u8,
+    /// Edge-format discriminant.
+    pub format_id: u8,
+}
+
+impl JobSpec {
+    /// The canonical encoding job identity is defined over: five `u64`
+    /// fields, one `u32`, four id bytes, all little-endian, fixed order.
+    pub fn canonical_bytes(&self) -> [u8; JOB_CANONICAL_LEN] {
+        let mut out = [0u8; JOB_CANONICAL_LEN];
+        out[0..8].copy_from_slice(&self.n.to_le_bytes());
+        out[8..16].copy_from_slice(&self.x.to_le_bytes());
+        out[16..24].copy_from_slice(&self.p_bits.to_le_bytes());
+        out[24..32].copy_from_slice(&self.seed.to_le_bytes());
+        out[32..40].copy_from_slice(&self.alpha_bits.to_le_bytes());
+        out[40..44].copy_from_slice(&self.ranks.to_le_bytes());
+        out[44] = self.scheme_id;
+        out[45] = self.engine_id;
+        out[46] = self.model_id;
+        out[47] = self.format_id;
+        out
+    }
+
+    /// Decode [`JobSpec::canonical_bytes`] (infallible: every byte
+    /// pattern is *some* spec; whether it names a runnable job is the
+    /// runner's validation question, answered with a `REJECT`).
+    pub fn from_canonical(bytes: &[u8; JOB_CANONICAL_LEN]) -> JobSpec {
+        let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        JobSpec {
+            n: u64_at(0),
+            x: u64_at(8),
+            p_bits: u64_at(16),
+            seed: u64_at(24),
+            alpha_bits: u64_at(32),
+            ranks: u32::from_le_bytes(bytes[40..44].try_into().unwrap()),
+            scheme_id: bytes[44],
+            engine_id: bytes[45],
+            model_id: bytes[46],
+            format_id: bytes[47],
+        }
+    }
+
+    /// Stable job identity: FNV-1a over the canonical encoding. Equal
+    /// tuples hash equal on every host and build, which is what makes
+    /// caching, coalescing and resume sound.
+    pub fn job_id(&self) -> u64 {
+        Fnv1a::hash(&self.canonical_bytes())
+    }
+}
+
+/// Why a submission was turned away. The discriminants are on-wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectCode {
+    /// The request is malformed or names an invalid/unknown job
+    /// (engine rules violated, unknown discriminants, bad payload).
+    BadRequest = 1,
+    /// The job queue is at capacity; retry after the hinted delay.
+    QueueFull = 2,
+    /// The server is draining and admits no new work; a queued job
+    /// cancelled by a drain also reports this code.
+    Draining = 3,
+    /// The client speaks a different serve-protocol version.
+    UnsupportedVersion = 4,
+    /// The resume offset lies beyond the artifact's end.
+    BadOffset = 5,
+    /// The job was admitted but its run failed; the message carries the
+    /// runner's error. The failure is not cached — a later submit
+    /// retries the run.
+    JobFailed = 6,
+}
+
+impl RejectCode {
+    /// Decode an on-wire code byte.
+    pub fn from_byte(b: u8) -> Option<RejectCode> {
+        match b {
+            1 => Some(RejectCode::BadRequest),
+            2 => Some(RejectCode::QueueFull),
+            3 => Some(RejectCode::Draining),
+            4 => Some(RejectCode::UnsupportedVersion),
+            5 => Some(RejectCode::BadOffset),
+            6 => Some(RejectCode::JobFailed),
+            _ => None,
+        }
+    }
+
+    /// Short stable name for logs and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectCode::BadRequest => "bad-request",
+            RejectCode::QueueFull => "queue-full",
+            RejectCode::Draining => "draining",
+            RejectCode::UnsupportedVersion => "unsupported-version",
+            RejectCode::BadOffset => "bad-offset",
+            RejectCode::JobFailed => "job-failed",
+        }
+    }
+
+    /// Whether a client should retry the same request later.
+    /// Only [`RejectCode::QueueFull`] is transient; every other code
+    /// means the same request will keep failing.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RejectCode::QueueFull)
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed serve message (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeMsg {
+    /// Job submission. `offset` is the first artifact byte the client
+    /// wants (0 for a fresh fetch, the durable file length on resume).
+    Submit {
+        /// The job parameter tuple.
+        spec: JobSpec,
+        /// First byte wanted.
+        offset: u64,
+    },
+    /// The job is (now) complete; streaming starts at `offset`.
+    Accept {
+        /// Identity echo — [`JobSpec::job_id`] as the server computed it.
+        job_id: u64,
+        /// Offset echo.
+        offset: u64,
+        /// Total artifact length in bytes.
+        total: u64,
+    },
+    /// The request was turned away.
+    Reject {
+        /// Why.
+        code: RejectCode,
+        /// Retry hint (meaningful for retryable codes, zero otherwise).
+        retry_after: Duration,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// One contiguous slice of the artifact.
+    Chunk {
+        /// Absolute offset of the first byte of `data`.
+        offset: u64,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// The stream is complete.
+    Done {
+        /// Total artifact length (echo).
+        total: u64,
+        /// FNV-1a digest of the *whole* artifact, byte 0 to `total` —
+        /// resumed clients verify the stitched file, not just the tail.
+        checksum: u64,
+    },
+    /// Control: wind the daemon down.
+    DrainReq,
+    /// Control reply: drain observed.
+    DrainAck {
+        /// Jobs still running (they will finish and stream).
+        running: u32,
+        /// Queued jobs dropped with a [`RejectCode::Draining`] rejection.
+        dropped: u32,
+    },
+}
+
+/// Write a `SUBMIT` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_submit(w: &mut impl Write, spec: &JobSpec, offset: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + SUBMIT_LEN);
+    build_raw_frame(&mut buf, KIND_SUBMIT, |b| {
+        b.extend_from_slice(&MAGIC.to_le_bytes());
+        b.extend_from_slice(&SERVE_VERSION.to_le_bytes());
+        b.extend_from_slice(&spec.canonical_bytes());
+        b.extend_from_slice(&offset.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write an `ACCEPT` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_accept(w: &mut impl Write, job_id: u64, offset: u64, total: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 24);
+    build_raw_frame(&mut buf, KIND_ACCEPT, |b| {
+        b.extend_from_slice(&job_id.to_le_bytes());
+        b.extend_from_slice(&offset.to_le_bytes());
+        b.extend_from_slice(&total.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `REJECT` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_reject(
+    w: &mut impl Write,
+    code: RejectCode,
+    retry_after: Duration,
+    msg: &str,
+) -> io::Result<()> {
+    let retry_ms = u32::try_from(retry_after.as_millis()).unwrap_or(u32::MAX);
+    let mut buf = Vec::with_capacity(5 + 5 + msg.len());
+    build_raw_frame(&mut buf, KIND_REJECT, |b| {
+        b.push(code as u8);
+        b.extend_from_slice(&retry_ms.to_le_bytes());
+        b.extend_from_slice(msg.as_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `CHUNK` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_chunk(w: &mut impl Write, offset: u64, data: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 8 + data.len());
+    build_raw_frame(&mut buf, KIND_CHUNK, |b| {
+        b.extend_from_slice(&offset.to_le_bytes());
+        b.extend_from_slice(data);
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `DONE` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_done(w: &mut impl Write, total: u64, checksum: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 16);
+    build_raw_frame(&mut buf, KIND_DONE, |b| {
+        b.extend_from_slice(&total.to_le_bytes());
+        b.extend_from_slice(&checksum.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `DRAIN_REQ` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_drain_req(w: &mut impl Write) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 8);
+    build_raw_frame(&mut buf, KIND_DRAIN_REQ, |b| {
+        b.extend_from_slice(&MAGIC.to_le_bytes());
+        b.extend_from_slice(&SERVE_VERSION.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `DRAIN_ACK` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_drain_ack(w: &mut impl Write, running: u32, dropped: u32) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 8);
+    build_raw_frame(&mut buf, KIND_DRAIN_ACK, |b| {
+        b.extend_from_slice(&running.to_le_bytes());
+        b.extend_from_slice(&dropped.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Errors a request can fail parsing with, split by how the server must
+/// answer: version mismatches get their own reject code so old clients
+/// learn *why* instead of a generic bad-request.
+#[derive(Debug)]
+pub(crate) enum RequestError {
+    /// Not (this version of) a serve client.
+    Version(String),
+    /// Structurally broken request.
+    Malformed(String),
+}
+
+/// Parse a client→server request (`SUBMIT` or `DRAIN_REQ`) from its raw
+/// kind byte and payload, validating magic and version.
+pub(crate) fn parse_request(kind: u8, payload: &[u8]) -> Result<ServeMsg, RequestError> {
+    let check_preamble = |what: &str| -> Result<(), RequestError> {
+        let magic = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(RequestError::Malformed(format!(
+                "{what}: bad magic {magic:#x} (not a pa-net serve client?)"
+            )));
+        }
+        if version != SERVE_VERSION {
+            return Err(RequestError::Version(format!(
+                "{what}: peer speaks serve protocol v{version}, this build v{SERVE_VERSION}"
+            )));
+        }
+        Ok(())
+    };
+    match kind {
+        KIND_SUBMIT => {
+            if payload.len() != SUBMIT_LEN {
+                return Err(RequestError::Malformed(format!(
+                    "SUBMIT payload must be {SUBMIT_LEN} bytes, got {}",
+                    payload.len()
+                )));
+            }
+            check_preamble("SUBMIT")?;
+            let spec =
+                JobSpec::from_canonical(payload[8..8 + JOB_CANONICAL_LEN].try_into().unwrap());
+            let offset = u64::from_le_bytes(payload[8 + JOB_CANONICAL_LEN..].try_into().unwrap());
+            Ok(ServeMsg::Submit { spec, offset })
+        }
+        KIND_DRAIN_REQ => {
+            if payload.len() != 8 {
+                return Err(RequestError::Malformed(format!(
+                    "DRAIN_REQ payload must be 8 bytes, got {}",
+                    payload.len()
+                )));
+            }
+            check_preamble("DRAIN_REQ")?;
+            Ok(ServeMsg::DrainReq)
+        }
+        other => Err(RequestError::Malformed(format!(
+            "unknown request kind {other:#04x}"
+        ))),
+    }
+}
+
+/// Read one server→client reply frame.
+///
+/// # Errors
+///
+/// `InvalidData` on unknown kinds, wrong payload lengths, unknown
+/// reject codes, or non-UTF-8 reject messages; I/O errors pass through.
+pub fn read_reply(r: &mut impl Read) -> io::Result<ServeMsg> {
+    let mut payload = Vec::new();
+    let kind = read_raw_frame(r, &mut payload, MAX_FRAME)?;
+    parse_reply(kind, &payload).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+/// Parse a server→client reply from its raw kind byte and payload.
+fn parse_reply(kind: u8, payload: &[u8]) -> Result<ServeMsg, String> {
+    let want = |n: usize, what: &str| -> Result<(), String> {
+        if payload.len() != n {
+            return Err(format!(
+                "{what} payload must be {n} bytes, got {}",
+                payload.len()
+            ));
+        }
+        Ok(())
+    };
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().unwrap());
+    match kind {
+        KIND_ACCEPT => {
+            want(24, "ACCEPT")?;
+            Ok(ServeMsg::Accept {
+                job_id: u64_at(0),
+                offset: u64_at(8),
+                total: u64_at(16),
+            })
+        }
+        KIND_REJECT => {
+            if payload.len() < 5 {
+                return Err(format!("REJECT payload of {} bytes", payload.len()));
+            }
+            let code = RejectCode::from_byte(payload[0])
+                .ok_or_else(|| format!("unknown reject code {}", payload[0]))?;
+            let retry_ms = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+            let msg = std::str::from_utf8(&payload[5..])
+                .map_err(|_| "REJECT message is not UTF-8".to_string())?
+                .to_string();
+            Ok(ServeMsg::Reject {
+                code,
+                retry_after: Duration::from_millis(u64::from(retry_ms)),
+                msg,
+            })
+        }
+        KIND_CHUNK => {
+            if payload.len() < 8 {
+                return Err(format!("CHUNK payload of {} bytes", payload.len()));
+            }
+            Ok(ServeMsg::Chunk {
+                offset: u64_at(0),
+                data: payload[8..].to_vec(),
+            })
+        }
+        KIND_DONE => {
+            want(16, "DONE")?;
+            Ok(ServeMsg::Done {
+                total: u64_at(0),
+                checksum: u64_at(8),
+            })
+        }
+        KIND_DRAIN_ACK => {
+            want(8, "DRAIN_ACK")?;
+            Ok(ServeMsg::DrainAck {
+                running: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+                dropped: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            })
+        }
+        other => Err(format!("unknown reply kind {other:#04x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            n: 10_000,
+            x: 4,
+            p_bits: 0.5f64.to_bits(),
+            seed: 7,
+            alpha_bits: 0,
+            ranks: 4,
+            scheme_id: 2,
+            engine_id: 2,
+            model_id: 0,
+            format_id: 1,
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_round_trip_and_pin_the_layout() {
+        let s = spec();
+        let bytes = s.canonical_bytes();
+        assert_eq!(JobSpec::from_canonical(&bytes), s);
+        // Pinned layout: wire identity; renumbering is a version bump.
+        assert_eq!(&bytes[0..8], &10_000u64.to_le_bytes());
+        assert_eq!(&bytes[40..44], &4u32.to_le_bytes());
+        assert_eq!(&bytes[44..48], &[2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let mut wire = Vec::new();
+        write_submit(&mut wire, &spec(), 4096).unwrap();
+        assert_eq!(wire.len(), 4 + 1 + SUBMIT_LEN);
+        let mut payload = Vec::new();
+        let kind = read_raw_frame(&mut &wire[..], &mut payload, MAX_REQUEST_FRAME).unwrap();
+        assert_eq!(kind, KIND_SUBMIT);
+        let msg = parse_request(kind, &payload).unwrap();
+        assert_eq!(
+            msg,
+            ServeMsg::Submit {
+                spec: spec(),
+                offset: 4096
+            }
+        );
+    }
+
+    #[test]
+    fn submit_rejects_bad_magic_version_and_length() {
+        let mut wire = Vec::new();
+        write_submit(&mut wire, &spec(), 0).unwrap();
+        let payload = &wire[5..];
+
+        let mut bad_magic = payload.to_vec();
+        bad_magic[0] ^= 0xff;
+        let err = parse_request(KIND_SUBMIT, &bad_magic).unwrap_err();
+        assert!(
+            matches!(&err, RequestError::Malformed(m) if m.contains("magic")),
+            "{err:?}"
+        );
+
+        let mut bad_version = payload.to_vec();
+        bad_version[4] = 99;
+        let err = parse_request(KIND_SUBMIT, &bad_version).unwrap_err();
+        assert!(
+            matches!(&err, RequestError::Version(m) if m.contains("v99")),
+            "{err:?}"
+        );
+
+        let err = parse_request(KIND_SUBMIT, &payload[..10]).unwrap_err();
+        assert!(
+            matches!(&err, RequestError::Malformed(m) if m.contains("64 bytes")),
+            "{err:?}"
+        );
+
+        let err = parse_request(0x7f, payload).unwrap_err();
+        assert!(
+            matches!(&err, RequestError::Malformed(m) if m.contains("unknown request")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cases: Vec<(Vec<u8>, ServeMsg)> = {
+            let mut v = Vec::new();
+            let mut w = Vec::new();
+            write_accept(&mut w, 0xdead, 16, 2048).unwrap();
+            v.push((
+                w.clone(),
+                ServeMsg::Accept {
+                    job_id: 0xdead,
+                    offset: 16,
+                    total: 2048,
+                },
+            ));
+            w.clear();
+            write_reject(
+                &mut w,
+                RejectCode::QueueFull,
+                Duration::from_millis(250),
+                "full",
+            )
+            .unwrap();
+            v.push((
+                w.clone(),
+                ServeMsg::Reject {
+                    code: RejectCode::QueueFull,
+                    retry_after: Duration::from_millis(250),
+                    msg: "full".into(),
+                },
+            ));
+            w.clear();
+            write_chunk(&mut w, 64, b"edges").unwrap();
+            v.push((
+                w.clone(),
+                ServeMsg::Chunk {
+                    offset: 64,
+                    data: b"edges".to_vec(),
+                },
+            ));
+            w.clear();
+            write_done(&mut w, 2048, 0xbeef).unwrap();
+            v.push((
+                w.clone(),
+                ServeMsg::Done {
+                    total: 2048,
+                    checksum: 0xbeef,
+                },
+            ));
+            w.clear();
+            write_drain_ack(&mut w, 2, 5).unwrap();
+            v.push((
+                w.clone(),
+                ServeMsg::DrainAck {
+                    running: 2,
+                    dropped: 5,
+                },
+            ));
+            v
+        };
+        for (wire, expect) in cases {
+            let got = read_reply(&mut &wire[..]).unwrap();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn drain_req_round_trips_and_checks_preamble() {
+        let mut wire = Vec::new();
+        write_drain_req(&mut wire).unwrap();
+        let mut payload = Vec::new();
+        let kind = read_raw_frame(&mut &wire[..], &mut payload, MAX_REQUEST_FRAME).unwrap();
+        assert_eq!(kind, KIND_DRAIN_REQ);
+        assert_eq!(parse_request(kind, &payload).unwrap(), ServeMsg::DrainReq);
+
+        let err = parse_request(KIND_DRAIN_REQ, &payload[..4]).unwrap_err();
+        assert!(matches!(err, RequestError::Malformed(_)));
+    }
+
+    #[test]
+    fn reject_codes_round_trip_and_classify_retryability() {
+        for code in [
+            RejectCode::BadRequest,
+            RejectCode::QueueFull,
+            RejectCode::Draining,
+            RejectCode::UnsupportedVersion,
+            RejectCode::BadOffset,
+            RejectCode::JobFailed,
+        ] {
+            assert_eq!(RejectCode::from_byte(code as u8), Some(code));
+            assert_eq!(code.is_retryable(), code == RejectCode::QueueFull, "{code}");
+        }
+        assert_eq!(RejectCode::from_byte(0), None);
+        assert_eq!(RejectCode::from_byte(7), None);
+    }
+
+    #[test]
+    fn job_id_differs_per_field_and_matches_manual_fnv() {
+        let s = spec();
+        assert_eq!(s.job_id(), Fnv1a::hash(&s.canonical_bytes()));
+        let mut other = s;
+        other.ranks = 8;
+        assert_ne!(other.job_id(), s.job_id());
+    }
+
+    #[test]
+    fn serve_kinds_are_disjoint_from_transport_kinds() {
+        for kind in [
+            KIND_SUBMIT,
+            KIND_ACCEPT,
+            KIND_REJECT,
+            KIND_CHUNK,
+            KIND_DONE,
+            KIND_DRAIN_REQ,
+            KIND_DRAIN_ACK,
+        ] {
+            assert!(
+                crate::frame::Kind::from_byte(kind).is_none(),
+                "serve kind {kind:#04x} collides with a transport kind"
+            );
+        }
+    }
+}

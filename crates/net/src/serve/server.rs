@@ -1,0 +1,556 @@
+//! The serve daemon: bounded queue, worker pool, artifact cache,
+//! per-connection streaming.
+//!
+//! # Lifecycle of a job
+//!
+//! ```text
+//! SUBMIT ──validate──► Queued ──worker──► Running ──► Done{total, checksum}
+//!            │            │                  │
+//!            ▼            ▼ (drain)          ▼ (runner error)
+//!         REJECT       Failed{drained}    Failed
+//! ```
+//!
+//! A job runs **at most once per artifact**: concurrent submits of the
+//! same tuple coalesce onto one queue entry and all stream the same
+//! artifact when it completes; a failed run is *not* cached — its
+//! waiters get [`RejectCode::JobFailed`] and the next submit retries.
+//!
+//! The artifact is written to a temp path and renamed into the cache
+//! only after the whole run and its checksum pass, so a crashed or
+//! failed run can never leave a half-written file that a resume would
+//! then trust.
+//!
+//! # Why streaming is resume-trivial
+//!
+//! Connections only ever stream *completed* artifacts (a submit for an
+//! in-flight job waits for completion first). Resuming from byte
+//! `offset` is therefore a plain `seek` — no generator state is ever
+//! part of the resume contract, which is what keeps the token down to
+//! `(tuple, offset)`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use super::proto::{
+    parse_request, write_accept, write_chunk, write_done, write_drain_ack, write_reject, JobSpec,
+    RejectCode, RequestError, ServeMsg, MAX_REQUEST_FRAME,
+};
+use crate::frame::read_raw_frame;
+use pa_graph::io::{stream_file_from, Fnv1a};
+
+/// Executes admitted jobs. The serve layer owns scheduling, caching and
+/// streaming; the runner owns *meaning* — `pa-cli` wires this to the
+/// generation engines, tests plug in synthetic runners.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Decide whether `spec` names a runnable job, with a named error
+    /// for the [`RejectCode::BadRequest`] rejection if not. Runs on the
+    /// connection thread — keep it cheap.
+    fn validate(&self, spec: &JobSpec) -> Result<(), String>;
+
+    /// Produce the complete artifact for `spec` at `out` (the server
+    /// renames it into the cache afterwards). Resumes always continue
+    /// the cached artifact, which is immutable once published, so the
+    /// runner need not be byte-reproducible across runs — but if a
+    /// re-run (after a server restart, say) produces different bytes,
+    /// clients resuming an old prefix fail the whole-artifact checksum
+    /// with a named error instead of silently stitching a hybrid.
+    fn run(&self, spec: &JobSpec, out: &Path) -> Result<(), String>;
+}
+
+/// Daemon tuning. Every field is public; [`ServeConfig::new`] provides
+/// defaults sized for tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory for artifacts (created if missing). One file per
+    /// completed job, named by job id.
+    pub jobs_dir: PathBuf,
+    /// Queue bound, counting *queued* jobs only (running jobs have
+    /// already left the queue). Full queue → `QueueFull` rejection.
+    pub queue_cap: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Streaming chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// The `retry_after` hint sent with `QueueFull` rejections.
+    pub retry_after: Duration,
+    /// Per-socket read/write timeout. Bounds half-open connections: a
+    /// client that connects and never submits is dropped after this
+    /// long, it cannot pin a connection slot forever.
+    pub request_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Defaults: queue of 16, 2 workers, 256 KiB chunks, 200 ms retry
+    /// hint, 10 s socket timeout.
+    pub fn new(jobs_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            jobs_dir: jobs_dir.into(),
+            queue_cap: 16,
+            workers: 2,
+            chunk_bytes: 256 << 10,
+            retry_after: Duration::from_millis(200),
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters reported by [`Server::stats`] and [`Server::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs admitted to the queue (each admission leads to exactly one
+    /// run attempt; lets tests sequence submissions deterministically).
+    pub jobs_admitted: u64,
+    /// Jobs actually executed to completion (coalesced/cached submits
+    /// don't re-run).
+    pub jobs_run: u64,
+    /// Submits served from an existing entry — a run in flight or a
+    /// cached artifact — instead of a fresh run.
+    pub jobs_coalesced: u64,
+    /// Rejections sent, of any code.
+    pub rejects: u64,
+    /// Queued jobs cancelled by a drain.
+    pub jobs_drained: u64,
+    /// Artifact bytes streamed to completion (suffix length on resume).
+    pub bytes_streamed: u64,
+}
+
+enum Phase {
+    Queued,
+    Running,
+    Done { total: u64, checksum: u64 },
+    Failed { msg: String, drained: bool },
+}
+
+struct JobState {
+    spec: JobSpec,
+    phase: Phase,
+}
+
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobState>,
+    draining: bool,
+    running: usize,
+    active_conns: usize,
+    stats: ServeStats,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    runner: Arc<dyn JobRunner>,
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Shared {
+    fn artifact_path(&self, id: u64) -> PathBuf {
+        self.cfg.jobs_dir.join(format!("{id:016x}.art"))
+    }
+
+    fn tmp_path(&self, id: u64) -> PathBuf {
+        self.cfg.jobs_dir.join(format!("{id:016x}.tmp"))
+    }
+
+    /// Enter drain: stop admitting, fail everything queued, wake every
+    /// waiter and worker. Idempotent. Returns `(running, dropped)` for
+    /// the `DRAIN_ACK`.
+    fn drain_now(&self) -> (u32, u32) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.draining = true;
+        let mut dropped = 0u32;
+        while let Some(id) = inner.queue.pop_front() {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.phase = Phase::Failed {
+                    msg: "job drained before start".into(),
+                    drained: true,
+                };
+            }
+            dropped += 1;
+        }
+        inner.stats.jobs_drained += u64::from(dropped);
+        self.cond.notify_all();
+        (inner.running as u32, dropped)
+    }
+}
+
+/// A running serve daemon. Dropping the handle does *not* stop it; the
+/// clean shutdown sequence is [`Server::drain`] (or a `DRAIN_REQ` over
+/// the wire) followed by [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and a jobs-directory that cannot be created.
+    pub fn bind(addr: &str, cfg: ServeConfig, runner: impl JobRunner) -> io::Result<Server> {
+        Server::start(TcpListener::bind(addr)?, cfg, runner)
+    }
+
+    /// Start the daemon on an already-bound listener (lets tests bind
+    /// port 0 themselves).
+    ///
+    /// # Errors
+    ///
+    /// A jobs-directory that cannot be created, or a listener that
+    /// cannot report its local address / switch to non-blocking mode.
+    pub fn start(
+        listener: TcpListener,
+        cfg: ServeConfig,
+        runner: impl JobRunner,
+    ) -> io::Result<Server> {
+        std::fs::create_dir_all(&cfg.jobs_dir)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            runner: Arc::new(runner),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                draining: false,
+                running: 0,
+                active_conns: 0,
+                stats: ServeStats::default(),
+            }),
+            cond: Condvar::new(),
+        });
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The daemon's listen address (with the OS-assigned port when
+    /// bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic drain — same semantics as a `DRAIN_REQ` over the
+    /// wire. Returns `(running, dropped)`.
+    pub fn drain(&self) -> (u32, u32) {
+        self.shared.drain_now()
+    }
+
+    /// Snapshot of the daemon's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.inner.lock().unwrap().stats
+    }
+
+    /// Wait for the daemon to finish. **Blocks until a drain arrives**
+    /// (via [`Server::drain`] or the wire) and every in-flight job has
+    /// finished streaming — this is the daemon's main "run until told
+    /// to stop" call.
+    pub fn join(mut self) -> ServeStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let stats = self.shared.inner.lock().unwrap().stats;
+        stats
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, spec) = {
+            let mut inner = shared.inner.lock().unwrap();
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    let job = inner.jobs.get_mut(&id).expect("queued job has state");
+                    job.phase = Phase::Running;
+                    let spec = job.spec;
+                    inner.running += 1;
+                    break (id, spec);
+                }
+                if inner.draining {
+                    return;
+                }
+                inner = shared.cond.wait(inner).unwrap();
+            }
+        };
+        let outcome = run_job(shared, id, &spec);
+        let mut inner = shared.inner.lock().unwrap();
+        inner.running -= 1;
+        if outcome.is_ok() {
+            inner.stats.jobs_run += 1;
+        }
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.phase = match outcome {
+                Ok((total, checksum)) => Phase::Done { total, checksum },
+                Err(msg) => Phase::Failed {
+                    msg,
+                    drained: false,
+                },
+            };
+        }
+        shared.cond.notify_all();
+    }
+}
+
+/// Execute one job: run to a temp path, checksum, rename into the
+/// cache. Returns `(total_bytes, checksum)`.
+fn run_job(shared: &Shared, id: u64, spec: &JobSpec) -> Result<(u64, u64), String> {
+    let tmp = shared.tmp_path(id);
+    let finished = shared.artifact_path(id);
+    let result = shared.runner.run(spec, &tmp).and_then(|()| {
+        let mut hasher = Fnv1a::new();
+        let total = stream_file_from(&tmp, 0, 1 << 20, |_, data| {
+            hasher.update(data);
+            Ok(())
+        })
+        .map_err(|e| format!("checksum pass over fresh artifact failed: {e}"))?;
+        std::fs::rename(&tmp, &finished)
+            .map_err(|e| format!("publishing artifact {}: {e}", finished.display()))?;
+        Ok((total, hasher.digest()))
+    });
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        {
+            let inner = shared.inner.lock().unwrap();
+            if inner.draining
+                && inner.queue.is_empty()
+                && inner.running == 0
+                && inner.active_conns == 0
+            {
+                return;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.inner.lock().unwrap().active_conns += 1;
+                let shared = Arc::clone(shared);
+                let _ = thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        handle_conn(&shared, stream);
+                        shared.inner.lock().unwrap().active_conns -= 1;
+                        shared.cond.notify_all();
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Send a rejection (best effort — the peer may already be gone) and
+/// count it.
+fn reject(shared: &Shared, stream: &mut TcpStream, code: RejectCode, msg: &str) {
+    let retry_after = if code.is_retryable() {
+        shared.cfg.retry_after
+    } else {
+        Duration::ZERO
+    };
+    let _ = write_reject(stream, code, retry_after, msg);
+    shared.inner.lock().unwrap().stats.rejects += 1;
+}
+
+/// Close without slamming the door: half-close the write side, then
+/// drain (bounded) whatever the peer already sent. Closing with unread
+/// bytes in the receive queue makes the kernel send RST, which races
+/// ahead of the final reply frame and can destroy it before the client
+/// reads it — a rejected client would then see "connection reset"
+/// instead of the named error it was sent.
+fn linger_close(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 4096];
+    for _ in 0..64 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.request_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.request_timeout));
+    let _ = stream.set_nodelay(true);
+    serve_conn(shared, &mut stream);
+    linger_close(stream);
+}
+
+fn serve_conn(shared: &Shared, stream: &mut TcpStream) {
+    let mut payload = Vec::new();
+    let kind = match read_raw_frame(stream, &mut payload, MAX_REQUEST_FRAME) {
+        Ok(kind) => kind,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // A framing violation (oversized or zero length) still gets a
+            // named answer — the bytes after it are unparseable, so the
+            // connection closes right after.
+            reject(shared, stream, RejectCode::BadRequest, &e.to_string());
+            return;
+        }
+        // EOF, timeout (half-open connection), or reset: nothing to say.
+        Err(_) => return,
+    };
+    match parse_request(kind, &payload) {
+        Ok(ServeMsg::Submit { spec, offset }) => handle_submit(shared, stream, spec, offset),
+        Ok(ServeMsg::DrainReq) => {
+            let (running, dropped) = shared.drain_now();
+            let _ = write_drain_ack(stream, running, dropped);
+        }
+        Ok(_) => reject(
+            shared,
+            stream,
+            RejectCode::BadRequest,
+            "reply kind sent as a request",
+        ),
+        Err(RequestError::Version(msg)) => {
+            reject(shared, stream, RejectCode::UnsupportedVersion, &msg);
+        }
+        Err(RequestError::Malformed(msg)) => {
+            reject(shared, stream, RejectCode::BadRequest, &msg);
+        }
+    }
+}
+
+fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset: u64) {
+    if let Err(msg) = shared.runner.validate(&spec) {
+        reject(shared, stream, RejectCode::BadRequest, &msg);
+        return;
+    }
+    let id = spec.job_id();
+    // Admission: find or create the job entry, then wait out Queued and
+    // Running under the condvar. FIFO is the queue's order; admission
+    // order is the lock-acquisition order of this critical section.
+    let outcome = {
+        let mut inner = shared.inner.lock().unwrap();
+        let mut coalesced_counted = false;
+        loop {
+            match inner.jobs.get(&id).map(|j| &j.phase) {
+                None => {
+                    // Admission decisions (drain, capacity) apply only to
+                    // *new* work: a waiter on an in-flight job keeps
+                    // waiting through a drain and still gets its stream.
+                    if inner.draining {
+                        break Err((RejectCode::Draining, "server is draining".to_string()));
+                    }
+                    if inner.queue.len() >= shared.cfg.queue_cap {
+                        break Err((
+                            RejectCode::QueueFull,
+                            format!("job queue at capacity ({})", shared.cfg.queue_cap),
+                        ));
+                    }
+                    inner.jobs.insert(
+                        id,
+                        JobState {
+                            spec,
+                            phase: Phase::Queued,
+                        },
+                    );
+                    inner.queue.push_back(id);
+                    inner.stats.jobs_admitted += 1;
+                    // The admitter now waits like everyone else, but it
+                    // is the one submit that is *not* a coalesce.
+                    coalesced_counted = true;
+                    shared.cond.notify_all();
+                }
+                Some(Phase::Queued | Phase::Running) => {
+                    if !coalesced_counted {
+                        inner.stats.jobs_coalesced += 1;
+                        coalesced_counted = true;
+                    }
+                    inner = shared.cond.wait(inner).unwrap();
+                }
+                Some(Phase::Done { total, checksum }) => {
+                    let done = (*total, *checksum);
+                    if !coalesced_counted {
+                        inner.stats.jobs_coalesced += 1;
+                    }
+                    break Ok(done);
+                }
+                Some(Phase::Failed { msg, drained }) => {
+                    let code = if *drained {
+                        RejectCode::Draining
+                    } else {
+                        RejectCode::JobFailed
+                    };
+                    let msg = msg.clone();
+                    // Failure is not cached: clear the entry so a later
+                    // submit retries the run.
+                    inner.jobs.remove(&id);
+                    break Err((code, msg));
+                }
+            }
+        }
+    };
+    let (total, checksum) = match outcome {
+        Ok(done) => done,
+        Err((code, msg)) => {
+            reject(shared, stream, code, &msg);
+            return;
+        }
+    };
+    // A freshly-run job was counted in jobs_run by the worker; a cache
+    // hit was counted in jobs_coalesced above. Either way the artifact
+    // is complete and immutable from here on.
+    if offset > total {
+        reject(
+            shared,
+            stream,
+            RejectCode::BadOffset,
+            &format!("resume offset {offset} beyond artifact end {total}"),
+        );
+        return;
+    }
+    if write_accept(stream, id, offset, total).is_err() {
+        return;
+    }
+    let path = shared.artifact_path(id);
+    let chunk = shared.cfg.chunk_bytes.max(1);
+    let streamed = stream_file_from(&path, offset, chunk, |off, data| {
+        write_chunk(stream, off, data)
+    });
+    if streamed.is_err() || write_done(stream, total, checksum).is_err() {
+        // The client vanished mid-stream; it will reconnect and resume.
+        return;
+    }
+    shared.inner.lock().unwrap().stats.bytes_streamed += total - offset;
+}

@@ -1,0 +1,384 @@
+//! Protocol conformance for the serve daemon: every malformed,
+//! hostile, or stale input gets a *named* error over the wire (or a
+//! bounded-time close), never a hang and never a crash.
+//!
+//! Style follows `transport_contract.rs`: a synthetic runner keeps the
+//! engines out of the picture so the tests pin the *protocol*, and
+//! every blocking read carries a socket timeout so a regression shows
+//! up as a failed assertion, not a stuck CI job.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use pa_net::serve::proto::{
+    read_reply, write_accept, write_submit, ServeMsg, KIND_DRAIN_REQ, KIND_SUBMIT,
+};
+use pa_net::serve::{
+    fetch, FetchError, FetchOptions, JobRunner, JobSpec, RejectCode, ServeConfig, Server,
+    MAX_REQUEST_FRAME,
+};
+
+/// A runner whose artifact is `n` bytes of a seed-keyed pattern —
+/// deterministic, instant, and engine-free.
+struct ByteRunner;
+
+fn pattern_byte(seed: u64, i: u64) -> u8 {
+    (seed.wrapping_add(i).wrapping_mul(0x9e37_79b9)) as u8
+}
+
+fn expected_bytes(spec: &JobSpec) -> Vec<u8> {
+    (0..spec.n).map(|i| pattern_byte(spec.seed, i)).collect()
+}
+
+impl JobRunner for ByteRunner {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        if spec.n == 0 {
+            return Err("n must be positive".into());
+        }
+        Ok(())
+    }
+
+    fn run(&self, spec: &JobSpec, out: &Path) -> Result<(), String> {
+        if spec.x == 666 {
+            return Err("synthetic runner failure (x = 666)".into());
+        }
+        let bytes = expected_bytes(spec);
+        std::fs::write(out, bytes).map_err(|e| e.to_string())
+    }
+}
+
+fn spec(n: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        n,
+        x: 1,
+        p_bits: 0.5f64.to_bits(),
+        seed,
+        alpha_bits: 0,
+        ranks: 1,
+        scheme_id: 2,
+        engine_id: 2,
+        model_id: 0,
+        format_id: 1,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_contract_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(tag: &str, tune: impl FnOnce(&mut ServeConfig)) -> Server {
+    let mut cfg = ServeConfig::new(temp_dir(tag).join("jobs"));
+    cfg.chunk_bytes = 64; // many chunks even for small artifacts
+    tune(&mut cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    Server::start(listener, cfg, ByteRunner).unwrap()
+}
+
+/// Connect with a client-side read timeout so no test can hang.
+fn connect(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Send raw bytes as the request and read the server's single reply.
+fn roundtrip_raw(server: &Server, bytes: &[u8]) -> ServeMsg {
+    let mut s = connect(server);
+    s.write_all(bytes).unwrap();
+    read_reply(&mut s).expect("server must answer with a parseable reply")
+}
+
+fn expect_reject(msg: ServeMsg, code: RejectCode, needle: &str) {
+    match msg {
+        ServeMsg::Reject { code: got, msg, .. } => {
+            assert_eq!(got, code, "reject message: {msg}");
+            assert!(
+                msg.contains(needle),
+                "reject detail {msg:?} missing {needle:?}"
+            );
+        }
+        other => panic!("expected REJECT({code:?}), got {other:?}"),
+    }
+}
+
+fn shutdown(server: Server) {
+    server.drain();
+    server.join();
+}
+
+#[test]
+fn happy_path_streams_the_exact_artifact() {
+    let server = start_server("happy", |_| {});
+    let out = temp_dir("happy_out").join("a.bin");
+    let report = fetch(&FetchOptions::new(
+        server.addr().to_string(),
+        spec(1000, 42),
+        &out,
+    ))
+    .unwrap();
+    assert_eq!(report.total, 1000);
+    assert_eq!(report.transferred, 1000);
+    assert_eq!(report.resumed_from, 0);
+    assert_eq!(
+        std::fs::read(&out).unwrap(),
+        expected_bytes(&spec(1000, 42))
+    );
+    shutdown(server);
+}
+
+#[test]
+fn garbage_length_prefix_gets_a_named_reject_then_close() {
+    let server = start_server("garbage_len", |_| {});
+    // A length prefix far beyond the request cap: rejected before any
+    // allocation, with the limit named.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.push(KIND_SUBMIT);
+    let mut s = connect(&server);
+    s.write_all(&wire).unwrap();
+    let reply = read_reply(&mut s).unwrap();
+    expect_reject(reply, RejectCode::BadRequest, "bad frame length");
+    // And the connection is closed, not left dangling.
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).unwrap(), 0);
+    shutdown(server);
+}
+
+#[test]
+fn zero_length_prefix_is_rejected() {
+    let server = start_server("zero_len", |_| {});
+    let reply = roundtrip_raw(&server, &0u32.to_le_bytes());
+    expect_reject(reply, RejectCode::BadRequest, "bad frame length");
+    shutdown(server);
+}
+
+#[test]
+fn oversized_request_frame_is_rejected_by_the_request_cap() {
+    let server = start_server("oversized", |_| {});
+    // A frame that would be legal transport (< 256 MiB) but exceeds the
+    // request cap: the serve layer must turn it away by length alone.
+    let len = (MAX_REQUEST_FRAME + 1) as u32;
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&len.to_le_bytes());
+    wire.push(KIND_SUBMIT);
+    wire.extend_from_slice(&vec![0u8; MAX_REQUEST_FRAME]);
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "bad frame length");
+    shutdown(server);
+}
+
+#[test]
+fn truncated_submit_payload_is_rejected_with_the_expected_size() {
+    let server = start_server("truncated", |_| {});
+    // Well-formed frame, wrong payload size for SUBMIT.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&11u32.to_le_bytes()); // kind + 10 bytes
+    wire.push(KIND_SUBMIT);
+    wire.extend_from_slice(&[0u8; 10]);
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "64 bytes");
+    shutdown(server);
+}
+
+#[test]
+fn wrong_magic_is_named() {
+    let server = start_server("magic", |_| {});
+    let mut wire = Vec::new();
+    write_submit(&mut wire, &spec(10, 0), 0).unwrap();
+    wire[5] ^= 0xff; // first magic byte (after len:4 kind:1)
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "magic");
+    shutdown(server);
+}
+
+#[test]
+fn unknown_protocol_version_gets_unsupported_version() {
+    let server = start_server("version", |_| {});
+    let mut wire = Vec::new();
+    write_submit(&mut wire, &spec(10, 0), 0).unwrap();
+    wire[9] = 99; // version word (after len:4 kind:1 magic:4)
+    let reply = roundtrip_raw(&server, &wire);
+    match reply {
+        ServeMsg::Reject { code, msg, .. } => {
+            assert_eq!(code, RejectCode::UnsupportedVersion);
+            assert!(msg.contains("v99"), "{msg:?}");
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    shutdown(server);
+}
+
+#[test]
+fn unknown_request_kind_is_rejected() {
+    let server = start_server("unknown_kind", |_| {});
+    let wire = [2u8, 0, 0, 0, 0x7f, 0]; // len 2, kind 0x7f, 1 payload byte
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "unknown request kind");
+    shutdown(server);
+}
+
+#[test]
+fn reply_kind_sent_as_request_is_rejected() {
+    // ACCEPT is a server→client kind; a client sending it is as
+    // unknown to the request parser as any other stray byte.
+    let server = start_server("reply_kind", |_| {});
+    let mut wire = Vec::new();
+    write_accept(&mut wire, 1, 2, 3).unwrap();
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "unknown request kind");
+    shutdown(server);
+}
+
+#[test]
+fn half_open_connection_is_dropped_after_the_request_timeout() {
+    let server = start_server("half_open", |cfg| {
+        cfg.request_timeout = Duration::from_millis(200);
+    });
+    // Connect and send nothing: the server must hang up on its own.
+    let mut s = connect(&server);
+    let started = Instant::now();
+    let mut buf = [0u8; 1];
+    let n = s.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server must close a silent connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "half-open close took {:?}",
+        started.elapsed()
+    );
+    // The daemon is still healthy afterwards.
+    let out = temp_dir("half_open_out").join("a.bin");
+    fetch(&FetchOptions::new(
+        server.addr().to_string(),
+        spec(100, 1),
+        &out,
+    ))
+    .unwrap();
+    shutdown(server);
+}
+
+#[test]
+fn runner_validation_failure_is_a_bad_request_with_the_runners_words() {
+    let server = start_server("validate", |_| {});
+    let mut wire = Vec::new();
+    write_submit(&mut wire, &spec(0, 0), 0).unwrap();
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "n must be positive");
+    shutdown(server);
+}
+
+#[test]
+fn failed_run_rejects_with_job_failed_and_is_not_cached() {
+    let server = start_server("job_failed", |_| {});
+    let mut bad = spec(100, 3);
+    bad.x = 666; // ByteRunner fails this at run time, not validation
+    let out = temp_dir("job_failed_out").join("a.bin");
+    let err = fetch(&FetchOptions::new(server.addr().to_string(), bad, &out)).unwrap_err();
+    match err {
+        FetchError::Rejected { code, msg, .. } => {
+            assert_eq!(code, RejectCode::JobFailed);
+            assert!(msg.contains("synthetic runner failure"), "{msg:?}");
+        }
+        other => panic!("expected JobFailed rejection, got {other:?}"),
+    }
+    // The failure was not cached: a fixed spec with the same identity
+    // fields but valid x runs fine, and the *same* failing spec fails
+    // again with the same named error (a fresh run, not a stale cache).
+    let err = fetch(&FetchOptions::new(server.addr().to_string(), bad, &out)).unwrap_err();
+    assert!(matches!(
+        err,
+        FetchError::Rejected {
+            code: RejectCode::JobFailed,
+            ..
+        }
+    ));
+    shutdown(server);
+}
+
+#[test]
+fn resume_offset_beyond_the_artifact_is_a_bad_offset() {
+    let server = start_server("bad_offset", |_| {});
+    let out = temp_dir("bad_offset_out").join("a.bin");
+    let sp = spec(500, 9);
+    fetch(&FetchOptions::new(server.addr().to_string(), sp, &out)).unwrap();
+    // Raw submit with offset beyond the 500-byte artifact.
+    let mut wire = Vec::new();
+    write_submit(&mut wire, &sp, 501).unwrap();
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadOffset, "beyond artifact end");
+    shutdown(server);
+}
+
+#[test]
+fn resume_from_every_offset_reconstructs_the_artifact() {
+    let server = start_server("resume", |_| {});
+    let sp = spec(777, 5);
+    let expect = expected_bytes(&sp);
+    for cut in [0u64, 1, 63, 64, 400, 776, 777] {
+        let out = temp_dir("resume_out").join(format!("cut{cut}.bin"));
+        // Simulate a crashed earlier fetch that got exactly `cut` bytes.
+        std::fs::write(&out, &expect[..cut as usize]).unwrap();
+        let mut opts = FetchOptions::new(server.addr().to_string(), sp, &out);
+        opts.resume = true;
+        let report = fetch(&opts).unwrap();
+        assert_eq!(report.resumed_from, cut);
+        assert_eq!(report.transferred, 777 - cut);
+        assert_eq!(std::fs::read(&out).unwrap(), expect, "cut at {cut}");
+    }
+    shutdown(server);
+}
+
+#[test]
+fn resume_over_a_corrupt_prefix_fails_the_checksum_loudly() {
+    let server = start_server("corrupt", |_| {});
+    let sp = spec(300, 11);
+    let mut prefix = expected_bytes(&sp)[..100].to_vec();
+    prefix[50] ^= 0xff;
+    let out = temp_dir("corrupt_out").join("a.bin");
+    std::fs::write(&out, &prefix).unwrap();
+    let mut opts = FetchOptions::new(server.addr().to_string(), sp, &out);
+    opts.resume = true;
+    let err = fetch(&opts).unwrap_err();
+    assert!(
+        matches!(err, FetchError::ChecksumMismatch { .. }),
+        "expected checksum mismatch, got {err:?}"
+    );
+    shutdown(server);
+}
+
+#[test]
+fn drain_req_with_wrong_payload_size_is_rejected() {
+    let server = start_server("drain_bad", |_| {});
+    let wire = [3u8, 0, 0, 0, KIND_DRAIN_REQ, 1, 2]; // 2-byte payload, need 8
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "8 bytes");
+    shutdown(server);
+}
+
+#[test]
+fn fetch_gives_up_with_exhausted_when_nobody_listens() {
+    // Bind-then-drop to get a port with no listener.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let out = temp_dir("nobody_out").join("a.bin");
+    let mut opts = FetchOptions::new(addr, spec(10, 0), &out);
+    opts.max_attempts = 2;
+    opts.backoff_initial = Duration::from_millis(1);
+    opts.backoff_cap = Duration::from_millis(2);
+    opts.connect_timeout = Duration::from_millis(200);
+    let err = fetch(&opts).unwrap_err();
+    match err {
+        FetchError::Exhausted { attempts, last } => {
+            assert_eq!(attempts, 2);
+            assert!(last.contains("connect"), "{last:?}");
+        }
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+}

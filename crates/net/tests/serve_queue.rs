@@ -1,0 +1,350 @@
+//! Queue backpressure and drain semantics for the serve daemon.
+//!
+//! A gated runner (jobs block until the test opens a gate) makes
+//! admission and rejection deterministic: the tests sequence
+//! submissions on the `jobs_admitted` counter and on the runner's
+//! entered signal, never on sleeps, so every rejection asserted here
+//! is forced — not a lucky race.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pa_net::serve::{
+    fetch, FetchError, FetchOptions, JobRunner, JobSpec, RejectCode, ServeConfig, Server,
+};
+
+/// Runner whose jobs park on a gate until the test releases them, and
+/// which records the order jobs entered `run` (the FIFO witness).
+#[derive(Clone)]
+struct GatedRunner {
+    state: Arc<GateState>,
+}
+
+struct GateState {
+    open: Mutex<bool>,
+    entered: Mutex<Vec<u64>>, // seeds, in execution order
+    cond: Condvar,
+}
+
+impl GatedRunner {
+    fn new() -> Self {
+        GatedRunner {
+            state: Arc::new(GateState {
+                open: Mutex::new(false),
+                entered: Mutex::new(Vec::new()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    fn open_gate(&self) {
+        *self.state.open.lock().unwrap() = true;
+        self.state.cond.notify_all();
+    }
+
+    /// Block until `k` jobs have entered `run`.
+    fn wait_entered(&self, k: usize) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut entered = self.state.entered.lock().unwrap();
+        while entered.len() < k {
+            assert!(Instant::now() < deadline, "only {} entered", entered.len());
+            let (guard, _) = self
+                .state
+                .cond
+                .wait_timeout(entered, Duration::from_millis(50))
+                .unwrap();
+            entered = guard;
+        }
+    }
+
+    fn execution_order(&self) -> Vec<u64> {
+        self.state.entered.lock().unwrap().clone()
+    }
+}
+
+impl JobRunner for GatedRunner {
+    fn validate(&self, _spec: &JobSpec) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn run(&self, spec: &JobSpec, out: &Path) -> Result<(), String> {
+        {
+            let mut entered = self.state.entered.lock().unwrap();
+            entered.push(spec.seed);
+            self.state.cond.notify_all();
+        }
+        let mut open = self.state.open.lock().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !*open {
+            assert!(Instant::now() < deadline, "gate never opened");
+            let (guard, _) = self
+                .state
+                .cond
+                .wait_timeout(open, Duration::from_millis(50))
+                .unwrap();
+            open = guard;
+        }
+        drop(open);
+        std::fs::write(out, spec.seed.to_le_bytes()).map_err(|e| e.to_string())
+    }
+}
+
+fn spec(seed: u64) -> JobSpec {
+    JobSpec {
+        n: 64,
+        x: 1,
+        p_bits: 0.5f64.to_bits(),
+        seed,
+        alpha_bits: 0,
+        ranks: 1,
+        scheme_id: 2,
+        engine_id: 2,
+        model_id: 0,
+        format_id: 1,
+    }
+}
+
+/// Per-tag scratch dir; created on demand, wiped only by `fresh_dir`.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_queue_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Like `temp_dir` but guaranteed empty — use once per test, at setup.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve_queue_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(tag: &str, queue_cap: usize, runner: GatedRunner) -> Server {
+    let mut cfg = ServeConfig::new(fresh_dir(tag).join("jobs"));
+    cfg.queue_cap = queue_cap;
+    cfg.workers = 1; // serial execution makes order observable
+    cfg.retry_after = Duration::from_millis(250);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    Server::start(listener, cfg, runner).unwrap()
+}
+
+/// Submit `spec` on a background thread via a full fetch (waits for the
+/// artifact or a rejection).
+fn fetch_in_background(
+    server: &Server,
+    sp: JobSpec,
+    tag: &str,
+) -> std::thread::JoinHandle<Result<Vec<u8>, FetchError>> {
+    let out = temp_dir(tag).join(format!("{}.bin", sp.seed));
+    let mut opts = FetchOptions::new(server.addr().to_string(), sp, &out);
+    opts.max_attempts = 1; // rejections must surface, not be retried away
+    std::thread::spawn(move || fetch(&opts).map(|_| std::fs::read(&opts.out).unwrap()))
+}
+
+/// Block until the daemon has admitted `k` jobs to its queue.
+fn wait_admitted(server: &Server, k: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.stats().jobs_admitted < k {
+        assert!(
+            Instant::now() < deadline,
+            "only {} admitted",
+            server.stats().jobs_admitted
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn full_queue_rejects_with_the_configured_retry_after() {
+    let runner = GatedRunner::new();
+    let server = start("full", 1, runner.clone());
+    // Job 1 occupies the single worker; job 2 fills the 1-slot queue.
+    let a = fetch_in_background(&server, spec(1), "full");
+    wait_admitted(&server, 1);
+    runner.wait_entered(1); // worker popped job 1: queue is empty again
+    let b = fetch_in_background(&server, spec(2), "full");
+    wait_admitted(&server, 2); // job 2 sits in the queue
+                               // Job 3 must bounce — deterministically, with the server's hint.
+    let out = temp_dir("full_rej").join("c.bin");
+    let mut opts = FetchOptions::new(server.addr().to_string(), spec(3), &out);
+    opts.max_attempts = 1;
+    match fetch(&opts).unwrap_err() {
+        FetchError::Exhausted { last, .. } => {
+            // QueueFull is retryable, so a budget of 1 ends in Exhausted
+            // wrapping the queue-full rejection.
+            assert!(last.contains("queue-full"), "{last:?}");
+        }
+        other => panic!("expected exhausted-after-queue-full, got {other:?}"),
+    }
+    // The server's retry hint is the configured one: check it raw.
+    {
+        use pa_net::serve::proto::{read_reply, write_submit, ServeMsg};
+        let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write_submit(&mut s, &spec(4), 0).unwrap();
+        match read_reply(&mut s).unwrap() {
+            ServeMsg::Reject {
+                code, retry_after, ..
+            } => {
+                assert_eq!(code, RejectCode::QueueFull);
+                assert_eq!(retry_after, Duration::from_millis(250));
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+    runner.open_gate();
+    assert_eq!(a.join().unwrap().unwrap(), 1u64.to_le_bytes());
+    assert_eq!(b.join().unwrap().unwrap(), 2u64.to_le_bytes());
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.jobs_run, 2);
+    assert!(stats.rejects >= 2, "both bounced submits counted");
+}
+
+#[test]
+fn queue_full_client_retries_until_capacity_frees_up() {
+    let runner = GatedRunner::new();
+    let server = start("retry", 1, runner.clone());
+    let a = fetch_in_background(&server, spec(10), "retry");
+    wait_admitted(&server, 1);
+    runner.wait_entered(1);
+    let b = fetch_in_background(&server, spec(11), "retry");
+    wait_admitted(&server, 2);
+    // This client keeps retrying QueueFull; once the gate opens and the
+    // pipeline moves, a later attempt is admitted and completes.
+    let out = temp_dir("retry_c").join("c.bin");
+    let mut opts = FetchOptions::new(server.addr().to_string(), spec(12), &out);
+    opts.max_attempts = 50;
+    opts.backoff_initial = Duration::from_millis(5);
+    opts.backoff_cap = Duration::from_millis(50);
+    let c = std::thread::spawn(move || fetch(&opts));
+    std::thread::sleep(Duration::from_millis(100)); // let it bounce at least once
+    runner.open_gate();
+    let report = c.join().unwrap().unwrap();
+    assert_eq!(report.total, 8);
+    assert!(report.attempts >= 1);
+    a.join().unwrap().unwrap();
+    b.join().unwrap().unwrap();
+    server.drain();
+    server.join();
+}
+
+#[test]
+fn admission_is_fifo() {
+    let runner = GatedRunner::new();
+    let server = start("fifo", 8, runner.clone());
+    // First job occupies the worker so the rest stack in the queue in
+    // admission order.
+    let first = fetch_in_background(&server, spec(100), "fifo");
+    wait_admitted(&server, 1);
+    runner.wait_entered(1);
+    let mut rest = Vec::new();
+    for (i, seed) in [101u64, 102, 103, 104].into_iter().enumerate() {
+        rest.push(fetch_in_background(&server, spec(seed), "fifo"));
+        wait_admitted(&server, 2 + i as u64);
+    }
+    runner.open_gate();
+    first.join().unwrap().unwrap();
+    for h in rest {
+        h.join().unwrap().unwrap();
+    }
+    assert_eq!(
+        runner.execution_order(),
+        vec![100, 101, 102, 103, 104],
+        "jobs must execute in admission order"
+    );
+    server.drain();
+    server.join();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_and_names_the_queued_casualties() {
+    let runner = GatedRunner::new();
+    let server = start("drain", 8, runner.clone());
+    let running = fetch_in_background(&server, spec(201), "drain");
+    wait_admitted(&server, 1);
+    runner.wait_entered(1);
+    let queued_a = fetch_in_background(&server, spec(202), "drain");
+    wait_admitted(&server, 2);
+    let queued_b = fetch_in_background(&server, spec(203), "drain");
+    wait_admitted(&server, 3);
+
+    // Drain over the wire, like `pagen drain` does.
+    let (running_count, dropped) =
+        pa_net::serve::drain(&server.addr().to_string(), Duration::from_secs(10)).unwrap();
+    assert_eq!(running_count, 1);
+    assert_eq!(dropped, 2);
+
+    // The queued jobs' waiters get the named drain rejection...
+    for handle in [queued_a, queued_b] {
+        match handle.join().unwrap().unwrap_err() {
+            FetchError::Rejected { code, msg, .. } => {
+                assert_eq!(code, RejectCode::Draining);
+                assert!(msg.contains("drained before start"), "{msg:?}");
+            }
+            other => panic!("expected Draining rejection, got {other:?}"),
+        }
+    }
+    // ...new submissions are turned away...
+    let out = temp_dir("drain_late").join("late.bin");
+    let mut opts = FetchOptions::new(server.addr().to_string(), spec(204), &out);
+    opts.max_attempts = 1;
+    match fetch(&opts).unwrap_err() {
+        FetchError::Rejected { code, .. } => assert_eq!(code, RejectCode::Draining),
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    // ...and the in-flight job still finishes and streams.
+    runner.open_gate();
+    assert_eq!(running.join().unwrap().unwrap(), 201u64.to_le_bytes());
+
+    let stats = server.join();
+    assert_eq!(stats.jobs_run, 1);
+    assert_eq!(stats.jobs_drained, 2);
+    assert_eq!(
+        runner.execution_order(),
+        vec![201],
+        "drained jobs never ran"
+    );
+}
+
+#[test]
+fn drain_is_idempotent_and_join_returns_after_drain() {
+    let runner = GatedRunner::new();
+    runner.open_gate(); // jobs run straight through
+    let server = start("idem", 4, runner);
+    let addr = server.addr().to_string();
+    let out = temp_dir("idem_out").join("a.bin");
+    fetch(&FetchOptions::new(&addr, spec(301), &out)).unwrap();
+    let (r1, d1) = pa_net::serve::drain(&addr, Duration::from_secs(10)).unwrap();
+    assert_eq!((r1, d1), (0, 0));
+    // A second drain must not wedge or double-count (the accept loop may
+    // already be gone, so connection failures are acceptable here).
+    if let Ok((r2, d2)) = pa_net::serve::drain(&addr, Duration::from_secs(2)) {
+        assert_eq!((r2, d2), (0, 0));
+    }
+    let stats = server.join();
+    assert_eq!(stats.jobs_run, 1);
+    assert_eq!(stats.jobs_drained, 0);
+}
+
+#[test]
+fn concurrent_submits_of_one_tuple_coalesce_to_a_single_run() {
+    let runner = GatedRunner::new();
+    let server = start("coalesce", 8, runner.clone());
+    let sp = spec(400);
+    let handles: Vec<_> = (0..6)
+        .map(|_| fetch_in_background(&server, sp, "coalesce"))
+        .collect();
+    runner.wait_entered(1);
+    runner.open_gate();
+    for h in handles {
+        assert_eq!(h.join().unwrap().unwrap(), 400u64.to_le_bytes());
+    }
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.jobs_run, 1, "one run for six submits");
+    assert_eq!(stats.jobs_admitted, 1);
+    assert_eq!(stats.jobs_coalesced, 5);
+    assert_eq!(runner.execution_order(), vec![400]);
+}

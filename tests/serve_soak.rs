@@ -1,0 +1,259 @@
+//! Soak test for `pagen serve`: a daemon under concurrent multi-tenant
+//! load, driven entirely through the CLI layer (`pa_cli::run`) so the
+//! whole stack — argument parsing, the pa-net protocol, the engine
+//! runner, the artifact cache — is on the hook.
+//!
+//! `#[ignore]`d by default (it is a load test, not a unit test); ci.sh
+//! runs it explicitly with `--ignored`. The fast profile keeps jobs
+//! small enough to finish in seconds; `SERVE_SOAK_SCALE=N` multiplies
+//! the large job's node count for longer runs.
+//!
+//! What it pins down:
+//! - dozens of concurrent small fetches, two clients per tuple, all
+//!   byte-identical to independent solo runs (engine 3 — the
+//!   byte-deterministic engine — so the comparison is meaningful);
+//! - one large job streaming concurrently with the small ones,
+//!   byte-identical to its solo run;
+//! - a mid-stream disconnect (deterministic, via `--stop-after-bytes`)
+//!   resumed with `--resume on`, byte-identical to the uncut fetch;
+//! - a clean drain afterwards: every job ran exactly once per tuple,
+//!   nothing dropped, daemon exits with its stats line.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run one pagen command in-process; panic with context on failure.
+fn cli(args: &[&str]) -> String {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    pa_cli::run(&argv, &mut out).unwrap_or_else(|e| panic!("pagen {} failed: {e}", args.join(" ")));
+    String::from_utf8(out).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pagen_soak_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap().to_string()
+}
+
+fn wait_listening(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while std::net::TcpStream::connect(addr).is_err() {
+        assert!(Instant::now() < deadline, "daemon never listened on {addr}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// `generate`/`fetch`-shared parameter block for one job tuple.
+#[derive(Clone)]
+struct Job {
+    n: u64,
+    seed: u64,
+}
+
+impl Job {
+    fn flags(&self) -> Vec<String> {
+        [
+            "--n",
+            &self.n.to_string(),
+            "--x",
+            "2",
+            "--p",
+            "0.5",
+            "--seed",
+            &self.seed.to_string(),
+            "--ranks",
+            "2",
+            "--scheme",
+            "rrp",
+            "--engine",
+            "3",
+            "--format",
+            "bin",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    fn solo(&self, dir: &std::path::Path) -> Vec<u8> {
+        let out = dir.join(format!("solo_{}_{}.bin", self.n, self.seed));
+        let mut args = vec![
+            "generate".to_string(),
+            "--model".to_string(),
+            "pa".to_string(),
+            "--out".to_string(),
+            out.to_string_lossy().into_owned(),
+        ];
+        args.extend(self.flags());
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        cli(&argv);
+        std::fs::read(&out).unwrap()
+    }
+
+    fn fetch(&self, addr: &str, out: &std::path::Path, extra: &[&str]) -> String {
+        let mut args = vec![
+            "fetch".to_string(),
+            "--addr".to_string(),
+            addr.to_string(),
+            "--out".to_string(),
+            out.to_string_lossy().into_owned(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        args.extend(self.flags());
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        cli(&argv)
+    }
+}
+
+#[test]
+#[ignore = "soak test — run explicitly (ci.sh runs it with --ignored)"]
+fn daemon_survives_concurrent_multi_tenant_load() {
+    let scale: u64 = std::env::var("SERVE_SOAK_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let dir = Arc::new(tmp_dir("load"));
+    let jobs_dir = dir.join("jobs");
+    let addr = free_addr();
+
+    // The daemon, in-process on its own thread; `drain` unblocks it.
+    let daemon = {
+        let (addr, jobs_dir) = (addr.clone(), jobs_dir.clone());
+        std::thread::spawn(move || {
+            cli(&[
+                "serve",
+                "--addr",
+                &addr,
+                "--jobs-dir",
+                jobs_dir.to_str().unwrap(),
+                "--workers",
+                "4",
+                "--queue-cap",
+                "64",
+            ])
+        })
+    };
+    wait_listening(&addr);
+
+    // Tenants: 12 distinct small tuples, two clients each (the pair
+    // exercises coalescing), plus one large streaming job — all in
+    // flight at once.
+    let small: Vec<Job> = (0..12)
+        .map(|i| Job {
+            n: 3_000 + 500 * i,
+            seed: 1_000 + i,
+        })
+        .collect();
+    let large = Job {
+        n: 150_000 * scale,
+        seed: 77,
+    };
+
+    let mut handles = Vec::new();
+    for (i, job) in small.iter().cloned().enumerate() {
+        for client in 0..2 {
+            let (addr, dir, job) = (addr.clone(), Arc::clone(&dir), job.clone());
+            handles.push(std::thread::spawn(move || {
+                let out = dir.join(format!("small_{i}_{client}.bin"));
+                job.fetch(&addr, &out, &[]);
+                (job, out)
+            }));
+        }
+    }
+    let large_fetch = {
+        let (addr, dir, job) = (addr.clone(), Arc::clone(&dir), large.clone());
+        std::thread::spawn(move || {
+            let out = dir.join("large.bin");
+            job.fetch(&addr, &out, &[]);
+            out
+        })
+    };
+
+    // Every small fetch matches its own solo run byte for byte.
+    let mut fetched = Vec::new();
+    for h in handles {
+        fetched.push(h.join().unwrap());
+    }
+    for (job, out) in &fetched {
+        let got = std::fs::read(out).unwrap();
+        assert_eq!(
+            got,
+            job.solo(&dir),
+            "n = {}, seed = {} diverged from its solo run",
+            job.n,
+            job.seed
+        );
+    }
+    let large_out = large_fetch.join().unwrap();
+    let large_bytes = std::fs::read(&large_out).unwrap();
+    assert_eq!(
+        large_bytes,
+        large.solo(&dir),
+        "large job diverged from its solo run"
+    );
+
+    // Mid-stream disconnect + resume on the (cached, large) artifact:
+    // cut at 1/3, resume, expect the identical file.
+    let resumed = dir.join("resumed.bin");
+    let cut = (large_bytes.len() / 3).to_string();
+    let argv: Vec<String> = [
+        "fetch",
+        "--addr",
+        &addr,
+        "--out",
+        resumed.to_str().unwrap(),
+        "--stop-after-bytes",
+        &cut,
+        "--max-attempts",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(large.flags())
+    .collect();
+    pa_cli::run(&argv, &mut Vec::new()).expect_err("cut fetch must fail");
+    assert_eq!(
+        std::fs::metadata(&resumed).unwrap().len(),
+        large_bytes.len() as u64 / 3,
+        "the cut leaves exactly --stop-after-bytes bytes"
+    );
+    let line = large.fetch(&addr, &resumed, &["--resume", "on"]);
+    assert!(line.contains(&format!("resumed from {cut}")), "{line:?}");
+    assert_eq!(
+        std::fs::read(&resumed).unwrap(),
+        large_bytes,
+        "resumed fetch diverged from the uncut artifact"
+    );
+
+    // Clean shutdown: drain acks, the daemon thread returns its stats
+    // line, and the cache holds one artifact per distinct tuple.
+    let line = cli(&["drain", "--addr", &addr]);
+    assert!(line.contains("drain acknowledged"), "{line:?}");
+    let daemon_out = daemon.join().unwrap();
+    assert!(daemon_out.contains("drained:"), "{daemon_out:?}");
+    assert!(
+        daemon_out.contains("0 dropped by drain"),
+        "nothing should be in flight at drain time: {daemon_out:?}"
+    );
+    let artifacts = std::fs::read_dir(&jobs_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect::<Vec<_>>();
+    assert_eq!(
+        artifacts.len(),
+        small.len() + 1,
+        "one artifact per tuple, no temp litter: {artifacts:?}"
+    );
+    assert!(
+        artifacts.iter().all(|a| a.ends_with(".art")),
+        "{artifacts:?}"
+    );
+}
