@@ -34,13 +34,14 @@ rec_multi="$(mktemp /tmp/pagen_rec_multi_XXXXXX.txt)"
 rec_single="$(mktemp /tmp/pagen_rec_single_XXXXXX.txt)"
 rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
 rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
+oc_dir="$(mktemp -d /tmp/pagen_oc_XXXXXX)"
 serve_dir=""
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
     "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
     "$e3_multi" "$e3_single" "$e3_multi.sorted" "$e3_single.sorted" \
     "$nlpa_multi" "$nlpa_single" "$nlpa_multi.sorted" "$nlpa_single.sorted" \
     "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
-    "$rec_multi".part*; rm -rf "$rec_ckpts"; [ -z "$serve_dir" ] || rm -rf "$serve_dir"' EXIT
+    "$rec_multi".part*; rm -rf "$rec_ckpts" "$oc_dir"; [ -z "$serve_dir" ] || rm -rf "$serve_dir"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -184,6 +185,55 @@ if ! cmp -s "$rec_multi.sorted" "$rec_single.sorted"; then
 fi
 if ls "$rec_ckpts"/*.ckpt* >/dev/null 2>&1; then
     echo "recovery smoke: finished job left checkpoints behind" >&2
+    exit 1
+fi
+
+echo "==> out-of-core smoke run"
+# The paged node-table store end to end through the binary: a 4-rank
+# engine-3 run under a deliberately tiny --memory-budget (64 KiB of
+# 4 KiB pages where the resident F footprint is ~6 MiB — constant
+# eviction traffic) must write a byte-identical file to the unbudgeted
+# in-memory run, and a successful non-checkpointing run must clean its
+# page files up.
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 200000 --x 4 --ranks 4 --scheme rrp --seed 7 --engine 3 \
+    --out "$oc_dir/resident.bin" --format bin
+cargo run -q -p pa-cli --release -- generate --model pa \
+    --n 200000 --x 4 --ranks 4 --scheme rrp --seed 7 --engine 3 \
+    --out "$oc_dir/paged.bin" --format bin \
+    --memory-budget 64k --page-bytes 4k --store-dir "$oc_dir/store"
+if ! cmp -s "$oc_dir/resident.bin" "$oc_dir/paged.bin"; then
+    echo "out-of-core smoke mismatch: --memory-budget changed the output bytes" >&2
+    exit 1
+fi
+if [ -d "$oc_dir/store" ]; then
+    echo "out-of-core smoke: finished run left page files behind" >&2
+    exit 1
+fi
+
+echo "==> elastic restart smoke run"
+# Elastic gang restart end to end through the real binaries: a 4-rank
+# checkpointed world keeps its saved cut (--keep-checkpoints on), then
+# a 2-rank launch restarts from it — and the resized run's output must
+# be byte-identical to a fresh never-checkpointed 2-rank run (engine 3
+# emits in label order, so the comparison is exact bytes, not sets).
+./target/release/palaunch -p 4 --pagen ./target/release/pagen -- \
+    generate --model pa --n 200000 --x 4 --scheme rrp --seed 7 --engine 3 \
+    --out "$oc_dir/world4.bin" --format bin \
+    --checkpoint-dir "$oc_dir/world4" --keep-checkpoints on
+if ! ls "$oc_dir/world4"/*.ckpt >/dev/null 2>&1; then
+    echo "elastic smoke: --keep-checkpoints left no saved world behind" >&2
+    exit 1
+fi
+./target/release/palaunch -p 2 --restart-world "$oc_dir/world4" \
+    --pagen ./target/release/pagen -- \
+    generate --model pa --n 200000 --x 4 --scheme rrp --seed 7 --engine 3 \
+    --out "$oc_dir/resized.bin" --format bin
+./target/release/palaunch -p 2 --pagen ./target/release/pagen -- \
+    generate --model pa --n 200000 --x 4 --scheme rrp --seed 7 --engine 3 \
+    --out "$oc_dir/fresh2.bin" --format bin
+if ! cmp -s "$oc_dir/resized.bin" "$oc_dir/fresh2.bin"; then
+    echo "elastic smoke mismatch: P=4 -> P=2 restart diverged from a fresh P=2 run" >&2
     exit 1
 fi
 

@@ -46,6 +46,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             std::path::Path::new(&path),
             edge_format,
         )?;
+        cleanup_store(&opts.store, ranks);
         writeln!(
             out,
             "generated {model}: {} nodes, {total_edges} edges in {:.2}s -> {path} ({format}, streamed)",
@@ -68,6 +69,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 _ => unreachable!("parse_pa_params validated the engine"),
             };
             pa_stats = Some((flags, result.ranks.iter().map(|r| r.comm.clone()).collect()));
+            cleanup_store(&opts.store, ranks);
             let shards = result.ranks.into_iter().map(|r| r.edges).collect();
             let mut attrs = vec![
                 (
@@ -221,7 +223,10 @@ fn parse_pa_params(
         ));
     }
     let cfg = validated(n, x, p, seed)?;
-    let opts = parse_gen_options(args)?.with_model(parse_model_kind(args)?);
+    let default_store_dir = format!("{}.store", args.str("out", "graph.pag"));
+    let opts = parse_gen_options(args)?
+        .with_model(parse_model_kind(args)?)
+        .with_store(parse_store_spec(args, &default_store_dir)?);
     if let Some(hub) = opts.hub_cache_nodes {
         if hub > n {
             return Err(CliError::usage(format!(
@@ -230,6 +235,88 @@ fn parse_pa_params(
         }
     }
     Ok((cfg, scheme, ranks, opts, engine))
+}
+
+/// Parse a byte size: a plain integer with an optional `k`, `m` or `g`
+/// suffix (binary units — KiB, MiB, GiB).
+pub(crate) fn parse_byte_size(key: &str, v: &str) -> Result<u64, CliError> {
+    let s = v.trim().to_ascii_lowercase();
+    let (digits, mul) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mul = match s.as_bytes()[s.len() - 1] {
+                b'k' => 1u64 << 10,
+                b'm' => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mul)
+        }
+        None => (s.as_str(), 1u64),
+    };
+    let bytes: u64 = digits.parse().map_err(|_| {
+        CliError::usage(format!(
+            "--{key} must be a byte count with an optional k/m/g suffix, got {v:?}"
+        ))
+    })?;
+    bytes
+        .checked_mul(mul)
+        .ok_or_else(|| CliError::usage(format!("--{key}: {v} overflows")))
+}
+
+/// Parse `--memory-budget <bytes[k|m|g]>`, `--page-bytes <bytes[k|m|g]>`
+/// and `--store-dir <dir>` into a
+/// node-table store spec. No budget means fully resident tables, and
+/// `--store-dir` alone is rejected (it would silently change nothing).
+pub(crate) fn parse_store_spec(
+    args: &Args,
+    default_dir: &str,
+) -> Result<pa_core::store::StoreSpec, CliError> {
+    let budget = args.str("memory-budget", "");
+    let dir = args.str("store-dir", "");
+    if budget.is_empty() {
+        if !dir.is_empty() {
+            return Err(CliError::usage(
+                "--store-dir needs --memory-budget (resident runs keep no page files)",
+            ));
+        }
+        if !args.str("page-bytes", "").is_empty() {
+            return Err(CliError::usage(
+                "--page-bytes needs --memory-budget (resident runs have no pages)",
+            ));
+        }
+        return Ok(pa_core::store::StoreSpec::Resident);
+    }
+    let bytes = parse_byte_size("memory-budget", &budget)?;
+    if bytes == 0 {
+        return Err(CliError::usage("--memory-budget must be positive"));
+    }
+    let dir = if dir.is_empty() {
+        default_dir.to_string()
+    } else {
+        dir
+    };
+    let mut spec = pa_core::store::StoreSpec::paged(dir, bytes);
+    let page = args.str("page-bytes", "");
+    if !page.is_empty() {
+        let page_bytes = parse_byte_size("page-bytes", &page)?;
+        if page_bytes < 8 {
+            return Err(CliError::usage("--page-bytes must be at least 8"));
+        }
+        spec = spec.with_page_bytes(page_bytes as usize);
+    }
+    Ok(spec)
+}
+
+/// Remove the page files a paged run left behind (and its directory, if
+/// now empty). Runs that checkpoint keep their pages — a saved world's
+/// paged checkpoints reference them — so only non-checkpointing paths
+/// call this.
+pub(crate) fn cleanup_store(store: &pa_core::store::StoreSpec, ranks: usize) {
+    if let pa_core::store::StoreSpec::Paged(spec) = store {
+        for rank in 0..ranks {
+            pa_core::store::clean_rank_pages(&spec.dir, rank);
+        }
+        let _ = std::fs::remove_dir(&spec.dir);
+    }
 }
 
 /// Parse the attachment model: `--model pa` (default) or `--model nlpa`
@@ -397,7 +484,8 @@ pub(crate) fn parse_gen_options(args: &Args) -> Result<GenOptions, CliError> {
         // process; default to a generous timeout that real runs never hit.
         opts = opts.with_stall_timeout(std::time::Duration::from_secs(120));
     }
-    opts = opts.with_chain_memo(args.u64("chain-memo", opts.chain_memo_nodes)?);
+    let memo = args.u64("chain-memo", opts.chain_memo_nodes)?;
+    opts = opts.with_chain_memo(memo);
     Ok(opts)
 }
 

@@ -35,6 +35,10 @@ pub struct LaunchPlan {
     /// recover work when the child command checkpoints
     /// (`--checkpoint-dir`) — otherwise each attempt starts over.
     pub restart_failed: usize,
+    /// A saved world's checkpoint directory to elastically restart from
+    /// (`--restart-world`): the committed prefix is re-partitioned onto
+    /// this launch's `-p` rank count. Appended to every child command.
+    pub restart_world: Option<String>,
 }
 
 /// Parse `palaunch` arguments: `-p`/`--ranks` and `--pagen` before a
@@ -47,6 +51,7 @@ pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
     let mut ranks = 2usize;
     let mut pagen: Option<PathBuf> = None;
     let mut restart_failed = 0usize;
+    let mut restart_world: Option<String> = None;
     let mut iter = argv.iter();
     let child_args: Vec<String> = loop {
         match iter.next().map(String::as_str) {
@@ -66,6 +71,12 @@ pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
                 restart_failed = v.parse().map_err(|_| {
                     CliError::usage(format!("--restart-failed must be an integer, got {v:?}"))
                 })?;
+            }
+            Some("--restart-world") => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("missing value for --restart-world"))?;
+                restart_world = Some(v.clone());
             }
             Some("--pagen") => {
                 let v = iter
@@ -103,6 +114,7 @@ pub fn parse(argv: &[String]) -> Result<LaunchPlan, CliError> {
         pagen,
         child_args,
         restart_failed,
+        restart_world,
     })
 }
 
@@ -122,6 +134,15 @@ USAGE:
                            resume from the last checkpoint instead of
                            starting over; restarts inject `--resume auto
                            --restart-epoch <attempt>` and fresh ports.
+    --restart-world <dir>  elastically restart the saved world in <dir>
+                           (a finished `--keep-checkpoints on` run) on
+                           THIS launch's -p rank count: its committed
+                           prefix is re-partitioned and generation
+                           continues from the saved cut. The graph
+                           parameters (--n/--x/--p/--seed) must match the
+                           saved run; -p, --scheme and --engine may
+                           change. Appends `--restart-world <dir>` to
+                           every child command.
 
 The pagen command after `--` is run P times with
 `--backend tcp --rank R --world P --peers <allocated ports>` appended;
@@ -226,6 +247,10 @@ fn run_world_once(plan: &LaunchPlan, attempt: usize) -> Result<i32, CliError> {
             .arg(plan.ranks.to_string())
             .arg("--peers")
             .arg(peers.join(","));
+        if let Some(dir) = &plan.restart_world {
+            // Appended after the user's args, so it wins on conflicts.
+            cmd.arg("--restart-world").arg(dir);
+        }
         if attempt > 0 {
             // Later flags win over user-provided ones: restarts resume
             // from checkpoints, and the bumped restart epoch keeps
@@ -370,6 +395,25 @@ mod tests {
         let plan = parse(&argv(&["--pagen", "/bin/true", "--", "x"])).unwrap();
         assert_eq!(plan.restart_failed, 0);
         assert!(parse(&argv(&["--restart-failed", "x", "--", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_reads_restart_world() {
+        let plan = parse(&argv(&[
+            "-p",
+            "2",
+            "--restart-world",
+            "/tmp/world4",
+            "--pagen",
+            "/bin/true",
+            "--",
+            "x",
+        ]))
+        .unwrap();
+        assert_eq!(plan.restart_world.as_deref(), Some("/tmp/world4"));
+        let plan = parse(&argv(&["--pagen", "/bin/true", "--", "x"])).unwrap();
+        assert!(plan.restart_world.is_none());
+        assert!(parse(&argv(&["--restart-world"])).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::io::Write;
 
-use pa_core::par::{self, Msg};
+use pa_core::par::{self, EdgeSink, Msg};
 use pa_core::partition;
 use pa_graph::io as gio;
 use pa_mpsim::Transport;
@@ -94,7 +94,7 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // carried in the HELLO handshake so stale ranks from a previous
     // attempt cannot wire into the restarted world.
     let ckpt_dir = args.str("checkpoint-dir", "");
-    let ckpt_interval = args.u64("checkpoint-interval", n.div_ceil(8).max(1))?;
+    let mut ckpt_interval = args.u64("checkpoint-interval", n.div_ceil(8).max(1))?;
     let resume_mode = args.str("resume", "off");
     let restart_epoch = args.u64("restart-epoch", 0)?;
     if !matches!(resume_mode.as_str(), "auto" | "off") {
@@ -105,12 +105,87 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if ckpt_dir.is_empty() && resume_mode == "auto" {
         return Err(CliError::usage("--resume auto needs --checkpoint-dir"));
     }
+    // `--keep-checkpoints on` leaves the finished run's checkpoints (and
+    // a paged store's page files) on disk — the saved world a later
+    // `--restart-world` run re-partitions.
+    let keep_checkpoints = match args.str("keep-checkpoints", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "--keep-checkpoints must be on or off, got {other:?}"
+            )))
+        }
+    };
+
+    // Elastic gang restart: `--restart-world <dir>` names a saved
+    // world's kept checkpoint directory; its committed prefix is
+    // re-partitioned onto THIS world's rank count, scheme and engine.
+    // The network identity (n, x, p, seed, model) must match — those
+    // define the graph — but the world shape is free to change.
+    let restart_world = args.str("restart-world", "");
+    let world_ckpt = if restart_world.is_empty() {
+        None
+    } else {
+        if restart_world == ckpt_dir {
+            return Err(CliError::usage(
+                "--restart-world must differ from --checkpoint-dir (the restarted \
+                 run's own checkpoints would overwrite the world it restarts from)",
+            ));
+        }
+        let w = par::WorldCheckpoint::load(std::path::Path::new(&restart_world))
+            .map_err(|e| CliError::usage(format!("--restart-world {restart_world}: {e}")))?;
+        let m = w.meta();
+        if (m.n, m.x, m.p_bits, m.seed) != (cfg.n, cfg.x, cfg.p.to_bits(), cfg.seed)
+            || m.model_id != opts.model.id()
+            || m.alpha_bits != opts.model.alpha_bits()
+        {
+            return Err(CliError::usage(format!(
+                "--restart-world: the saved world is a different network \
+                 (saved n={} x={} seed={}; this command asks for n={} x={} seed={})",
+                m.n, m.x, m.seed, cfg.n, cfg.x, cfg.seed
+            )));
+        }
+        // The epoch grid is part of the saved cut: adopt its interval so
+        // the synthesized resume point lands on an epoch boundary.
+        ckpt_interval = m.interval;
+        opts = opts.with_checkpoint_interval(m.interval);
+        Some(w)
+    };
     if !ckpt_dir.is_empty() {
         if ckpt_interval == 0 {
             return Err(CliError::usage("--checkpoint-interval must be at least 1"));
         }
         opts = opts.with_checkpoint_interval(ckpt_interval);
     }
+
+    // Out-of-core node tables. When checkpointing, the page files must
+    // live with the checkpoints — a saved world's paged checkpoints
+    // reference them by directory — so the store dir is pinned there.
+    let store_spec = {
+        let default_dir = if ckpt_dir.is_empty() {
+            format!("{path}.store")
+        } else {
+            ckpt_dir.clone()
+        };
+        let spec = crate::generate::parse_store_spec(args, &default_dir)?;
+        if let pa_core::store::StoreSpec::Paged(p) = &spec {
+            if !ckpt_dir.is_empty() && p.dir != std::path::Path::new(&ckpt_dir) {
+                return Err(CliError::usage(
+                    "--store-dir must equal --checkpoint-dir when checkpointing (a \
+                     saved world's checkpoints reference its page files)",
+                ));
+            }
+            if !restart_world.is_empty() && p.dir == std::path::Path::new(&restart_world) {
+                return Err(CliError::usage(
+                    "--store-dir must differ from --restart-world (the new run's \
+                     pages would clobber the saved world's)",
+                ));
+            }
+        }
+        spec
+    };
+    opts = opts.with_store(store_spec);
 
     let stats_flags = StatsFlags::parse(args)?;
     args.finish()?;
@@ -164,7 +239,23 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let agreed = t.allreduce_min(vote);
     let (sink, saved) = if agreed == 0 {
         let file = std::fs::File::create(part_path(rank)).map_err(CliError::io)?;
-        (par::StreamingWriterSink::new(file, edge_format), None)
+        let mut sink = par::StreamingWriterSink::new(file, edge_format);
+        match &world_ckpt {
+            None => (sink, None),
+            Some(w) => {
+                // Elastic restart: replay this rank's share of the saved
+                // world's committed prefix in deterministic order, then
+                // resume generation from the synthesized cut. (A crash
+                // *after* the restart checkpoints under its own
+                // --checkpoint-dir resumes from those instead: the vote
+                // above comes back nonzero and this branch is skipped.)
+                w.write_part_prefix(&part, rank, &mut sink);
+                let (edges, bytes) = sink.checkpoint_mark().map_err(CliError::io)?;
+                let payload = w.payload_for(&part, rank, engine);
+                let saved = w.resume_point(payload, edges, bytes);
+                (sink, Some(saved))
+            }
+        }
     } else {
         use std::io::Seek;
         let epoch = agreed - 1;
@@ -218,9 +309,17 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     // line), so skipping the stats collectives is uniform.
     t.barrier();
     // The job is complete world-wide: drop this rank's checkpoints so a
-    // later launch in the same directory cannot resume a finished run.
-    if let Some(store) = &store {
-        store.clear();
+    // later launch in the same directory cannot resume a finished run —
+    // unless the user asked to keep the saved world for a later
+    // `--restart-world` resize.
+    if !keep_checkpoints {
+        if let Some(store) = &store {
+            store.clear();
+        }
+        if let pa_core::store::StoreSpec::Paged(spec) = &opts.store {
+            pa_core::store::clean_rank_pages(&spec.dir, rank);
+            let _ = std::fs::remove_dir(&spec.dir);
+        }
     }
     let total_edges = t.allreduce_sum(edges);
     let merged = stats_flags

@@ -98,8 +98,9 @@ pub const DEFAULT_CHAIN_MEMO_NODES: u64 = 1 << 20;
 /// Tuning knobs for the parallel engines.
 ///
 /// (`Eq` is not derived: [`GenOptions::fault_plan`] carries the fault
-/// schedule's `f64` probabilities.)
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// schedule's `f64` probabilities. `Copy` is not derived:
+/// [`GenOptions::store`] carries a directory path.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenOptions {
     /// Message-buffer capacity per destination (the paper's message
     /// aggregation, §3.5). 1 disables buffering: every logical message is
@@ -156,6 +157,14 @@ pub struct GenOptions {
     /// the direct-vs-copy coin to `p^alpha` (nonlinear preferential
     /// attachment surrogate), with `alpha = 1` bit-identical to `Pa`.
     pub model: crate::ModelKind,
+    /// Where each rank keeps its node tables (committed `F` slots,
+    /// attempt counters, node cursors): RAM-resident, or spilled to
+    /// fixed-size page files under a byte budget so `n` is bounded by
+    /// disk instead of memory (see [`crate::store`]). Because every
+    /// table read returns the identical committed values either way,
+    /// the store backend can never change the generated network — only
+    /// its memory footprint.
+    pub store: crate::store::StoreSpec,
 }
 
 impl Default for GenOptions {
@@ -171,6 +180,7 @@ impl Default for GenOptions {
             checkpoint_interval: None,
             chain_memo_nodes: DEFAULT_CHAIN_MEMO_NODES,
             model: crate::ModelKind::Pa,
+            store: crate::store::StoreSpec::Resident,
         }
     }
 }
@@ -236,6 +246,21 @@ impl GenOptions {
         self.with_model(crate::ModelKind::Nlpa { alpha })
     }
 
+    /// Replace the node-table store backend (see [`GenOptions::store`]
+    /// and [`crate::store::StoreSpec`]).
+    #[must_use]
+    pub fn with_store(mut self, store: crate::store::StoreSpec) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Page the node tables to `dir` under `budget_bytes` of cache per
+    /// rank (shorthand for `with_store(StoreSpec::paged(..))`).
+    #[must_use]
+    pub fn with_memory_budget(self, dir: impl Into<std::path::PathBuf>, budget_bytes: u64) -> Self {
+        self.with_store(crate::store::StoreSpec::paged(dir, budget_bytes))
+    }
+
     /// Effective hub-cache size in nodes for an `n`-node run.
     pub fn hub_nodes(&self, n: u64) -> u64 {
         self.hub_cache_nodes
@@ -283,6 +308,7 @@ impl GenOptions {
                 "checkpoint_interval must be positive (use None for a single epoch)"
             );
         }
+        self.store.validate();
         self.model.validate();
     }
 
@@ -371,7 +397,7 @@ mod tests {
         let opts = GenOptions::default();
         assert_eq!(opts.hub_nodes(1_000_000), DEFAULT_HUB_CACHE_NODES);
         assert_eq!(opts.hub_nodes(100), 100, "capped at n");
-        assert_eq!(opts.with_hub_cache(64).hub_nodes(1_000_000), 64);
+        assert_eq!(opts.clone().with_hub_cache(64).hub_nodes(1_000_000), 64);
         assert_eq!(opts.without_hub_cache().hub_nodes(1_000_000), 0);
     }
 

@@ -71,6 +71,7 @@ pub mod par;
 pub mod partition;
 pub mod rmat;
 pub mod seq;
+pub mod store;
 pub mod ws;
 
 pub use config::{GenOptions, PaConfig, DEFAULT_CHAIN_MEMO_NODES, DEFAULT_HUB_CACHE_NODES};

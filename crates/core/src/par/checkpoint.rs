@@ -105,6 +105,73 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A checkpoint file parsed **without** a run identity to compare
+/// against — the elastic-restart reader's view. `CheckpointStore::load`
+/// demands an exact identity match; elastic restart instead validates
+/// field by field, because the world size (and the partition scheme and
+/// engine) legitimately change across a re-partition.
+#[derive(Debug, Clone)]
+pub(crate) struct RawCheckpoint {
+    /// The rank that wrote the file.
+    pub rank: u32,
+    /// The identity of the run that wrote it.
+    pub meta: CheckpointMeta,
+    /// The checkpoint itself.
+    pub saved: SavedCheckpoint,
+}
+
+/// Parse and checksum-verify one checkpoint file with no identity to
+/// compare against. `None` on any defect — an unreadable checkpoint is
+/// treated as absent, exactly like [`CheckpointStore::load`].
+pub(crate) fn read_raw_checkpoint(path: &Path) -> Option<RawCheckpoint> {
+    let buf = fs::read(path).ok()?;
+    if buf.len() < 8 {
+        return None;
+    }
+    let (body, sum_bytes) = buf.split_at(buf.len() - 8);
+    let sum = u64::from_le_bytes(sum_bytes.try_into().ok()?);
+    if fnv1a(body) != sum {
+        return None;
+    }
+    let mut r: &[u8] = body;
+    if get_u32(&mut r)? != MAGIC || get_u32(&mut r)? != VERSION {
+        return None;
+    }
+    let rank = get_u32(&mut r)?;
+    let world = get_u32(&mut r)?;
+    let epoch = get_u64(&mut r)?;
+    let hi = get_u64(&mut r)?;
+    let meta = CheckpointMeta {
+        world,
+        n: get_u64(&mut r)?,
+        x: get_u64(&mut r)?,
+        p_bits: get_u64(&mut r)?,
+        seed: get_u64(&mut r)?,
+        scheme_id: get_u8(&mut r)?,
+        engine_id: get_u8(&mut r)?,
+        model_id: get_u8(&mut r)?,
+        interval: get_u64(&mut r)?,
+        alpha_bits: get_u64(&mut r)?,
+    };
+    let edges = get_u64(&mut r)?;
+    let bytes = get_u64(&mut r)?;
+    let len = get_u64(&mut r)? as usize;
+    if r.len() != len {
+        return None;
+    }
+    Some(RawCheckpoint {
+        rank,
+        meta,
+        saved: SavedCheckpoint {
+            epoch,
+            hi,
+            edges,
+            bytes,
+            payload: r.to_vec(),
+        },
+    })
+}
+
 impl CheckpointStore {
     /// Open (creating if needed) a checkpoint directory for `rank`.
     ///
@@ -229,50 +296,11 @@ impl CheckpointStore {
     /// missing file, bad checksum, foreign run identity — yields
     /// `None`: an unusable checkpoint is treated as absent.
     pub fn load(&self, epoch: u64) -> Option<SavedCheckpoint> {
-        let buf = fs::read(self.file_name(epoch)).ok()?;
-        if buf.len() < 8 {
+        let raw = read_raw_checkpoint(&self.file_name(epoch))?;
+        if raw.rank != self.rank || raw.meta != self.meta || raw.saved.epoch != epoch {
             return None;
         }
-        let (body, sum_bytes) = buf.split_at(buf.len() - 8);
-        let sum = u64::from_le_bytes(sum_bytes.try_into().ok()?);
-        if fnv1a(body) != sum {
-            return None;
-        }
-        let mut r: &[u8] = body;
-        if get_u32(&mut r)? != MAGIC || get_u32(&mut r)? != VERSION {
-            return None;
-        }
-        if get_u32(&mut r)? != self.rank || get_u32(&mut r)? != self.meta.world {
-            return None;
-        }
-        let file_epoch = get_u64(&mut r)?;
-        let hi = get_u64(&mut r)?;
-        if file_epoch != epoch
-            || get_u64(&mut r)? != self.meta.n
-            || get_u64(&mut r)? != self.meta.x
-            || get_u64(&mut r)? != self.meta.p_bits
-            || get_u64(&mut r)? != self.meta.seed
-            || get_u8(&mut r)? != self.meta.scheme_id
-            || get_u8(&mut r)? != self.meta.engine_id
-            || get_u8(&mut r)? != self.meta.model_id
-            || get_u64(&mut r)? != self.meta.interval
-            || get_u64(&mut r)? != self.meta.alpha_bits
-        {
-            return None;
-        }
-        let edges = get_u64(&mut r)?;
-        let bytes = get_u64(&mut r)?;
-        let len = get_u64(&mut r)? as usize;
-        if r.len() != len {
-            return None;
-        }
-        Some(SavedCheckpoint {
-            epoch,
-            hi,
-            edges,
-            bytes,
-            payload: r.to_vec(),
-        })
+        Some(raw.saved)
     }
 }
 

@@ -35,6 +35,7 @@ mod degrees;
 mod driver;
 mod msg;
 mod output;
+mod restart;
 mod sink;
 mod strategy;
 
@@ -42,6 +43,7 @@ pub use checkpoint::{CheckpointMeta, CheckpointStore, SavedCheckpoint};
 pub use degrees::{distributed_degrees, merge_degrees};
 pub use msg::{Msg, Msg1};
 pub use output::{EngineCounters, ParallelOutput, RankOutput};
+pub use restart::WorldCheckpoint;
 pub use sink::{CountSink, DegreeCountSink, EdgeSink, StreamingWriterSink};
 
 use crate::partition::{self, AnyPartition, Partition, Scheme};
@@ -484,8 +486,12 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = strategy::General::new(cfg, part, comm.rank(), comm.nranks(), opts, sink);
-    let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
+    // Resuming keeps (and re-verifies) a paged store's spill files; a
+    // fresh run must start from clean pages.
+    let mut opts = opts.clone();
+    opts.store = opts.store.with_resume(resume.is_some());
+    let algo = strategy::General::new(cfg, part, comm.rank(), comm.nranks(), &opts, sink);
+    let algo = driver::run_recoverable(part, cfg.x, &opts, comm, algo, store, resume);
     algo.into_parts()
 }
 
@@ -555,8 +561,11 @@ where
         comm.nranks(),
         "partition rank count does not match the transport world"
     );
-    let algo = strategy::Chain::new(cfg, part, comm.rank(), opts, sink);
-    let algo = driver::run_recoverable(part, cfg.x, opts, comm, algo, store, resume);
+    // Same paged-store resume discipline as the engine2 entry point.
+    let mut opts = opts.clone();
+    opts.store = opts.store.with_resume(resume.is_some());
+    let algo = strategy::Chain::new(cfg, part, comm.rank(), &opts, sink);
+    let algo = driver::run_recoverable(part, cfg.x, &opts, comm, algo, store, resume);
     algo.into_parts()
 }
 
@@ -662,6 +671,46 @@ mod tests {
         let a = generate_x1(&cfg, Scheme::Rrp, 4, &opts());
         let b = generate(&cfg, Scheme::Rrp, 4, &opts());
         assert_eq!(a.edge_list().canonicalized(), b.edge_list().canonicalized());
+    }
+
+    #[test]
+    fn paged_store_is_byte_identical_to_resident_for_all_engines() {
+        let cfg = PaConfig::new(3_000, 3).with_seed(11);
+        let dir = std::env::temp_dir().join(format!("pa_core_paged_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A 4 KiB budget over 512-byte pages is far below any rank's F
+        // footprint here, so the cache evicts constantly.
+        let paged = GenOptions {
+            store: crate::store::StoreSpec::paged(&dir, 4 * 1024).with_page_bytes(512),
+            ..opts()
+        };
+        for scheme in [Scheme::Rrp, Scheme::Ucp] {
+            assert_eq!(
+                generate(&cfg, scheme, 4, &paged)
+                    .edge_list()
+                    .canonicalized(),
+                generate(&cfg, scheme, 4, &opts())
+                    .edge_list()
+                    .canonicalized(),
+                "engine2, {scheme}"
+            );
+            assert_eq!(
+                generate3(&cfg, scheme, 4, &paged).edge_list(),
+                generate3(&cfg, scheme, 4, &opts()).edge_list(),
+                "engine3, {scheme}"
+            );
+        }
+        // x = 1 exercises engine1's one-slot-per-node table.
+        let cfg1 = PaConfig::new(2_000, 1).with_seed(5);
+        assert_eq!(
+            generate_x1(&cfg1, Scheme::Rrp, 3, &paged)
+                .edge_list()
+                .canonicalized(),
+            generate_x1(&cfg1, Scheme::Rrp, 3, &opts())
+                .edge_list()
+                .canonicalized(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::par::msg::Msg1;
 use crate::par::output::EngineCounters;
 use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
+use crate::store::{self, AnyTable, NodeTable};
 use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +37,9 @@ pub(crate) struct X1<'a, P: Partition, S: EdgeSink> {
     rank: usize,
     /// The resolved attachment model this rank draws from.
     model: Model,
-    /// `F_t` per local node (by local index).
-    f: Vec<Node>,
+    /// `F_t` per local node (by local index). Resident or disk-paged
+    /// per [`GenOptions::store`].
+    f: AnyTable,
     waiters: WaiterTable<Waiter>,
     local_events: VecDeque<(Node, Node)>,
     edges: S,
@@ -53,17 +55,19 @@ impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
         sink: S,
     ) -> Self {
         assert_eq!(cfg.x, 1, "Algorithm 3.1 requires x = 1");
-        let size = part.size_of(rank) as usize;
+        let size = part.size_of(rank);
+        let f = AnyTable::build(&opts.store, rank, "f", size, NILL)
+            .unwrap_or_else(|e| panic!("rank {rank}: opening node table f: {e}"));
         X1 {
             part,
             rank,
             model: Model::resolve(cfg, opts.model),
-            f: vec![NILL; size],
-            waiters: WaiterTable::new(size),
+            f,
+            waiters: WaiterTable::new(size as usize),
             local_events: VecDeque::new(),
             edges: sink,
             counters: EngineCounters {
-                nodes: size as u64,
+                nodes: size,
                 ..Default::default()
             },
         }
@@ -81,12 +85,12 @@ impl<'a, P: Partition, S: EdgeSink> X1<'a, P, S> {
 
     /// Set `F_t = v`, emit the edge and notify waiters (lines 16–19).
     fn commit<T: Transport<Msg1>>(&mut self, net: &mut Net<'_, Msg1, T>, t: Node, v: Node) {
-        let slot = self.part.local_index(t) as usize;
-        debug_assert_eq!(self.f[slot], NILL);
-        self.f[slot] = v;
+        let slot = self.part.local_index(t);
+        debug_assert_eq!(self.f.get(slot), NILL);
+        self.f.set(slot, v);
         self.edges.emit(t, v);
         net.complete(1);
-        match self.waiters.take(slot) {
+        match self.waiters.take(slot as usize) {
             Taken::None => {}
             Taken::One(w) => self.notify(net, w, v),
             Taken::Many(list) => {
@@ -144,11 +148,11 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
         }
         let owner = self.part.rank_of(c.k);
         if owner == self.rank {
-            let kslot = self.part.local_index(c.k) as usize;
-            let fk = self.f[kslot];
+            let kslot = self.part.local_index(c.k);
+            let fk = self.f.get(kslot);
             if fk == NILL {
                 self.counters.local_deferred += 1;
-                self.waiters.push(kslot, Waiter::Local { t });
+                self.waiters.push(kslot as usize, Waiter::Local { t });
                 self.note_waiter_high_water();
             } else {
                 self.counters.local_immediate += 1;
@@ -179,11 +183,11 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
                 Msg1::Request { t, k } => {
                     // Lines 11–15.
                     debug_assert_eq!(self.part.rank_of(k), self.rank);
-                    let kslot = self.part.local_index(k) as usize;
-                    let fk = self.f[kslot];
+                    let kslot = self.part.local_index(k);
+                    let fk = self.f.get(kslot);
                     if fk == NILL {
                         self.counters.requests_queued += 1;
-                        self.waiters.push(kslot, Waiter::Remote { t, src });
+                        self.waiters.push(kslot as usize, Waiter::Remote { t, src });
                         self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
@@ -198,9 +202,9 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
                     // one slot and no retries, so every answer for `t`
                     // carries the same value — once `F_t` is set, any
                     // further answer is a stale duplicate.
-                    let slot = self.part.local_index(t) as usize;
-                    if self.f[slot] != NILL {
-                        debug_assert_eq!(self.f[slot], v, "conflicting resolutions for {t}");
+                    let slot = self.part.local_index(t);
+                    if self.f.get(slot) != NILL {
+                        debug_assert_eq!(self.f.get(slot), v, "conflicting resolutions for {t}");
                         self.counters.stale_resolutions += 1;
                     } else {
                         self.counters.copy_edges += 1;
@@ -225,27 +229,14 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
         // waiter table is provably empty; node 0's slot legitimately
         // holds NILL — it never attaches and is never queried).
         let cnt = self.part.local_count_below(self.rank, hi);
-        out.extend_from_slice(&cnt.to_le_bytes());
-        for &v in &self.f[..cnt as usize] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        store::write_table_prefix(&mut self.f, cnt, 1, out);
         self.counters.encode(out);
     }
 
     fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String> {
-        use pa_mpsim::wire::get_u64;
         let mut r = payload;
-        let cnt = get_u64(&mut r).ok_or("truncated checkpoint payload")?;
         let expect = self.part.local_count_below(self.rank, hi);
-        if cnt != expect {
-            return Err(format!(
-                "committed prefix holds {cnt} nodes but the partition puts \
-                 {expect} local nodes below label {hi}"
-            ));
-        }
-        for slot in self.f.iter_mut().take(cnt as usize) {
-            *slot = get_u64(&mut r).ok_or("truncated F table")?;
-        }
+        store::read_table_prefix(&mut self.f, expect, 1, &mut r)?;
         self.counters = EngineCounters::decode(&mut r).ok_or("truncated engine counters")?;
         if !r.is_empty() {
             return Err(format!("{} trailing bytes after the counters", r.len()));
@@ -253,8 +244,8 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for X1<'a, P, S> {
         Ok(())
     }
 
-    fn stall_report(&self) -> String {
-        let uncommitted = self.f.iter().filter(|&&v| v == NILL).count();
+    fn stall_report(&mut self) -> String {
+        let uncommitted = (0..self.f.len()).filter(|&s| self.f.get(s) == NILL).count();
         format!(
             "uncommitted_nodes={uncommitted} waiters={} stale_resolutions={}",
             self.waiters.len(),

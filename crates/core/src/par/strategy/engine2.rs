@@ -41,6 +41,7 @@ use crate::par::msg::Msg;
 use crate::par::output::EngineCounters;
 use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
+use crate::store::{self, AnyTable, NodeTable};
 use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 /// Someone waiting for a local slot to resolve.
@@ -71,11 +72,14 @@ pub(crate) struct General<'a, P: Partition, S: EdgeSink> {
     /// The resolved attachment model this rank draws from.
     model: Model,
     /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
-    f: Vec<Node>,
-    /// Per-slot retry counters (`attempt` in the draw key).
-    attempts: Vec<u32>,
-    /// Next edge index each local node must commit (in-order discipline).
-    next_e: Vec<u32>,
+    /// Resident or disk-paged per [`GenOptions::store`].
+    f: AnyTable,
+    /// Per-slot retry counters (`attempt` in the draw key). Ephemeral:
+    /// dead once a slot commits, never checkpointed.
+    attempts: AnyTable,
+    /// Next edge index each local node must commit (in-order
+    /// discipline). Ephemeral: reconstructed on restore.
+    next_e: AnyTable,
     /// Waiters per local slot index.
     waiters: WaiterTable<Waiter>,
     /// Replicated low-label slots (see [`super::hub`]).
@@ -108,23 +112,39 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
     ) -> Self {
         let x = cfg.x;
         let size = part.size_of(rank);
-        let slots = (size * x) as usize;
+        let slots = size * x;
         // A single rank resolves everything locally; skip the replica.
         let hub = if nranks > 1 {
             HubCache::new(cfg, opts.hub_nodes(cfg.n))
         } else {
             HubCache::disabled(cfg)
         };
+        // Split one --memory-budget across the three tables by
+        // slot-count weight: f and attempts each hold x slots per node,
+        // next_e one. The two ephemeral tables always start fresh.
+        let total = slots * 2 + size;
+        let build = |spec: &store::StoreSpec, name: &str, len: u64, fill: u64| {
+            AnyTable::build(spec, rank, name, len, fill)
+                .unwrap_or_else(|e| panic!("rank {rank}: opening node table {name}: {e}"))
+        };
+        let f = build(&opts.store.scaled(slots, total), "f", slots, NILL);
+        let attempts = build(
+            &opts.store.scaled(slots, total).ephemeral(),
+            "att",
+            slots,
+            0,
+        );
+        let next_e = build(&opts.store.scaled(size, total).ephemeral(), "nxe", size, 0);
         General {
             cfg,
             part,
             rank,
             nranks,
             model: Model::resolve(cfg, opts.model),
-            f: vec![NILL; slots],
-            attempts: vec![0; slots],
-            next_e: vec![0; size as usize],
-            waiters: WaiterTable::new(slots),
+            f,
+            attempts,
+            next_e,
+            waiters: WaiterTable::new(slots as usize),
             hub,
             hub_waiters: HashMap::new(),
             local_events: VecDeque::new(),
@@ -144,23 +164,23 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
 
     /// Slot index of `(t, e)` on this rank.
     #[inline]
-    fn slot(&self, t: Node, e: u32) -> usize {
-        (self.part.local_index(t) * self.cfg.x) as usize + e as usize
+    fn slot(&self, t: Node, e: u32) -> u64 {
+        self.part.local_index(t) * self.cfg.x + u64::from(e)
     }
 
     /// Does `t`'s committed target row already contain `v`?
     #[inline]
-    fn row_contains(&self, t: Node, v: Node) -> bool {
-        let row = (self.part.local_index(t) * self.cfg.x) as usize;
-        self.f[row..row + self.cfg.x as usize].contains(&v)
+    fn row_contains(&mut self, t: Node, v: Node) -> bool {
+        let row = self.part.local_index(t) * self.cfg.x;
+        self.f.row_contains(row, self.cfg.x, v)
     }
 
     /// Drive node `t` forward: run each slot from `next_e` in order until
     /// one parks (local wait or remote request) or the node completes.
     fn advance_node<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node) {
-        let li = self.part.local_index(t) as usize;
-        while self.next_e[li] < self.cfg.x as u32 {
-            let e = self.next_e[li];
+        let li = self.part.local_index(t);
+        while self.next_e.get(li) < self.cfg.x {
+            let e = self.next_e.get(li) as u32;
             if self.try_slot(net, t, e) == SlotOutcome::Waiting {
                 return;
             }
@@ -182,8 +202,8 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         let keys = self.model.keys_for(t);
         loop {
             let slot = self.slot(t, e);
-            let attempt = self.attempts[slot];
-            self.attempts[slot] += 1;
+            let attempt = self.attempts.get(slot) as u32;
+            self.attempts.set(slot, u64::from(attempt) + 1);
             let c = self.model.draw_keyed(&keys, t, e, attempt);
             let (v, direct) = if c.direct {
                 (c.k, true)
@@ -192,10 +212,10 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
                 let owner = self.part.rank_of(c.k);
                 if owner == self.rank {
                     let kslot = self.slot(c.k, c.l as u32);
-                    let fk = self.f[kslot];
+                    let fk = self.f.get(kslot);
                     if fk == NILL {
                         self.counters.local_deferred += 1;
-                        self.waiters.push(kslot, Waiter::Local { t, e });
+                        self.waiters.push(kslot as usize, Waiter::Local { t, e });
                         self.note_waiter_high_water();
                         return SlotOutcome::Waiting;
                     }
@@ -281,12 +301,16 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
     /// notify waiters.
     fn commit<T: Transport<Msg>>(&mut self, net: &mut Net<'_, Msg, T>, t: Node, e: u32, v: Node) {
         let slot = self.slot(t, e);
-        let li = self.part.local_index(t) as usize;
-        debug_assert_eq!(self.f[slot], NILL, "double commit of ({t},{e})");
-        debug_assert_eq!(self.next_e[li], e, "out-of-order commit of ({t},{e})");
+        let li = self.part.local_index(t);
+        debug_assert_eq!(self.f.get(slot), NILL, "double commit of ({t},{e})");
+        debug_assert_eq!(
+            self.next_e.get(li),
+            u64::from(e),
+            "out-of-order commit of ({t},{e})"
+        );
         debug_assert!(!self.row_contains(t, v), "duplicate committed at ({t},{e})");
-        self.f[slot] = v;
-        self.next_e[li] = e + 1;
+        self.f.set(slot, v);
+        self.next_e.set(li, u64::from(e) + 1);
         self.edges.emit(t, v);
         net.complete(1);
         // Replicate committed hub slots to every other rank (node x's row
@@ -298,7 +322,7 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
                 }
             }
         }
-        match self.waiters.take(slot) {
+        match self.waiters.take(slot as usize) {
             Taken::None => {}
             Taken::One(w) => self.notify(net, w, v),
             Taken::Many(list) => {
@@ -339,15 +363,15 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         v: Node,
         a: u32,
     ) {
-        let li = self.part.local_index(t) as usize;
-        if self.next_e[li] != e {
+        let li = self.part.local_index(t);
+        if self.next_e.get(li) != u64::from(e) {
             // The slot already committed (and possibly its successors
             // too): a late duplicate of an answer we consumed.
             self.counters.stale_resolutions += 1;
             return;
         }
         let slot = self.slot(t, e);
-        if a + 1 != self.attempts[slot] {
+        if u64::from(a) + 1 != self.attempts.get(slot) {
             // Answer to a superseded draw of the current slot.
             self.counters.stale_resolutions += 1;
             return;
@@ -369,8 +393,8 @@ impl<'a, P: Partition, S: EdgeSink> General<'a, P, S> {
         v: Node,
     ) {
         debug_assert_eq!(
-            self.next_e[self.part.local_index(t) as usize],
-            e,
+            self.next_e.get(self.part.local_index(t)),
+            u64::from(e),
             "resolution for a non-current slot"
         );
         if self.row_contains(t, v) {
@@ -434,10 +458,11 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
                     // the same effect.
                     debug_assert_eq!(self.part.rank_of(k), self.rank);
                     let kslot = self.slot(k, l);
-                    let fk = self.f[kslot];
+                    let fk = self.f.get(kslot);
                     if fk == NILL {
                         self.counters.requests_queued += 1;
-                        self.waiters.push(kslot, Waiter::Remote { t, e, a, src });
+                        self.waiters
+                            .push(kslot as usize, Waiter::Remote { t, e, a, src });
                         self.note_waiter_high_water();
                     } else {
                         self.counters.requests_served += 1;
@@ -487,10 +512,7 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
         // legitimately hold NILL: their slots are never drawn or queried.
         let x = self.cfg.x;
         let cnt = self.part.local_count_below(self.rank, hi);
-        out.extend_from_slice(&cnt.to_le_bytes());
-        for &v in &self.f[..(cnt * x) as usize] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        store::write_table_prefix(&mut self.f, cnt, x, out);
         self.counters.encode(out);
         let vals = self.hub.vals();
         out.extend_from_slice(&(vals.len() as u64).to_le_bytes());
@@ -503,19 +525,11 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
         use pa_mpsim::wire::get_u64;
         let x = self.cfg.x;
         let mut r = payload;
-        let cnt = get_u64(&mut r).ok_or("truncated checkpoint payload")?;
         let expect = self.part.local_count_below(self.rank, hi);
-        if cnt != expect {
-            return Err(format!(
-                "committed prefix holds {cnt} nodes but the partition puts \
-                 {expect} local nodes below label {hi}"
-            ));
-        }
-        for slot in self.f.iter_mut().take((cnt * x) as usize) {
-            *slot = get_u64(&mut r).ok_or("truncated F table")?;
-        }
-        for e in self.next_e.iter_mut().take(cnt as usize) {
-            *e = x as u32;
+        store::read_table_prefix(&mut self.f, expect, x, &mut r)?;
+        self.next_e.reset_from(0);
+        for li in 0..expect {
+            self.next_e.set(li, x);
         }
         self.counters = EngineCounters::decode(&mut r).ok_or("truncated engine counters")?;
         let hub_len = get_u64(&mut r).ok_or("truncated hub-cache length")? as usize;
@@ -526,7 +540,12 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
         if !r.is_empty() {
             return Err(format!("{} trailing bytes after the hub cache", r.len()));
         }
-        if !self.hub.load_vals(&vals) {
+        if hub_len == 0 {
+            // An elastic-restart payload carries no hub section: keep
+            // the fresh pre-seeded replica. Correct because every hub
+            // miss below `committed_base` falls back to the request
+            // path, which returns the same committed value.
+        } else if !self.hub.load_vals(&vals) {
             return Err(format!(
                 "hub cache holds {hub_len} slots but this run's cache has {} \
                  (hub_cache_nodes changed between runs?)",
@@ -537,11 +556,9 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for General<'a, P, S> {
         Ok(())
     }
 
-    fn stall_report(&self) -> String {
-        let uncommitted = self
-            .next_e
-            .iter()
-            .filter(|&&e| u64::from(e) < self.cfg.x)
+    fn stall_report(&mut self) -> String {
+        let uncommitted = (0..self.next_e.len())
+            .filter(|&li| self.next_e.get(li) < self.cfg.x)
             .count();
         format!(
             "uncommitted_nodes={uncommitted} waiters={} hub_waiters={} stale_resolutions={}",

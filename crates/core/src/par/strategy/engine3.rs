@@ -61,6 +61,7 @@ use crate::par::output::EngineCounters;
 use crate::par::sink::EdgeSink;
 use crate::partition::Partition;
 use crate::seq::Choice;
+use crate::store::{self, AnyTable, NodeTable};
 use crate::{GenOptions, Model, Node, PaConfig, NILL};
 
 /// One suspended row recomputation in the chain walk: node `k`'s
@@ -294,9 +295,13 @@ pub(crate) struct Chain<'a, P: Partition, S: EdgeSink> {
     /// every remote node too (all ranks resolve the identical model).
     model: Model,
     /// Flattened `F_t(e)` slots for local nodes: `local_index(t)·x + e`.
-    f: Vec<Node>,
+    /// Resident or disk-paged per [`GenOptions::store`] — this is the
+    /// engine's only `O(n/P)`-slot structure, so it takes the whole
+    /// memory budget.
+    f: AnyTable,
     /// Next edge index each local node must commit (restore bookkeeping
-    /// and the stall report; the sweep itself never parks).
+    /// and the stall report; the sweep itself never parks). One word per
+    /// node — small enough to stay resident under any budget.
     next_e: Vec<u32>,
     /// Direct-mapped cache of recomputed remote rows. Pure-function
     /// cache: its size cannot affect the output.
@@ -320,13 +325,15 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
         sink: S,
     ) -> Self {
         let size = part.size_of(rank);
-        let slots = (size * cfg.x) as usize;
+        let slots = size * cfg.x;
+        let f = AnyTable::build(&opts.store, rank, "f", slots, NILL)
+            .unwrap_or_else(|e| panic!("rank {rank}: opening node table f: {e}"));
         Chain {
             cfg,
             part,
             rank,
             model: Model::resolve(cfg, opts.model),
-            f: vec![NILL; slots],
+            f,
             next_e: vec![0; size as usize],
             memo: Memo::new(opts.chain_memo_nodes, cfg.n, cfg.x),
             frame_pool: Vec::new(),
@@ -347,8 +354,8 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
 
     /// Slot index of `(t, e)` on this rank.
     #[inline]
-    fn slot(&self, t: Node, e: u32) -> usize {
-        (self.part.local_index(t) * self.cfg.x) as usize + e as usize
+    fn slot(&self, t: Node, e: u32) -> u64 {
+        self.part.local_index(t) * self.cfg.x + u64::from(e)
     }
 
     /// Record `F_t(e) = v` and emit the edge. `li` is `t`'s local index,
@@ -363,10 +370,10 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
         v: Node,
     ) {
         debug_assert_eq!(li, self.part.local_index(t) as usize, "wrong local index");
-        let slot = li * self.cfg.x as usize + e as usize;
-        debug_assert_eq!(self.f[slot], NILL, "double commit of ({t},{e})");
+        let slot = li as u64 * self.cfg.x + u64::from(e);
+        debug_assert_eq!(self.f.get(slot), NILL, "double commit of ({t},{e})");
         debug_assert_eq!(self.next_e[li], e, "out-of-order commit of ({t},{e})");
-        self.f[slot] = v;
+        self.f.set(slot, v);
         self.next_e[li] = e + 1;
         self.edges.emit(t, v);
         net.complete(1);
@@ -418,7 +425,7 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
                 } else if self.part.rank_of(c.k) == self.rank {
                     // Local rows below the walk's origin are always
                     // committed (ascending sweep, full-row commits).
-                    let v = self.f[self.slot(c.k, c.l as u32)];
+                    let v = self.f.get(self.slot(c.k, c.l as u32));
                     debug_assert_ne!(v, NILL, "chain read an uncommitted local slot");
                     v
                 } else if let Some(v) = self.memo.get_slot(c.k, c.l) {
@@ -503,7 +510,7 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
         let mut choices0 = std::mem::take(&mut self.scratch);
         self.model.draw_row(&keys, t, &mut choices0);
         let li = self.part.local_index(t) as usize;
-        let row0 = li * x as usize;
+        let row0 = li as u64 * x;
         for e in 0..x as u32 {
             let mut attempt = 0u32;
             let (v, direct) = loop {
@@ -518,11 +525,11 @@ impl<'a, P: Partition, S: EdgeSink> Chain<'a, P, S> {
                     (c.l, false)
                 } else if self.part.rank_of(c.k) == self.rank {
                     self.counters.local_immediate += 1;
-                    (self.f[self.slot(c.k, c.l as u32)], false)
+                    (self.f.get(self.slot(c.k, c.l as u32)), false)
                 } else {
                     (self.chain_value(c.k, c.l), false)
                 };
-                if self.f[row0..row0 + x as usize].contains(&cand) {
+                if self.f.row_contains(row0, x, cand) {
                     self.counters.duplicate_retries += 1;
                     attempt += 1;
                     continue;
@@ -604,29 +611,17 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for Chain<'a, P, S> {
         // (the memo is a pure-function cache and rebuilds itself).
         let x = self.cfg.x;
         let cnt = self.part.local_count_below(self.rank, hi);
-        out.extend_from_slice(&cnt.to_le_bytes());
-        for &v in &self.f[..(cnt * x) as usize] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        store::write_table_prefix(&mut self.f, cnt, x, out);
         self.counters.encode(out);
     }
 
     fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String> {
-        use pa_mpsim::wire::get_u64;
         let x = self.cfg.x;
         let mut r = payload;
-        let cnt = get_u64(&mut r).ok_or("truncated checkpoint payload")?;
         let expect = self.part.local_count_below(self.rank, hi);
-        if cnt != expect {
-            return Err(format!(
-                "committed prefix holds {cnt} nodes but the partition puts \
-                 {expect} local nodes below label {hi}"
-            ));
-        }
-        for slot in self.f.iter_mut().take((cnt * x) as usize) {
-            *slot = get_u64(&mut r).ok_or("truncated F table")?;
-        }
-        for e in self.next_e.iter_mut().take(cnt as usize) {
+        store::read_table_prefix(&mut self.f, expect, x, &mut r)?;
+        self.next_e.fill(0);
+        for e in self.next_e.iter_mut().take(expect as usize) {
             *e = x as u32;
         }
         self.counters = EngineCounters::decode(&mut r).ok_or("truncated engine counters")?;
@@ -637,7 +632,7 @@ impl<'a, P: Partition, S: EdgeSink> Strategy for Chain<'a, P, S> {
         Ok(())
     }
 
-    fn stall_report(&self) -> String {
+    fn stall_report(&mut self) -> String {
         let uncommitted = self
             .next_e
             .iter()

@@ -109,8 +109,9 @@ pub(crate) trait Strategy {
     fn restore(&mut self, hi: Node, payload: &[u8]) -> Result<(), String>;
 
     /// One-line progress summary (uncommitted slots, waiter-table depths)
-    /// for the stall watchdog's report.
-    fn stall_report(&self) -> String {
+    /// for the stall watchdog's report. Takes `&mut self` because a
+    /// paged node table faults pages through its cache even on reads.
+    fn stall_report(&mut self) -> String {
         String::new()
     }
 }

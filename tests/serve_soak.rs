@@ -5,8 +5,14 @@
 //!
 //! `#[ignore]`d by default (it is a load test, not a unit test); ci.sh
 //! runs it explicitly with `--ignored`. The fast profile keeps jobs
-//! small enough to finish in seconds; `SERVE_SOAK_SCALE=N` multiplies
-//! the large job's node count for longer runs.
+//! small enough to finish in seconds; three env vars scale the load for
+//! longer soaks:
+//!
+//! - `SERVE_SOAK_SCALE=N` multiplies the large job's node count;
+//! - `SERVE_SOAK_TUPLES=N` sets the number of distinct small tuples
+//!   (default 12);
+//! - `SERVE_SOAK_CLIENTS=N` sets the concurrent clients per tuple
+//!   (default 2; every extra client exercises request coalescing).
 //!
 //! What it pins down:
 //! - dozens of concurrent small fetches, two clients per tuple, all
@@ -116,10 +122,16 @@ impl Job {
 #[test]
 #[ignore = "soak test — run explicitly (ci.sh runs it with --ignored)"]
 fn daemon_survives_concurrent_multi_tenant_load() {
-    let scale: u64 = std::env::var("SERVE_SOAK_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let env_or = |key: &str, default: u64| -> u64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default)
+    };
+    let scale = env_or("SERVE_SOAK_SCALE", 1);
+    let tuples = env_or("SERVE_SOAK_TUPLES", 12);
+    let clients = env_or("SERVE_SOAK_CLIENTS", 2);
     let dir = Arc::new(tmp_dir("load"));
     let jobs_dir = dir.join("jobs");
     let addr = free_addr();
@@ -143,10 +155,10 @@ fn daemon_survives_concurrent_multi_tenant_load() {
     };
     wait_listening(&addr);
 
-    // Tenants: 12 distinct small tuples, two clients each (the pair
-    // exercises coalescing), plus one large streaming job — all in
-    // flight at once.
-    let small: Vec<Job> = (0..12)
+    // Tenants: `tuples` distinct small tuples, `clients` concurrent
+    // clients each (any pair exercises coalescing), plus one large
+    // streaming job — all in flight at once.
+    let small: Vec<Job> = (0..tuples)
         .map(|i| Job {
             n: 3_000 + 500 * i,
             seed: 1_000 + i,
@@ -159,7 +171,7 @@ fn daemon_survives_concurrent_multi_tenant_load() {
 
     let mut handles = Vec::new();
     for (i, job) in small.iter().cloned().enumerate() {
-        for client in 0..2 {
+        for client in 0..clients {
             let (addr, dir, job) = (addr.clone(), Arc::clone(&dir), job.clone());
             handles.push(std::thread::spawn(move || {
                 let out = dir.join(format!("small_{i}_{client}.bin"));
