@@ -36,12 +36,14 @@ rec_log="$(mktemp /tmp/pagen_rec_log_XXXXXX.txt)"
 rec_ckpts="$(mktemp -d /tmp/pagen_rec_ckpts_XXXXXX)"
 oc_dir="$(mktemp -d /tmp/pagen_oc_XXXXXX)"
 serve_dir=""
+restart_dir=""
 trap 'rm -f "$smoke_out" "$chaos_clean" "$chaos_faulty" "$chaos_clean.sorted" "$chaos_faulty.sorted" \
     "$net_multi" "$net_single" "$net_multi.sorted" "$net_single.sorted" \
     "$e3_multi" "$e3_single" "$e3_multi.sorted" "$e3_single.sorted" \
     "$nlpa_multi" "$nlpa_single" "$nlpa_multi.sorted" "$nlpa_single.sorted" \
     "$rec_multi" "$rec_single" "$rec_multi.sorted" "$rec_single.sorted" "$rec_log" \
-    "$rec_multi".part*; rm -rf "$rec_ckpts" "$oc_dir"; [ -z "$serve_dir" ] || rm -rf "$serve_dir"' EXIT
+    "$rec_multi".part*; rm -rf "$rec_ckpts" "$oc_dir"; [ -z "$serve_dir" ] || rm -rf "$serve_dir"; \
+    [ -z "$restart_dir" ] || rm -rf "$restart_dir"' EXIT
 report="$(cargo run -q -p pa-cli --release -- generate --model pa \
     --n 20000 --x 3 --ranks 4 --seed 7 --out "$smoke_out" --format bin)"
 echo "    $report"
@@ -300,5 +302,85 @@ if ls "$serve_dir/jobs"/*.tmp* >/dev/null 2>&1; then
     exit 1
 fi
 rm -rf "$serve_dir"
+
+echo "==> pagen serve crash-restart smoke run"
+# Self-healing end to end through the real binary: SIGKILL the daemon
+# after it cached an artifact and while a client holds a partial file,
+# restart a new daemon on the same jobs dir, and it must (a) announce
+# the recovered artifact and cleaned temp litter on its startup line,
+# (b) resume the interrupted fetch byte-identically to a solo run
+# WITHOUT re-running the job — its drain line reports 0 jobs run.
+restart_dir="$(mktemp -d /tmp/pagen_serve_restart_XXXXXX)"
+restart_job=(--n 50000 --x 2 --p 0.5 --seed 23 --ranks 2 --scheme rrp --engine 3 --format bin)
+restart_addr="127.0.0.1:$(( 20000 + RANDOM % 20000 ))"
+./target/release/pagen serve --addr "$restart_addr" \
+    --jobs-dir "$restart_dir/jobs" --workers 2 > "$restart_dir/serve_a.log" 2>&1 &
+restart_pid=$!
+for _ in $(seq 1 100); do
+    (exec 3<>"/dev/tcp/${restart_addr%:*}/${restart_addr#*:}") 2>/dev/null && { exec 3>&-; break; }
+    sleep 0.05
+done
+cargo run -q -p pa-cli --release -- generate --model pa \
+    "${restart_job[@]}" --out "$restart_dir/solo.bin"
+./target/release/pagen fetch --addr "$restart_addr" \
+    "${restart_job[@]}" --out "$restart_dir/full.bin"
+# A client dies mid-stream with 100000 of the bytes on disk...
+if ./target/release/pagen fetch --addr "$restart_addr" \
+    "${restart_job[@]}" --out "$restart_dir/partial.bin" \
+    --stop-after-bytes 100000 --max-attempts 1 > /dev/null 2>&1; then
+    echo "restart smoke: interrupted fetch unexpectedly succeeded" >&2
+    exit 1
+fi
+# ...and then the daemon itself dies hard: no drain, no cleanup.
+kill -9 "$restart_pid" 2>/dev/null || true
+wait "$restart_pid" 2>/dev/null || true
+# Stage the temp litter an in-flight run would have left behind.
+printf junk > "$restart_dir/jobs/0123456789abcdef.5.tmp"
+restart_addr_b="127.0.0.1:$(( 20000 + RANDOM % 20000 ))"
+./target/release/pagen serve --addr "$restart_addr_b" \
+    --jobs-dir "$restart_dir/jobs" --workers 2 > "$restart_dir/serve_b.log" 2>&1 &
+restart_pid_b=$!
+for _ in $(seq 1 100); do
+    (exec 3<>"/dev/tcp/${restart_addr_b%:*}/${restart_addr_b#*:}") 2>/dev/null && { exec 3>&-; break; }
+    sleep 0.05
+done
+# (Captured to a variable: grep -q on the pipe would close it at the
+# first match and fail the daemon's client with EPIPE under pipefail.)
+restart_status="$(./target/release/pagen serve-status --addr "$restart_addr_b")"
+if ! grep -q "1 recovered at startup" <<< "$restart_status"; then
+    echo "restart smoke: serve-status does not report the recovered artifact" >&2
+    echo "$restart_status" >&2
+    exit 1
+fi
+# Resume the dead client's partial fetch against the restarted daemon.
+./target/release/pagen fetch --addr "$restart_addr_b" \
+    "${restart_job[@]}" --out "$restart_dir/partial.bin" --resume on
+for f in full partial; do
+    if ! cmp -s "$restart_dir/solo.bin" "$restart_dir/$f.bin"; then
+        echo "restart smoke mismatch: $f.bin diverged from the solo engine-3 run" >&2
+        exit 1
+    fi
+done
+./target/release/pagen drain --addr "$restart_addr_b"
+if ! wait "$restart_pid_b"; then
+    echo "restart smoke: restarted daemon did not exit cleanly after drain" >&2
+    cat "$restart_dir/serve_b.log" >&2
+    exit 1
+fi
+if ! grep -q "recovered 1 artifact(s), cleaned 1 stale temp file(s)" "$restart_dir/serve_b.log"; then
+    echo "restart smoke: startup line does not report the recovery scan" >&2
+    cat "$restart_dir/serve_b.log" >&2
+    exit 1
+fi
+if ! grep -q "drained: 0 job(s) run" "$restart_dir/serve_b.log"; then
+    echo "restart smoke: the resumed fetch re-ran instead of hitting the recovered cache" >&2
+    cat "$restart_dir/serve_b.log" >&2
+    exit 1
+fi
+if ls "$restart_dir/jobs"/*.tmp* >/dev/null 2>&1; then
+    echo "restart smoke: stale temp files survived the restart scan" >&2
+    exit 1
+fi
+rm -rf "$restart_dir"
 
 echo "CI OK"

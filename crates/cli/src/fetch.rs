@@ -5,7 +5,7 @@
 //! reconnecting with capped backoff and resuming from the last byte on
 //! disk. `--resume on` continues a previously-interrupted fetch of the
 //! *same* tuple instead of starting over. `drain` tells a daemon to
-//! wind down cleanly.
+//! wind down cleanly; `serve-status` prints its health snapshot.
 
 use std::io::Write;
 use std::time::Duration;
@@ -15,7 +15,7 @@ use crate::generate::{parse_engine, parse_model_kind, parse_scheme, validated};
 use crate::serve::spec_from_raw;
 use pa_core::job::JobDescriptor;
 use pa_graph::io::EdgeFormat;
-use pa_net::serve::{fetch, FetchError, FetchOptions};
+use pa_net::serve::{fetch, FetchError, FetchOptions, RejectCode};
 
 /// Build the job descriptor from `generate`-style flags.
 fn parse_job(args: &Args) -> Result<JobDescriptor, CliError> {
@@ -119,5 +119,54 @@ pub(crate) fn drain(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "drain acknowledged by {addr}: {running} job(s) finishing, {dropped} queued job(s) dropped"
     )
     .map_err(CliError::io)?;
+    Ok(())
+}
+
+pub(crate) fn status(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.str_required("addr")?;
+    let timeout = Duration::from_millis(args.u64("timeout-ms", 10_000)?);
+    args.finish()?;
+    let status = pa_net::serve::status(&addr, timeout)
+        .map_err(|e| CliError::usage(format!("status of {addr} failed: {e}")))?;
+    let s = &status.stats;
+    writeln!(
+        out,
+        "serve daemon at {addr}{}:\n\
+         \x20 queue:   {} queued, {} running, {} connection(s), {} worker(s) ({} wedged)\n\
+         \x20 cache:   {} artifact(s), {} byte(s) ({} recovered at startup, {} temp cleaned, \
+         {} evicted)\n\
+         \x20 jobs:    {} admitted, {} run, {} coalesced, {} failed ({} timed out), {} drained\n\
+         \x20 faults:  {} worker panic(s)\n\
+         \x20 streams: {} byte(s) streamed",
+        if status.draining { " (draining)" } else { "" },
+        status.queued,
+        status.running,
+        status.active_conns,
+        status.workers,
+        status.workers_wedged,
+        status.cache_artifacts,
+        status.cache_bytes,
+        s.jobs_recovered,
+        s.tmp_cleaned,
+        s.jobs_evicted,
+        s.jobs_admitted,
+        s.jobs_run,
+        s.jobs_coalesced,
+        s.jobs_failed,
+        s.jobs_timed_out,
+        s.jobs_drained,
+        s.worker_panics,
+        s.bytes_streamed
+    )
+    .map_err(CliError::io)?;
+    // Per-code reject counters, only the codes actually seen: the lines
+    // a flapping client's operator greps for first.
+    writeln!(out, "  rejects: {} total", s.rejects).map_err(CliError::io)?;
+    for code in RejectCode::ALL {
+        let count = s.rejects_for(code);
+        if count > 0 {
+            writeln!(out, "    {:>12}: {count}", code.name()).map_err(CliError::io)?;
+        }
+    }
     Ok(())
 }

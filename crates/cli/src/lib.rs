@@ -8,6 +8,7 @@
 //! pagen serve    --addr 127.0.0.1:9900 --jobs-dir jobs
 //! pagen fetch    --addr 127.0.0.1:9900 --n 1000000 --x 4 --out g.bin
 //! pagen drain    --addr 127.0.0.1:9900
+//! pagen serve-status --addr 127.0.0.1:9900
 //! palaunch -p 4 -- generate --n 1000000 --x 4 --out g.bin --format bin
 //! ```
 //!
@@ -51,6 +52,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "serve" => serve::run(&args, out),
         "fetch" => fetch::run(&args, out),
         "drain" => fetch::drain(&args, out),
+        "serve-status" => fetch::status(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", usage()).map_err(CliError::io)?;
             Ok(())
@@ -121,6 +123,14 @@ COMMANDS:
                --chunk-kb <KiB> (default 256)     --retry-after-ms <ms> (default 200)
                --request-timeout-ms <ms> (default 10000)
                --max-ranks <P> (default 64)       --max-nodes <n> (default 2^32)
+               healing:   --job-timeout-ms <ms> (default 0 = no deadline;
+                              overdue runs fail retryably, workers replaced)
+                          --max-conns <k> (default 64; beyond it clients
+                              get a retryable overloaded rejection)
+                          --cache-bytes <B[k|m|g]> (default unlimited;
+                              LRU-evicts cached artifacts over the quota)
+                          --max-job-failures <k> (default 3, 0 = unlimited;
+                              per-tuple failure budget until restart)
     fetch      Submit a job to a serve daemon and stream its artifact
                --addr <host:port> (required)      --out <file> (default fetched.bin)
                job:   --n --x --p --seed --ranks --scheme --engine
@@ -133,6 +143,9 @@ COMMANDS:
                       --backoff-seed <u64> (0 = no jitter)
                       --connect-timeout-ms / --io-timeout-ms
     drain      Wind a serve daemon down cleanly
+               --addr <host:port> (required)  --timeout-ms <ms> (default 10000)
+    serve-status  Print a serve daemon's health snapshot (queue, workers,
+               cache, per-code rejects)
                --addr <host:port> (required)  --timeout-ms <ms> (default 10000)
     help       Show this text
 

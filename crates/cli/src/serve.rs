@@ -114,6 +114,25 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if cfg.request_timeout.is_zero() {
         return Err(CliError::usage("--request-timeout-ms must be positive"));
     }
+    // 0 = no deadline: engines have no way to report forward progress
+    // mid-run, so a deadline is only meaningful if the operator knows
+    // how long the largest admitted tuple should take.
+    let job_timeout = args.u64("job-timeout-ms", 0)?;
+    if job_timeout != 0 {
+        cfg.job_timeout = Some(Duration::from_millis(job_timeout));
+    }
+    cfg.max_conns = args.u64("max-conns", cfg.max_conns as u64)? as usize;
+    if cfg.max_conns == 0 {
+        return Err(CliError::usage("--max-conns must be positive"));
+    }
+    let cache = args.str("cache-bytes", "");
+    if !cache.is_empty() {
+        cfg.cache_bytes = crate::generate::parse_byte_size("cache-bytes", &cache)?;
+        if cfg.cache_bytes == 0 {
+            return Err(CliError::usage("--cache-bytes must be positive"));
+        }
+    }
+    cfg.max_job_failures = args.u64("max-job-failures", u64::from(cfg.max_job_failures))? as u32;
     let runner = EngineRunner {
         max_ranks: args.u64("max-ranks", 64)? as u32,
         max_nodes: args.u64("max-nodes", 1 << 32)?,
@@ -122,10 +141,16 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let server = Server::bind(&addr, cfg, runner)
         .map_err(|e| CliError::usage(format!("cannot start serve daemon on {addr}: {e}")))?;
+    // The startup-scan counts let restart smoke tests (and operators)
+    // confirm a crash-restart actually recovered the cache.
+    let recovered = server.stats();
     writeln!(
         out,
-        "serving on {} (jobs in {jobs_dir}); send `pagen drain --addr {}` to stop",
+        "serving on {} (jobs in {jobs_dir}; recovered {} artifact(s), cleaned {} stale temp \
+         file(s)); send `pagen drain --addr {}` to stop",
         server.addr(),
+        recovered.jobs_recovered,
+        recovered.tmp_cleaned,
         server.addr()
     )
     .map_err(CliError::io)?;
@@ -135,8 +160,17 @@ pub(crate) fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let stats = server.join();
     writeln!(
         out,
-        "drained: {} job(s) run, {} coalesced, {} rejected, {} dropped by drain, {} byte(s) streamed",
-        stats.jobs_run, stats.jobs_coalesced, stats.rejects, stats.jobs_drained, stats.bytes_streamed
+        "drained: {} job(s) run, {} coalesced, {} rejected, {} dropped by drain, {} byte(s) \
+         streamed, {} failed ({} timed out), {} evicted, {} worker panic(s)",
+        stats.jobs_run,
+        stats.jobs_coalesced,
+        stats.rejects,
+        stats.jobs_drained,
+        stats.bytes_streamed,
+        stats.jobs_failed,
+        stats.jobs_timed_out,
+        stats.jobs_evicted,
+        stats.worker_panics
     )
     .map_err(CliError::io)?;
     Ok(())

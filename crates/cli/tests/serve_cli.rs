@@ -257,6 +257,113 @@ fn serve_fetch_resume_drain_round_trip() {
     assert!(leftovers[0].ends_with(".art"), "jobs dir: {leftovers:?}");
 }
 
+/// Crash-restart through the real binary: daemon A caches an artifact
+/// and is SIGKILLed; daemon B on the same jobs directory announces the
+/// recovered cache on its startup line, `pagen serve-status` reflects
+/// it over the wire, a re-fetch is byte-identical without re-running
+/// (the drain line reports `0 job(s) run`), and planted temp litter is
+/// gone.
+#[test]
+fn killed_daemon_restart_recovers_cache_and_serve_status_reports_it() {
+    let dir = tmp_dir("restart");
+    let jobs = dir.join("jobs");
+    let job: &[&str] = &[
+        "--n", "20000", "--x", "2", "--p", "0.5", "--seed", "11", "--ranks", "2", "--scheme",
+        "rrp", "--engine", "3", "--format", "bin",
+    ];
+
+    let addr_a = free_addr();
+    let mut daemon_a = Command::new(PAGEN)
+        .args([
+            "serve",
+            "--addr",
+            &addr_a,
+            "--jobs-dir",
+            jobs.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_listening(&addr_a);
+    let first = dir.join("first.bin");
+    let mut fetch_args = vec!["fetch", "--addr", &addr_a, "--out", first.to_str().unwrap()];
+    fetch_args.extend_from_slice(job);
+    assert_ok(&pagen(&fetch_args), "fetch before the crash");
+    let first_bytes = std::fs::read(&first).unwrap();
+
+    // Hard kill — no drain, no cleanup — then stage the temp litter an
+    // in-flight run would have left behind.
+    daemon_a.kill().unwrap();
+    daemon_a.wait().unwrap();
+    std::fs::write(jobs.join("0123456789abcdef.5.tmp"), b"junk").unwrap();
+
+    let addr_b = free_addr();
+    let mut daemon_b = Command::new(PAGEN)
+        .args([
+            "serve",
+            "--addr",
+            &addr_b,
+            "--jobs-dir",
+            jobs.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_listening(&addr_b);
+
+    let status_line = assert_ok(&pagen(&["serve-status", "--addr", &addr_b]), "serve-status");
+    assert!(
+        status_line.contains("1 recovered at startup"),
+        "{status_line:?}"
+    );
+    assert!(status_line.contains("1 temp cleaned"), "{status_line:?}");
+
+    let second = dir.join("second.bin");
+    let mut refetch = vec![
+        "fetch",
+        "--addr",
+        &addr_b,
+        "--out",
+        second.to_str().unwrap(),
+    ];
+    refetch.extend_from_slice(job);
+    assert_ok(&pagen(&refetch), "fetch after the restart");
+    assert_eq!(
+        std::fs::read(&second).unwrap(),
+        first_bytes,
+        "the restarted daemon must serve the pre-crash artifact byte for byte"
+    );
+
+    assert_ok(&pagen(&["drain", "--addr", &addr_b]), "drain");
+    let status = wait_bounded(
+        &mut daemon_b,
+        "pagen serve (restarted)",
+        Duration::from_secs(20),
+    );
+    assert!(status.success());
+    let mut daemon_out = String::new();
+    std::io::Read::read_to_string(daemon_b.stdout.as_mut().unwrap(), &mut daemon_out).unwrap();
+    assert!(
+        daemon_out.contains("recovered 1 artifact(s), cleaned 1 stale temp file(s)"),
+        "{daemon_out:?}"
+    );
+    assert!(
+        daemon_out.contains("drained: 0 job(s) run"),
+        "the re-fetch must come from the recovered cache, not a re-run: {daemon_out:?}"
+    );
+    let leftovers: Vec<String> = std::fs::read_dir(&jobs)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stale temp files survived: {leftovers:?}"
+    );
+}
+
 /// The daemon enforces its own caps: a job above `--max-nodes` is
 /// rejected by name before any work is queued, and the daemon stays
 /// healthy for well-formed jobs afterwards.

@@ -5,8 +5,12 @@
 //! connection failures and mid-stream disconnects reconnect with
 //! capped-exponential backoff and **resume from the last byte on
 //! disk** — the durable watermark, not an in-memory count — so a crash
-//! of the client itself also resumes correctly. `QueueFull` rejections
-//! honour the server's `retry_after` hint. Local *sink* errors (the
+//! of the client itself also resumes correctly. Retryable rejections
+//! (`queue-full`, `job-timeout`, `overloaded`) honour the server's
+//! `retry_after` hint; `job-failed` is also retried through the same
+//! bounded budget, because failures are not cached server-side — a
+//! fresh submit legitimately retries the run — and the named error
+//! surfaces once the attempts are spent. Local *sink* errors (the
 //! output disk) are fatal and never retried: retrying cannot fix a full
 //! or broken disk, and failing fast leaves a clean prefix that a later
 //! `--resume` continues from.
@@ -23,7 +27,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::time::Duration;
 
-use super::proto::{read_reply, write_drain_req, write_submit, JobSpec, RejectCode, ServeMsg};
+use super::proto::{
+    read_reply, write_drain_req, write_status_req, write_submit, JobSpec, RejectCode, ServeMsg,
+    ServeStatus,
+};
 use crate::backoff::Backoff;
 use pa_graph::io::{hash_file_prefix, Fnv1a};
 
@@ -300,7 +307,11 @@ fn attempt(
             retry_after,
             msg,
         }) => {
-            if code.is_retryable() {
+            // `job-failed` keeps a false retryable bit on the wire (the
+            // run may be deterministically broken), but the failure is
+            // not cached server-side, so a fresh submit retries the run
+            // — worth spending the bounded attempt budget on.
+            if code.is_retryable() || code == RejectCode::JobFailed {
                 return Attempt::Retry {
                     why: format!("server rejected ({code}): {msg}"),
                     after: retry_after,
@@ -417,6 +428,32 @@ pub fn drain(addr: &str, timeout: Duration) -> io::Result<(u32, u32)> {
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("expected DRAIN_ACK, got {other:?}"),
+        )),
+    }
+}
+
+/// Ask the daemon at `addr` for a health snapshot (queue depth, pool
+/// size, cache footprint, lifetime counters). One request, one reply,
+/// no retry — health checks should report the outage, not ride it out.
+///
+/// # Errors
+///
+/// Connection failures, and `InvalidData` if the peer answers with
+/// anything but a `STATUS_ACK`.
+pub fn status(addr: &str, timeout: Duration) -> io::Result<ServeStatus> {
+    let mut stream = connect(addr, timeout)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    write_status_req(&mut stream)?;
+    match read_reply(&mut stream)? {
+        ServeMsg::Status(status) => Ok(status),
+        ServeMsg::Reject { code, msg, .. } => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("status rejected ({code}): {msg}"),
+        )),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected STATUS_ACK, got {other:?}"),
         )),
     }
 }

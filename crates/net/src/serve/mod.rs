@@ -10,12 +10,15 @@
 //! * [`proto`] — the wire protocol: a kind-byte space disjoint from the
 //!   rank-to-rank transport's, layered on the same length-prefixed
 //!   frames, so one `pa-net` reader serves both.
-//! * [`Server`] — bounded FIFO job queue, a worker pool running jobs
-//!   through a caller-supplied [`JobRunner`], an artifact cache keyed
-//!   by job id, and per-connection streaming with resume-from-offset.
+//! * [`Server`] — bounded FIFO job queue, a supervised worker pool
+//!   running jobs through a caller-supplied [`JobRunner`], an artifact
+//!   cache keyed by job id (rebuilt from disk after a crash, bounded by
+//!   a byte quota), and per-connection streaming with
+//!   resume-from-offset under a connection cap.
 //! * [`fetch`] — the client: submit, stream to disk, and transparently
 //!   reconnect with capped-exponential backoff, resuming from the last
-//!   durable byte. [`drain`] asks a daemon to wind down cleanly.
+//!   durable byte. [`drain`] asks a daemon to wind down cleanly;
+//!   [`status`] fetches a health snapshot ([`ServeStatus`]).
 //!
 //! # Identity, caching and resume
 //!
@@ -40,11 +43,25 @@
 //! [`drain`] the daemon stops admitting, fails queued jobs with a named
 //! [`RejectCode::Draining`] rejection, lets in-flight jobs finish and
 //! stream to their waiting clients, then exits its accept loop.
+//!
+//! # Self-healing
+//!
+//! Partial failure is the common case at scale, so the daemon keeps the
+//! transport's "named error, never a hang" discipline under every
+//! fault it can see: panicking runners are caught and reported as job
+//! failures, runs past [`ServeConfig::job_timeout`] are abandoned with
+//! a retryable rejection and their wedged workers replaced, a restart
+//! on the same jobs directory recovers the artifact cache (and deletes
+//! temp litter) so resuming clients still checksum-verify, poison
+//! tuples stop re-running after [`ServeConfig::max_job_failures`], and
+//! connections beyond [`ServeConfig::max_conns`] are turned away with
+//! [`RejectCode::Overloaded`] instead of an unbounded thread. See the
+//! server module docs for the mechanics.
 
 mod client;
 pub mod proto;
 mod server;
 
-pub use client::{drain, fetch, FetchError, FetchOptions, FetchReport};
-pub use proto::{JobSpec, RejectCode, MAX_REQUEST_FRAME, SERVE_VERSION};
-pub use server::{JobRunner, ServeConfig, ServeStats, Server};
+pub use client::{drain, fetch, status, FetchError, FetchOptions, FetchReport};
+pub use proto::{JobSpec, RejectCode, ServeStats, ServeStatus, MAX_REQUEST_FRAME, SERVE_VERSION};
+pub use server::{JobRunner, ServeConfig, Server};

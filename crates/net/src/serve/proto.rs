@@ -15,6 +15,8 @@
 //!                  DONE{total, checksum}
 //! control: client  DRAIN_REQ
 //!          server  DRAIN_ACK{running, dropped}
+//! health:  client  STATUS_REQ
+//!          server  STATUS_ACK{queue, pool, cache, counters}
 //! ```
 //!
 //! Client→server frames are tiny by construction, so the server reads
@@ -28,11 +30,12 @@ use std::time::Duration;
 use crate::frame::{build_raw_frame, read_raw_frame, MAGIC, MAX_FRAME};
 use pa_graph::io::Fnv1a;
 
-/// Serve protocol version, negotiated in every `SUBMIT`/`DRAIN_REQ`;
-/// bumped on any incompatible change to message layouts *or* to the
-/// canonical job encoding (the job-id function is part of the wire
-/// contract).
-pub const SERVE_VERSION: u32 = 1;
+/// Serve protocol version, negotiated in every `SUBMIT`/`DRAIN_REQ`/
+/// `STATUS_REQ`; bumped on any incompatible change to message layouts
+/// *or* to the canonical job encoding (the job-id function is part of
+/// the wire contract). v2 added the `JobTimeout`/`Overloaded` reject
+/// codes and the `STATUS_REQ`/`STATUS_ACK` pair.
+pub const SERVE_VERSION: u32 = 2;
 
 /// Upper bound on any client→server frame. Requests are fixed-size and
 /// small; anything larger is garbage or abuse and is rejected before
@@ -53,6 +56,10 @@ pub const KIND_DONE: u8 = 0x45;
 pub const KIND_DRAIN_REQ: u8 = 0x46;
 /// Kind byte of a `DRAIN_ACK` frame (server → client).
 pub const KIND_DRAIN_ACK: u8 = 0x47;
+/// Kind byte of a `STATUS_REQ` frame (client → server).
+pub const KIND_STATUS_REQ: u8 = 0x48;
+/// Kind byte of a `STATUS_ACK` frame (server → client).
+pub const KIND_STATUS_ACK: u8 = 0x49;
 
 /// Length of [`JobSpec::canonical_bytes`].
 pub const JOB_CANONICAL_LEN: usize = 48;
@@ -155,8 +162,15 @@ pub enum RejectCode {
     BadOffset = 5,
     /// The job was admitted but its run failed; the message carries the
     /// runner's error. The failure is not cached — a later submit
-    /// retries the run.
+    /// retries the run (until the server's per-tuple failure budget is
+    /// spent, after which the same code reports budget exhaustion).
     JobFailed = 6,
+    /// The job ran past the server's per-job deadline and was abandoned.
+    /// Transient by classification: a retry lands on a fresh run.
+    JobTimeout = 7,
+    /// The server is at its connection cap; retry after the hinted
+    /// delay.
+    Overloaded = 8,
 }
 
 impl RejectCode {
@@ -169,6 +183,8 @@ impl RejectCode {
             4 => Some(RejectCode::UnsupportedVersion),
             5 => Some(RejectCode::BadOffset),
             6 => Some(RejectCode::JobFailed),
+            7 => Some(RejectCode::JobTimeout),
+            8 => Some(RejectCode::Overloaded),
             _ => None,
         }
     }
@@ -182,22 +198,172 @@ impl RejectCode {
             RejectCode::UnsupportedVersion => "unsupported-version",
             RejectCode::BadOffset => "bad-offset",
             RejectCode::JobFailed => "job-failed",
+            RejectCode::JobTimeout => "job-timeout",
+            RejectCode::Overloaded => "overloaded",
         }
     }
 
     /// Whether a client should retry the same request later.
-    /// Only [`RejectCode::QueueFull`] is transient; every other code
-    /// means the same request will keep failing.
+    /// [`RejectCode::QueueFull`], [`RejectCode::JobTimeout`] and
+    /// [`RejectCode::Overloaded`] are transient resource/deadline
+    /// conditions; every other code means the same request will keep
+    /// failing. ([`RejectCode::JobFailed`] is deliberately *not*
+    /// flagged — the run may be deterministic-broken — but failures are
+    /// not cached server-side, so `fetch` still retries it through its
+    /// bounded attempt budget.)
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RejectCode::QueueFull)
+        matches!(
+            self,
+            RejectCode::QueueFull | RejectCode::JobTimeout | RejectCode::Overloaded
+        )
     }
+
+    /// Every code, in discriminant order (discriminants are `1..=N`
+    /// with no gaps; pinned by a test).
+    pub const ALL: [RejectCode; REJECT_CODE_COUNT] = [
+        RejectCode::BadRequest,
+        RejectCode::QueueFull,
+        RejectCode::Draining,
+        RejectCode::UnsupportedVersion,
+        RejectCode::BadOffset,
+        RejectCode::JobFailed,
+        RejectCode::JobTimeout,
+        RejectCode::Overloaded,
+    ];
 }
+
+/// Number of [`RejectCode`] variants (sizes the per-code counters).
+pub const REJECT_CODE_COUNT: usize = 8;
 
 impl std::fmt::Display for RejectCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
 }
+
+/// Counters reported by `Server::stats`, `Server::join` and the
+/// `STATUS_ACK` frame. Monotonic over a daemon's lifetime; after a
+/// quiesced drain they reconcile as
+/// `jobs_admitted == jobs_run + jobs_failed + jobs_drained`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs admitted to the queue (each admission leads to exactly one
+    /// run attempt; lets tests sequence submissions deterministically).
+    pub jobs_admitted: u64,
+    /// Jobs actually executed to completion (coalesced/cached submits
+    /// don't re-run).
+    pub jobs_run: u64,
+    /// Submits served from an existing entry — a run in flight or a
+    /// cached artifact — instead of a fresh run.
+    pub jobs_coalesced: u64,
+    /// Rejections sent, of any code (see [`ServeStats::rejects_by`]).
+    pub rejects: u64,
+    /// Queued jobs cancelled by a drain.
+    pub jobs_drained: u64,
+    /// Artifact bytes streamed to completion (suffix length on resume).
+    pub bytes_streamed: u64,
+    /// Run attempts that ended in failure of any kind (runner error,
+    /// runner panic, deadline timeout, publish error).
+    pub jobs_failed: u64,
+    /// The subset of [`ServeStats::jobs_failed`] abandoned at the
+    /// per-job deadline.
+    pub jobs_timed_out: u64,
+    /// Runner panics caught by worker supervision (the pool survives
+    /// each one).
+    pub worker_panics: u64,
+    /// Artifacts rebuilt into the cache by the startup recovery scan.
+    pub jobs_recovered: u64,
+    /// Stale `*.tmp` files deleted by the startup recovery scan.
+    pub tmp_cleaned: u64,
+    /// Completed artifacts evicted to hold the cache byte quota.
+    pub jobs_evicted: u64,
+    /// Rejections by code, indexed `code as u8 - 1` (see
+    /// [`RejectCode::ALL`]); sums to [`ServeStats::rejects`].
+    pub rejects_by: [u64; REJECT_CODE_COUNT],
+}
+
+impl ServeStats {
+    /// Count one rejection under its code.
+    pub(crate) fn note_reject(&mut self, code: RejectCode) {
+        self.rejects += 1;
+        self.rejects_by[(code as u8 - 1) as usize] += 1;
+    }
+
+    /// Rejections sent with `code`.
+    pub fn rejects_for(&self, code: RejectCode) -> u64 {
+        self.rejects_by[(code as u8 - 1) as usize]
+    }
+
+    /// The scalar counters in wire order.
+    fn to_words(self) -> [u64; STAT_WORDS] {
+        [
+            self.jobs_admitted,
+            self.jobs_run,
+            self.jobs_coalesced,
+            self.rejects,
+            self.jobs_drained,
+            self.bytes_streamed,
+            self.jobs_failed,
+            self.jobs_timed_out,
+            self.worker_panics,
+            self.jobs_recovered,
+            self.tmp_cleaned,
+            self.jobs_evicted,
+        ]
+    }
+
+    fn from_words(w: &[u64; STAT_WORDS], rejects_by: [u64; REJECT_CODE_COUNT]) -> ServeStats {
+        ServeStats {
+            jobs_admitted: w[0],
+            jobs_run: w[1],
+            jobs_coalesced: w[2],
+            rejects: w[3],
+            jobs_drained: w[4],
+            bytes_streamed: w[5],
+            jobs_failed: w[6],
+            jobs_timed_out: w[7],
+            worker_panics: w[8],
+            jobs_recovered: w[9],
+            tmp_cleaned: w[10],
+            jobs_evicted: w[11],
+            rejects_by,
+        }
+    }
+}
+
+/// Scalar `u64` counters in a `STATUS_ACK`, excluding the per-code
+/// reject array.
+const STAT_WORDS: usize = 12;
+
+/// A point-in-time health snapshot of a serve daemon, carried by
+/// `STATUS_ACK` and returned by `Server::status` / [`super::status`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStatus {
+    /// Jobs waiting in the queue.
+    pub queued: u32,
+    /// Jobs currently executing.
+    pub running: u32,
+    /// Open client connections (a wire `STATUS_REQ` counts itself).
+    pub active_conns: u32,
+    /// Healthy workers (the configured pool size, minus any currently
+    /// wedged, plus their already-spawned replacements).
+    pub workers: u32,
+    /// Workers stuck past their job's deadline, already replaced and
+    /// awaiting retirement.
+    pub workers_wedged: u32,
+    /// Completed artifacts in the cache.
+    pub cache_artifacts: u32,
+    /// Whether a drain has been observed.
+    pub draining: bool,
+    /// Total bytes of completed artifacts in the cache.
+    pub cache_bytes: u64,
+    /// Lifetime counters.
+    pub stats: ServeStats,
+}
+
+/// `STATUS_ACK` payload length: six `u32` gauges, a drain flag byte,
+/// the cache byte gauge, the scalar counters, the per-code rejects.
+const STATUS_ACK_LEN: usize = 6 * 4 + 1 + 8 + STAT_WORDS * 8 + REJECT_CODE_COUNT * 8;
 
 /// A parsed serve message (either direction).
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +418,10 @@ pub enum ServeMsg {
         /// Queued jobs dropped with a [`RejectCode::Draining`] rejection.
         dropped: u32,
     },
+    /// Health: ask for a status snapshot.
+    StatusReq,
+    /// Health reply: the snapshot.
+    Status(ServeStatus),
 }
 
 /// Write a `SUBMIT` frame.
@@ -362,6 +532,50 @@ pub fn write_drain_ack(w: &mut impl Write, running: u32, dropped: u32) -> io::Re
     w.write_all(&buf)
 }
 
+/// Write a `STATUS_REQ` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_status_req(w: &mut impl Write) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + 8);
+    build_raw_frame(&mut buf, KIND_STATUS_REQ, |b| {
+        b.extend_from_slice(&MAGIC.to_le_bytes());
+        b.extend_from_slice(&SERVE_VERSION.to_le_bytes());
+    });
+    w.write_all(&buf)
+}
+
+/// Write a `STATUS_ACK` frame.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_status_ack(w: &mut impl Write, status: &ServeStatus) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(5 + STATUS_ACK_LEN);
+    build_raw_frame(&mut buf, KIND_STATUS_ACK, |b| {
+        for gauge in [
+            status.queued,
+            status.running,
+            status.active_conns,
+            status.workers,
+            status.workers_wedged,
+            status.cache_artifacts,
+        ] {
+            b.extend_from_slice(&gauge.to_le_bytes());
+        }
+        b.push(u8::from(status.draining));
+        b.extend_from_slice(&status.cache_bytes.to_le_bytes());
+        for word in status.stats.to_words() {
+            b.extend_from_slice(&word.to_le_bytes());
+        }
+        for count in status.stats.rejects_by {
+            b.extend_from_slice(&count.to_le_bytes());
+        }
+    });
+    w.write_all(&buf)
+}
+
 /// Errors a request can fail parsing with, split by how the server must
 /// answer: version mismatches get their own reject code so old clients
 /// learn *why* instead of a generic bad-request.
@@ -414,6 +628,16 @@ pub(crate) fn parse_request(kind: u8, payload: &[u8]) -> Result<ServeMsg, Reques
             }
             check_preamble("DRAIN_REQ")?;
             Ok(ServeMsg::DrainReq)
+        }
+        KIND_STATUS_REQ => {
+            if payload.len() != 8 {
+                return Err(RequestError::Malformed(format!(
+                    "STATUS_REQ payload must be 8 bytes, got {}",
+                    payload.len()
+                )));
+            }
+            check_preamble("STATUS_REQ")?;
+            Ok(ServeMsg::StatusReq)
         }
         other => Err(RequestError::Malformed(format!(
             "unknown request kind {other:#04x}"
@@ -492,6 +716,29 @@ fn parse_reply(kind: u8, payload: &[u8]) -> Result<ServeMsg, String> {
                 running: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
                 dropped: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
             })
+        }
+        KIND_STATUS_ACK => {
+            want(STATUS_ACK_LEN, "STATUS_ACK")?;
+            let u32_at = |i: usize| u32::from_le_bytes(payload[i..i + 4].try_into().unwrap());
+            let mut words = [0u64; STAT_WORDS];
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = u64_at(33 + i * 8);
+            }
+            let mut rejects_by = [0u64; REJECT_CODE_COUNT];
+            for (i, c) in rejects_by.iter_mut().enumerate() {
+                *c = u64_at(33 + STAT_WORDS * 8 + i * 8);
+            }
+            Ok(ServeMsg::Status(ServeStatus {
+                queued: u32_at(0),
+                running: u32_at(4),
+                active_conns: u32_at(8),
+                workers: u32_at(12),
+                workers_wedged: u32_at(16),
+                cache_artifacts: u32_at(20),
+                draining: payload[24] != 0,
+                cache_bytes: u64_at(25),
+                stats: ServeStats::from_words(&words, rejects_by),
+            }))
         }
         other => Err(format!("unknown reply kind {other:#04x}")),
     }
@@ -660,19 +907,84 @@ mod tests {
 
     #[test]
     fn reject_codes_round_trip_and_classify_retryability() {
-        for code in [
-            RejectCode::BadRequest,
-            RejectCode::QueueFull,
-            RejectCode::Draining,
-            RejectCode::UnsupportedVersion,
-            RejectCode::BadOffset,
-            RejectCode::JobFailed,
-        ] {
+        for (i, code) in RejectCode::ALL.into_iter().enumerate() {
+            assert_eq!(code as u8, i as u8 + 1, "{code}: discriminants are 1..=N");
             assert_eq!(RejectCode::from_byte(code as u8), Some(code));
-            assert_eq!(code.is_retryable(), code == RejectCode::QueueFull, "{code}");
+            let transient = matches!(
+                code,
+                RejectCode::QueueFull | RejectCode::JobTimeout | RejectCode::Overloaded
+            );
+            assert_eq!(code.is_retryable(), transient, "{code}");
         }
         assert_eq!(RejectCode::from_byte(0), None);
-        assert_eq!(RejectCode::from_byte(7), None);
+        assert_eq!(RejectCode::from_byte(REJECT_CODE_COUNT as u8 + 1), None);
+    }
+
+    #[test]
+    fn status_round_trips_with_every_field_distinct() {
+        let mut stats = ServeStats {
+            jobs_admitted: 101,
+            jobs_run: 102,
+            jobs_coalesced: 103,
+            rejects: 104,
+            jobs_drained: 105,
+            bytes_streamed: 106,
+            jobs_failed: 107,
+            jobs_timed_out: 108,
+            worker_panics: 109,
+            jobs_recovered: 110,
+            tmp_cleaned: 111,
+            jobs_evicted: 112,
+            rejects_by: [0; REJECT_CODE_COUNT],
+        };
+        for (i, c) in stats.rejects_by.iter_mut().enumerate() {
+            *c = 200 + i as u64;
+        }
+        let status = ServeStatus {
+            queued: 1,
+            running: 2,
+            active_conns: 3,
+            workers: 4,
+            workers_wedged: 5,
+            cache_artifacts: 6,
+            draining: true,
+            cache_bytes: 7_000_000_007,
+            stats,
+        };
+        let mut wire = Vec::new();
+        write_status_ack(&mut wire, &status).unwrap();
+        assert_eq!(wire.len(), 5 + STATUS_ACK_LEN);
+        assert_eq!(
+            read_reply(&mut &wire[..]).unwrap(),
+            ServeMsg::Status(status)
+        );
+    }
+
+    #[test]
+    fn status_req_round_trips_and_checks_preamble() {
+        let mut wire = Vec::new();
+        write_status_req(&mut wire).unwrap();
+        let mut payload = Vec::new();
+        let kind = read_raw_frame(&mut &wire[..], &mut payload, MAX_REQUEST_FRAME).unwrap();
+        assert_eq!(kind, KIND_STATUS_REQ);
+        assert_eq!(parse_request(kind, &payload).unwrap(), ServeMsg::StatusReq);
+
+        let mut bad_version = payload.clone();
+        bad_version[4] = 99;
+        let err = parse_request(KIND_STATUS_REQ, &bad_version).unwrap_err();
+        assert!(matches!(err, RequestError::Version(_)));
+    }
+
+    #[test]
+    fn per_code_reject_counters_track_total() {
+        let mut stats = ServeStats::default();
+        stats.note_reject(RejectCode::QueueFull);
+        stats.note_reject(RejectCode::QueueFull);
+        stats.note_reject(RejectCode::Overloaded);
+        assert_eq!(stats.rejects, 3);
+        assert_eq!(stats.rejects_for(RejectCode::QueueFull), 2);
+        assert_eq!(stats.rejects_for(RejectCode::Overloaded), 1);
+        assert_eq!(stats.rejects_by.iter().sum::<u64>(), stats.rejects);
     }
 
     #[test]
@@ -694,6 +1006,8 @@ mod tests {
             KIND_DONE,
             KIND_DRAIN_REQ,
             KIND_DRAIN_ACK,
+            KIND_STATUS_REQ,
+            KIND_STATUS_ACK,
         ] {
             assert!(
                 crate::frame::Kind::from_byte(kind).is_none(),

@@ -1,24 +1,54 @@
-//! The serve daemon: bounded queue, worker pool, artifact cache,
-//! per-connection streaming.
+//! The serve daemon: bounded queue, supervised worker pool, artifact
+//! cache with crash recovery, per-connection streaming.
 //!
 //! # Lifecycle of a job
 //!
 //! ```text
 //! SUBMIT ──validate──► Queued ──worker──► Running ──► Done{total, checksum}
 //!            │            │                  │
-//!            ▼            ▼ (drain)          ▼ (runner error)
-//!         REJECT       Failed{drained}    Failed
+//!            ▼            ▼ (drain)          ▼ (error / panic / deadline)
+//!         REJECT       Failed{draining}   Failed{job-failed | job-timeout}
 //! ```
 //!
 //! A job runs **at most once per artifact**: concurrent submits of the
 //! same tuple coalesce onto one queue entry and all stream the same
 //! artifact when it completes; a failed run is *not* cached — its
-//! waiters get [`RejectCode::JobFailed`] and the next submit retries.
+//! waiters get a named [`RejectCode`] and the next submit retries,
+//! until the per-tuple failure budget ([`ServeConfig::max_job_failures`])
+//! is spent.
 //!
-//! The artifact is written to a temp path and renamed into the cache
-//! only after the whole run and its checksum pass, so a crashed or
-//! failed run can never leave a half-written file that a resume would
-//! then trust.
+//! # Self-healing discipline
+//!
+//! The daemon promises "named error, never a hang", the same contract
+//! the rank-to-rank transport keeps:
+//!
+//! - **Supervision.** Jobs run under `catch_unwind`: a panicking
+//!   runner becomes `Failed{job-failed}` with the panic message, its
+//!   waiters are released, and the worker thread survives.
+//! - **Deadlines.** With [`ServeConfig::job_timeout`] set, a monitor
+//!   thread abandons overdue runs as `Failed{job-timeout}` and spawns a
+//!   replacement worker, so one wedged runner cannot shrink the pool.
+//!   The abandoned worker retires itself if it ever wakes; its run is
+//!   discarded (each run attempt owns a unique temp path and the
+//!   publish rename happens under the lock only while the run is still
+//!   current, so a late finisher can never clobber the cache).
+//! - **Recovery.** On startup the jobs directory is scanned: stale
+//!   `*.tmp` litter is deleted and every `*.art` artifact is
+//!   re-checksummed and republished, so a SIGKILLed daemon restarted
+//!   on the same directory serves its pre-crash cache instead of
+//!   re-running (engines 1/2 are not byte-deterministic across runs —
+//!   a re-run would break every resuming client's whole-artifact
+//!   checksum).
+//! - **Admission control.** Connections beyond
+//!   [`ServeConfig::max_conns`] get a retryable
+//!   [`RejectCode::Overloaded`] instead of an unbounded thread; the
+//!   artifact cache is held under [`ServeConfig::cache_bytes`] by
+//!   least-recently-used eviction (streams pin their artifact).
+//!
+//! The artifact is written to a per-run temp path and renamed into the
+//! cache only after the whole run and its checksum pass, so a crashed
+//! or failed run can never leave a half-written file that a resume
+//! would then trust.
 //!
 //! # Why streaming is resume-trivial
 //!
@@ -31,14 +61,16 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use super::proto::{
-    parse_request, write_accept, write_chunk, write_done, write_drain_ack, write_reject, JobSpec,
-    RejectCode, RequestError, ServeMsg, MAX_REQUEST_FRAME,
+    parse_request, write_accept, write_chunk, write_done, write_drain_ack, write_reject,
+    write_status_ack, JobSpec, RejectCode, RequestError, ServeMsg, ServeStats, ServeStatus,
+    MAX_REQUEST_FRAME,
 };
 use crate::frame::read_raw_frame;
 use pa_graph::io::{stream_file_from, Fnv1a};
@@ -53,12 +85,14 @@ pub trait JobRunner: Send + Sync + 'static {
     fn validate(&self, spec: &JobSpec) -> Result<(), String>;
 
     /// Produce the complete artifact for `spec` at `out` (the server
-    /// renames it into the cache afterwards). Resumes always continue
-    /// the cached artifact, which is immutable once published, so the
-    /// runner need not be byte-reproducible across runs — but if a
-    /// re-run (after a server restart, say) produces different bytes,
-    /// clients resuming an old prefix fail the whole-artifact checksum
-    /// with a named error instead of silently stitching a hybrid.
+    /// renames it into the cache afterwards). Runs under `catch_unwind`:
+    /// a panic here is reported to waiters as a job failure, not a dead
+    /// worker. Resumes always continue the cached artifact, which is
+    /// immutable once published, so the runner need not be
+    /// byte-reproducible across runs — but if a re-run (after a cache
+    /// eviction, say) produces different bytes, clients resuming an old
+    /// prefix fail the whole-artifact checksum with a named error
+    /// instead of silently stitching a hybrid.
     fn run(&self, spec: &JobSpec, out: &Path) -> Result<(), String>;
 }
 
@@ -67,26 +101,46 @@ pub trait JobRunner: Send + Sync + 'static {
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Directory for artifacts (created if missing). One file per
-    /// completed job, named by job id.
+    /// completed job, named by job id. Scanned on startup to recover
+    /// the cache of a previous (possibly crashed) daemon.
     pub jobs_dir: PathBuf,
     /// Queue bound, counting *queued* jobs only (running jobs have
     /// already left the queue). Full queue → `QueueFull` rejection.
     pub queue_cap: usize,
-    /// Worker threads executing jobs.
+    /// Worker threads executing jobs. The pool holds this size through
+    /// panics and deadline abandonments.
     pub workers: usize,
     /// Streaming chunk size in bytes.
     pub chunk_bytes: usize,
-    /// The `retry_after` hint sent with `QueueFull` rejections.
+    /// The `retry_after` hint sent with retryable rejections.
     pub retry_after: Duration,
     /// Per-socket read/write timeout. Bounds half-open connections: a
     /// client that connects and never submits is dropped after this
     /// long, it cannot pin a connection slot forever.
     pub request_timeout: Duration,
+    /// Per-job run deadline. `None` disables the monitor; with a
+    /// deadline set, an overdue run is abandoned with a retryable
+    /// [`RejectCode::JobTimeout`] and its worker is replaced.
+    pub job_timeout: Option<Duration>,
+    /// Connection cap. Accepts beyond it are turned away with a
+    /// retryable [`RejectCode::Overloaded`] instead of spawning an
+    /// unbounded thread per connection.
+    pub max_conns: usize,
+    /// Artifact-cache byte quota. When completed artifacts exceed it,
+    /// the least-recently-streamed reader-free ones are evicted (and
+    /// re-run on their next submit). `u64::MAX` means unlimited.
+    pub cache_bytes: u64,
+    /// Per-tuple failure budget: after this many failed run attempts
+    /// (errors, panics or timeouts), further submits of the tuple are
+    /// rejected without running until the daemon restarts. `0` means
+    /// unlimited retries.
+    pub max_job_failures: u32,
 }
 
 impl ServeConfig {
     /// Defaults: queue of 16, 2 workers, 256 KiB chunks, 200 ms retry
-    /// hint, 10 s socket timeout.
+    /// hint, 10 s socket timeout, no job deadline, 64 connections,
+    /// unlimited cache bytes, per-tuple failure budget of 3.
     pub fn new(jobs_dir: impl Into<PathBuf>) -> Self {
         ServeConfig {
             jobs_dir: jobs_dir.into(),
@@ -95,39 +149,42 @@ impl ServeConfig {
             chunk_bytes: 256 << 10,
             retry_after: Duration::from_millis(200),
             request_timeout: Duration::from_secs(10),
+            job_timeout: None,
+            max_conns: 64,
+            cache_bytes: u64::MAX,
+            max_job_failures: 3,
         }
     }
 }
 
-/// Counters reported by [`Server::stats`] and [`Server::join`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Jobs admitted to the queue (each admission leads to exactly one
-    /// run attempt; lets tests sequence submissions deterministically).
-    pub jobs_admitted: u64,
-    /// Jobs actually executed to completion (coalesced/cached submits
-    /// don't re-run).
-    pub jobs_run: u64,
-    /// Submits served from an existing entry — a run in flight or a
-    /// cached artifact — instead of a fresh run.
-    pub jobs_coalesced: u64,
-    /// Rejections sent, of any code.
-    pub rejects: u64,
-    /// Queued jobs cancelled by a drain.
-    pub jobs_drained: u64,
-    /// Artifact bytes streamed to completion (suffix length on resume).
-    pub bytes_streamed: u64,
-}
-
 enum Phase {
     Queued,
-    Running,
-    Done { total: u64, checksum: u64 },
-    Failed { msg: String, drained: bool },
+    Running {
+        /// Run token: unique per run *attempt*. A run publishes or
+        /// fails only while its token is still current; the monitor
+        /// invalidates the token when it abandons an overdue run.
+        run: u64,
+        started: Instant,
+    },
+    Done {
+        total: u64,
+        checksum: u64,
+        /// Logical LRU clock value of the last stream (eviction order).
+        touch: u64,
+        /// Streams in flight; a pinned artifact is never evicted.
+        readers: u32,
+    },
+    Failed {
+        msg: String,
+        code: RejectCode,
+    },
 }
 
 struct JobState {
-    spec: JobSpec,
+    /// `None` for artifacts rebuilt by the recovery scan (the original
+    /// tuple is not stored on disk; identity is the job-id filename).
+    /// Always `Some` while an entry is queued.
+    spec: Option<JobSpec>,
     phase: Phase,
 }
 
@@ -135,9 +192,30 @@ struct Inner {
     queue: VecDeque<u64>,
     jobs: HashMap<u64, JobState>,
     draining: bool,
+    shutdown: bool,
     running: usize,
     active_conns: usize,
+    /// Run-token source (see [`Phase::Running`]).
+    next_run: u64,
+    /// Logical LRU clock (see [`Phase::Done`]).
+    touch_clock: u64,
+    /// Total bytes of completed artifacts in the cache.
+    cache_bytes: u64,
+    /// Worker threads alive, including wedged ones.
+    workers_live: usize,
+    /// Workers abandoned past a deadline, replaced, not yet retired.
+    workers_wedged: usize,
+    /// Failed run attempts per job id (cleared on success), charged
+    /// against [`ServeConfig::max_job_failures`].
+    failures: HashMap<u64, u32>,
     stats: ServeStats,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.touch_clock += 1;
+        self.touch_clock
+    }
 }
 
 struct Shared {
@@ -148,26 +226,52 @@ struct Shared {
 }
 
 impl Shared {
+    /// Lock the state, recovering from poison: a panic on some other
+    /// thread (already counted by supervision) must not cascade into
+    /// every lock site.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        self.cond
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, Inner>,
+        dur: Duration,
+    ) -> MutexGuard<'a, Inner> {
+        self.cond
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+    }
+
     fn artifact_path(&self, id: u64) -> PathBuf {
         self.cfg.jobs_dir.join(format!("{id:016x}.art"))
     }
 
-    fn tmp_path(&self, id: u64) -> PathBuf {
-        self.cfg.jobs_dir.join(format!("{id:016x}.tmp"))
+    /// Temp path of one run *attempt*. Unique per attempt so an
+    /// abandoned run and its retry can never write the same file.
+    fn tmp_path(&self, id: u64, run: u64) -> PathBuf {
+        self.cfg.jobs_dir.join(format!("{id:016x}.{run}.tmp"))
     }
 
     /// Enter drain: stop admitting, fail everything queued, wake every
     /// waiter and worker. Idempotent. Returns `(running, dropped)` for
     /// the `DRAIN_ACK`.
     fn drain_now(&self) -> (u32, u32) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.draining = true;
         let mut dropped = 0u32;
         while let Some(id) = inner.queue.pop_front() {
             if let Some(job) = inner.jobs.get_mut(&id) {
                 job.phase = Phase::Failed {
                     msg: "job drained before start".into(),
-                    drained: true,
+                    code: RejectCode::Draining,
                 };
             }
             dropped += 1;
@@ -175,6 +279,27 @@ impl Shared {
         inner.stats.jobs_drained += u64::from(dropped);
         self.cond.notify_all();
         (inner.running as u32, dropped)
+    }
+
+    /// Snapshot the daemon's health for `STATUS_ACK` / [`Server::status`].
+    fn status_now(&self) -> ServeStatus {
+        let inner = self.lock();
+        let cache_artifacts = inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.phase, Phase::Done { .. }))
+            .count();
+        ServeStatus {
+            queued: inner.queue.len() as u32,
+            running: inner.running as u32,
+            active_conns: inner.active_conns as u32,
+            workers: inner.workers_live.saturating_sub(inner.workers_wedged) as u32,
+            workers_wedged: inner.workers_wedged as u32,
+            cache_artifacts: cache_artifacts as u32,
+            draining: inner.draining,
+            cache_bytes: inner.cache_bytes,
+            stats: inner.stats,
+        }
     }
 }
 
@@ -185,7 +310,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -199,7 +324,8 @@ impl Server {
     }
 
     /// Start the daemon on an already-bound listener (lets tests bind
-    /// port 0 themselves).
+    /// port 0 themselves). Runs the crash-recovery scan over the jobs
+    /// directory before accepting connections.
     ///
     /// # Errors
     ///
@@ -221,22 +347,38 @@ impl Server {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 draining: false,
+                shutdown: false,
                 running: 0,
                 active_conns: 0,
+                next_run: 0,
+                touch_clock: 0,
+                cache_bytes: 0,
+                workers_live: 0,
+                workers_wedged: 0,
+                failures: HashMap::new(),
                 stats: ServeStats::default(),
             }),
             cond: Condvar::new(),
         });
-        let mut worker_handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            worker_handles.push(
-                thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker"),
-            );
+        {
+            let mut inner = shared.lock();
+            recover_cache(&shared, &mut inner);
+            evict_over_quota(&mut inner, &shared);
         }
+        for _ in 0..workers {
+            spawn_worker(&shared).expect("spawn worker");
+        }
+        let monitor = if shared.cfg.job_timeout.is_some() {
+            let sh = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("serve-monitor".into())
+                    .spawn(move || monitor_loop(&sh))
+                    .expect("spawn monitor"),
+            )
+        } else {
+            None
+        };
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -248,7 +390,7 @@ impl Server {
             shared,
             addr,
             accept: Some(accept),
-            workers: worker_handles,
+            monitor,
         })
     }
 
@@ -266,89 +408,355 @@ impl Server {
 
     /// Snapshot of the daemon's counters.
     pub fn stats(&self) -> ServeStats {
-        self.shared.inner.lock().unwrap().stats
+        self.shared.lock().stats
+    }
+
+    /// Snapshot of the daemon's health — same data a wire `STATUS_REQ`
+    /// returns (minus the requesting connection in `active_conns`).
+    pub fn status(&self) -> ServeStatus {
+        self.shared.status_now()
     }
 
     /// Wait for the daemon to finish. **Blocks until a drain arrives**
     /// (via [`Server::drain`] or the wire) and every in-flight job has
     /// finished streaming — this is the daemon's main "run until told
-    /// to stop" call.
+    /// to stop" call. Wedged workers are unjoinable by definition;
+    /// `join` waits for every *other* worker to retire and leaves the
+    /// wedged ones to exit with the process (or retire on their own if
+    /// their runner ever returns).
     pub fn join(mut self) -> ServeStats {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        self.shared.lock().shutdown = true;
         self.shared.cond.notify_all();
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.monitor.take() {
             let _ = h.join();
         }
-        let stats = self.shared.inner.lock().unwrap().stats;
-        stats
+        let mut inner = self.shared.lock();
+        while inner.workers_live > inner.workers_wedged {
+            inner = self.shared.wait(inner);
+        }
+        inner.stats
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Add one worker to the pool (initial spawn and deadline
+/// replacements). The liveness counter is incremented *before* the
+/// spawn and rolled back on failure, so [`Server::join`] can always
+/// wait on it.
+///
+/// # Errors
+///
+/// Propagates the thread-spawn error (the pool is left as it was).
+fn spawn_worker(shared: &Arc<Shared>) -> io::Result<()> {
+    shared.lock().workers_live += 1;
+    let sh = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name("serve-worker".into())
+        .spawn(move || {
+            loop {
+                if catch_unwind(AssertUnwindSafe(|| worker_loop(&sh))).is_ok() {
+                    break;
+                }
+                // Runner panics are caught *inside* worker_loop; landing
+                // here means the serve layer itself panicked. Count it
+                // and restart the loop so the pool never shrinks.
+                sh.lock().stats.worker_panics += 1;
+            }
+        });
+    if let Err(e) = spawned {
+        let mut inner = shared.lock();
+        inner.workers_live -= 1;
+        drop(inner);
+        shared.cond.notify_all();
+        return Err(e);
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let (id, spec) = {
-            let mut inner = shared.inner.lock().unwrap();
+        let (id, spec, run) = {
+            let mut inner = shared.lock();
             loop {
                 if let Some(id) = inner.queue.pop_front() {
+                    inner.next_run += 1;
+                    let run = inner.next_run;
                     let job = inner.jobs.get_mut(&id).expect("queued job has state");
-                    job.phase = Phase::Running;
-                    let spec = job.spec;
+                    job.phase = Phase::Running {
+                        run,
+                        started: Instant::now(),
+                    };
+                    let spec = job.spec.expect("queued job carries its spec");
                     inner.running += 1;
-                    break (id, spec);
+                    break (id, spec, run);
                 }
                 if inner.draining {
+                    inner.workers_live -= 1;
+                    drop(inner);
+                    shared.cond.notify_all();
                     return;
                 }
-                inner = shared.cond.wait(inner).unwrap();
+                inner = shared.wait(inner);
             }
         };
-        let outcome = run_job(shared, id, &spec);
-        let mut inner = shared.inner.lock().unwrap();
-        inner.running -= 1;
-        if outcome.is_ok() {
-            inner.stats.jobs_run += 1;
+        let tmp = shared.tmp_path(id, run);
+        // Supervision: a panicking runner is a job failure, not a dead
+        // worker plus forever-blocked waiters.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(shared, &spec, &tmp))) {
+            Ok(result) => result.map_err(|msg| (msg, false)),
+            Err(payload) => Err((
+                format!("job runner panicked: {}", panic_message(payload.as_ref())),
+                true,
+            )),
+        };
+        let mut inner = shared.lock();
+        let current = matches!(
+            inner.jobs.get(&id).map(|j| &j.phase),
+            Some(Phase::Running { run: r, .. }) if *r == run
+        );
+        if !current {
+            // The monitor abandoned this run at its deadline: waiters
+            // were already released and a replacement worker spawned,
+            // making this thread the surplus. Discard the result and
+            // retire so the pool returns to its configured size.
+            inner.workers_wedged = inner.workers_wedged.saturating_sub(1);
+            inner.workers_live -= 1;
+            drop(inner);
+            let _ = std::fs::remove_file(&tmp);
+            shared.cond.notify_all();
+            return;
         }
-        if let Some(job) = inner.jobs.get_mut(&id) {
-            job.phase = match outcome {
-                Ok((total, checksum)) => Phase::Done { total, checksum },
-                Err(msg) => Phase::Failed {
-                    msg,
-                    drained: false,
-                },
-            };
+        inner.running -= 1;
+        let mut cleanup_tmp = false;
+        match outcome {
+            Ok((total, checksum)) => {
+                // Publish under the lock, while the run token is still
+                // current — an abandoned run can therefore never rename
+                // over a published artifact later.
+                match std::fs::rename(&tmp, shared.artifact_path(id)) {
+                    Ok(()) => {
+                        inner.stats.jobs_run += 1;
+                        inner.failures.remove(&id);
+                        let touch = inner.touch();
+                        if let Some(job) = inner.jobs.get_mut(&id) {
+                            job.phase = Phase::Done {
+                                total,
+                                checksum,
+                                touch,
+                                readers: 0,
+                            };
+                        }
+                        inner.cache_bytes += total;
+                        evict_over_quota(&mut inner, shared);
+                    }
+                    Err(e) => {
+                        fail(
+                            &mut inner,
+                            id,
+                            format!("publishing artifact: {e}"),
+                            RejectCode::JobFailed,
+                        );
+                        cleanup_tmp = true;
+                    }
+                }
+            }
+            Err((msg, was_panic)) => {
+                if was_panic {
+                    inner.stats.worker_panics += 1;
+                }
+                fail(&mut inner, id, msg, RejectCode::JobFailed);
+                cleanup_tmp = true;
+            }
+        }
+        drop(inner);
+        if cleanup_tmp {
+            let _ = std::fs::remove_file(&tmp);
         }
         shared.cond.notify_all();
     }
 }
 
-/// Execute one job: run to a temp path, checksum, rename into the
-/// cache. Returns `(total_bytes, checksum)`.
-fn run_job(shared: &Shared, id: u64, spec: &JobSpec) -> Result<(u64, u64), String> {
-    let tmp = shared.tmp_path(id);
-    let finished = shared.artifact_path(id);
-    let result = shared.runner.run(spec, &tmp).and_then(|()| {
+/// Render a `catch_unwind` payload for the failure message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Mark the current run of `id` failed: count it, charge the tuple's
+/// failure budget, hand waiters the named `code`.
+fn fail(inner: &mut Inner, id: u64, msg: String, code: RejectCode) {
+    inner.stats.jobs_failed += 1;
+    if code == RejectCode::JobTimeout {
+        inner.stats.jobs_timed_out += 1;
+    }
+    *inner.failures.entry(id).or_insert(0) += 1;
+    if let Some(job) = inner.jobs.get_mut(&id) {
+        job.phase = Phase::Failed { msg, code };
+    }
+}
+
+/// Evict least-recently-streamed reader-free artifacts until the cache
+/// fits [`ServeConfig::cache_bytes`]. Artifacts pinned by an active
+/// stream are skipped — the quota is transiently exceeded rather than
+/// yanking a file out from under a reader.
+fn evict_over_quota(inner: &mut Inner, shared: &Shared) {
+    while inner.cache_bytes > shared.cfg.cache_bytes {
+        let victim = inner
+            .jobs
+            .iter()
+            .filter_map(|(id, job)| match &job.phase {
+                Phase::Done {
+                    touch,
+                    readers: 0,
+                    total,
+                    ..
+                } => Some((*touch, *id, *total)),
+                _ => None,
+            })
+            .min_by_key(|&(touch, _, _)| touch);
+        let Some((_, id, total)) = victim else { break };
+        let _ = std::fs::remove_file(shared.artifact_path(id));
+        inner.jobs.remove(&id);
+        inner.cache_bytes = inner.cache_bytes.saturating_sub(total);
+        inner.stats.jobs_evicted += 1;
+    }
+}
+
+/// Rebuild the artifact cache from the jobs directory after a restart:
+/// delete stale `*.tmp` litter, re-checksum every `*.art` file and
+/// republish it as `Done`, so resuming clients stitch against the
+/// exact pre-crash bytes. Unreadable or oddly-named files are left in
+/// place and simply not served.
+fn recover_cache(shared: &Shared, inner: &mut Inner) {
+    let Ok(entries) = std::fs::read_dir(&shared.cfg.jobs_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let path = entry.path();
+        if name.ends_with(".tmp") {
+            if std::fs::remove_file(&path).is_ok() {
+                inner.stats.tmp_cleaned += 1;
+            }
+            continue;
+        }
+        let Some(hex) = name.strip_suffix(".art") else {
+            continue;
+        };
+        if hex.len() != 16 {
+            continue;
+        }
+        let Ok(id) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
         let mut hasher = Fnv1a::new();
-        let total = stream_file_from(&tmp, 0, 1 << 20, |_, data| {
+        let scanned = stream_file_from(&path, 0, 1 << 20, |_, data| {
+            hasher.update(data);
+            Ok(())
+        });
+        let Ok(total) = scanned else { continue };
+        let touch = inner.touch();
+        inner.jobs.insert(
+            id,
+            JobState {
+                spec: None,
+                phase: Phase::Done {
+                    total,
+                    checksum: hasher.digest(),
+                    touch,
+                    readers: 0,
+                },
+            },
+        );
+        inner.cache_bytes += total;
+        inner.stats.jobs_recovered += 1;
+    }
+}
+
+/// Execute one job attempt: run the runner to the attempt's temp path,
+/// then checksum the result. Returns `(total_bytes, checksum)`; the
+/// caller publishes (renames) under the lock.
+fn run_job(shared: &Shared, spec: &JobSpec, tmp: &Path) -> Result<(u64, u64), String> {
+    let result = shared.runner.run(spec, tmp).and_then(|()| {
+        let mut hasher = Fnv1a::new();
+        let total = stream_file_from(tmp, 0, 1 << 20, |_, data| {
             hasher.update(data);
             Ok(())
         })
         .map_err(|e| format!("checksum pass over fresh artifact failed: {e}"))?;
-        std::fs::rename(&tmp, &finished)
-            .map_err(|e| format!("publishing artifact {}: {e}", finished.display()))?;
         Ok((total, hasher.digest()))
     });
     if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+        let _ = std::fs::remove_file(tmp);
     }
     result
+}
+
+/// Enforce [`ServeConfig::job_timeout`]: abandon overdue runs with a
+/// retryable `JobTimeout` rejection and keep the pool at size by
+/// spawning one replacement per abandoned worker.
+fn monitor_loop(shared: &Arc<Shared>) {
+    let Some(deadline) = shared.cfg.job_timeout else {
+        return;
+    };
+    let tick = (deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let mut inner = shared.lock();
+    loop {
+        if inner.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        let overdue: Vec<u64> = inner
+            .jobs
+            .iter()
+            .filter_map(|(id, job)| match &job.phase {
+                Phase::Running { started, .. } if now.duration_since(*started) >= deadline => {
+                    Some(*id)
+                }
+                _ => None,
+            })
+            .collect();
+        let replacements = overdue.len();
+        for id in overdue {
+            fail(
+                &mut inner,
+                id,
+                format!(
+                    "job ran past its {} ms deadline and was abandoned",
+                    deadline.as_millis()
+                ),
+                RejectCode::JobTimeout,
+            );
+            // The run token under `Failed` is gone: the wedged worker
+            // will see itself stale and retire. Account it out of the
+            // running set now so drains and joins don't wait on it.
+            inner.running -= 1;
+            inner.workers_wedged += 1;
+        }
+        if replacements > 0 {
+            drop(inner);
+            shared.cond.notify_all();
+            for _ in 0..replacements {
+                let _ = spawn_worker(shared);
+            }
+            inner = shared.lock();
+        }
+        inner = shared.wait_timeout(inner, tick);
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         {
-            let inner = shared.inner.lock().unwrap();
+            let inner = shared.lock();
             if inner.draining
                 && inner.queue.is_empty()
                 && inner.running == 0
@@ -359,15 +767,38 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                shared.inner.lock().unwrap().active_conns += 1;
-                let shared = Arc::clone(shared);
-                let _ = thread::Builder::new()
+                let admitted = {
+                    let mut inner = shared.lock();
+                    if inner.active_conns >= shared.cfg.max_conns.max(1) {
+                        false
+                    } else {
+                        inner.active_conns += 1;
+                        true
+                    }
+                };
+                if !admitted {
+                    reject_overloaded(shared, stream);
+                    continue;
+                }
+                let sh = Arc::clone(shared);
+                let spawned = thread::Builder::new()
                     .name("serve-conn".into())
                     .spawn(move || {
-                        handle_conn(&shared, stream);
-                        shared.inner.lock().unwrap().active_conns -= 1;
-                        shared.cond.notify_all();
+                        handle_conn(&sh, stream);
+                        let mut inner = sh.lock();
+                        inner.active_conns -= 1;
+                        drop(inner);
+                        sh.cond.notify_all();
                     });
+                if spawned.is_err() {
+                    // The closure never ran (the stream dropped with
+                    // it): undo the admission here, or `join` would
+                    // wait forever on a count that can't reach zero.
+                    let mut inner = shared.lock();
+                    inner.active_conns -= 1;
+                    drop(inner);
+                    shared.cond.notify_all();
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(5));
@@ -377,8 +808,34 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Turn away a connection beyond the cap, inline on the accept thread:
+/// short write timeout, named retryable reject, brief linger (cf.
+/// [`linger_close`], but bounded tighter so a hostile client cannot
+/// pin the accept loop).
+fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let msg = format!("connection limit reached ({})", shared.cfg.max_conns);
+    let _ = write_reject(
+        &mut stream,
+        RejectCode::Overloaded,
+        shared.cfg.retry_after,
+        &msg,
+    );
+    shared.lock().stats.note_reject(RejectCode::Overloaded);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 1024];
+    for _ in 0..4 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 /// Send a rejection (best effort — the peer may already be gone) and
-/// count it.
+/// count it under its code.
 fn reject(shared: &Shared, stream: &mut TcpStream, code: RejectCode, msg: &str) {
     let retry_after = if code.is_retryable() {
         shared.cfg.retry_after
@@ -386,7 +843,7 @@ fn reject(shared: &Shared, stream: &mut TcpStream, code: RejectCode, msg: &str) 
         Duration::ZERO
     };
     let _ = write_reject(stream, code, retry_after, msg);
-    shared.inner.lock().unwrap().stats.rejects += 1;
+    shared.lock().stats.note_reject(code);
 }
 
 /// Close without slamming the door: half-close the write side, then
@@ -436,6 +893,10 @@ fn serve_conn(shared: &Shared, stream: &mut TcpStream) {
             let (running, dropped) = shared.drain_now();
             let _ = write_drain_ack(stream, running, dropped);
         }
+        Ok(ServeMsg::StatusReq) => {
+            let status = shared.status_now();
+            let _ = write_status_ack(stream, &status);
+        }
         Ok(_) => reject(
             shared,
             stream,
@@ -457,20 +918,44 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset:
         return;
     }
     let id = spec.job_id();
+    enum Seen {
+        Absent,
+        Wait,
+        Done,
+        Failed(RejectCode, String),
+    }
     // Admission: find or create the job entry, then wait out Queued and
     // Running under the condvar. FIFO is the queue's order; admission
     // order is the lock-acquisition order of this critical section.
     let outcome = {
-        let mut inner = shared.inner.lock().unwrap();
+        let mut inner = shared.lock();
         let mut coalesced_counted = false;
         loop {
-            match inner.jobs.get(&id).map(|j| &j.phase) {
-                None => {
-                    // Admission decisions (drain, capacity) apply only to
-                    // *new* work: a waiter on an in-flight job keeps
-                    // waiting through a drain and still gets its stream.
+            let seen = match inner.jobs.get(&id).map(|j| &j.phase) {
+                None => Seen::Absent,
+                Some(Phase::Queued | Phase::Running { .. }) => Seen::Wait,
+                Some(Phase::Done { .. }) => Seen::Done,
+                Some(Phase::Failed { msg, code }) => Seen::Failed(*code, msg.clone()),
+            };
+            match seen {
+                Seen::Absent => {
+                    // Admission decisions (drain, budget, capacity)
+                    // apply only to *new* work: a waiter on an in-flight
+                    // job keeps waiting through a drain and still gets
+                    // its stream.
                     if inner.draining {
                         break Err((RejectCode::Draining, "server is draining".to_string()));
+                    }
+                    let budget = shared.cfg.max_job_failures;
+                    let spent = inner.failures.get(&id).copied().unwrap_or(0);
+                    if budget > 0 && spent >= budget {
+                        break Err((
+                            RejectCode::JobFailed,
+                            format!(
+                                "job failed {spent} time(s); per-tuple failure budget \
+                                 ({budget}) exhausted until the daemon restarts"
+                            ),
+                        ));
                     }
                     if inner.queue.len() >= shared.cfg.queue_cap {
                         break Err((
@@ -481,7 +966,7 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset:
                     inner.jobs.insert(
                         id,
                         JobState {
-                            spec,
+                            spec: Some(spec),
                             phase: Phase::Queued,
                         },
                     );
@@ -492,29 +977,40 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset:
                     coalesced_counted = true;
                     shared.cond.notify_all();
                 }
-                Some(Phase::Queued | Phase::Running) => {
+                Seen::Wait => {
                     if !coalesced_counted {
                         inner.stats.jobs_coalesced += 1;
                         coalesced_counted = true;
                     }
-                    inner = shared.cond.wait(inner).unwrap();
+                    inner = shared.wait(inner);
                 }
-                Some(Phase::Done { total, checksum }) => {
-                    let done = (*total, *checksum);
+                Seen::Done => {
                     if !coalesced_counted {
                         inner.stats.jobs_coalesced += 1;
                     }
-                    break Ok(done);
-                }
-                Some(Phase::Failed { msg, drained }) => {
-                    let code = if *drained {
-                        RejectCode::Draining
-                    } else {
-                        RejectCode::JobFailed
+                    // Register as a reader: a streaming artifact is
+                    // pinned against eviction until the stream ends.
+                    let touch = inner.touch();
+                    let Some(JobState {
+                        phase:
+                            Phase::Done {
+                                total,
+                                checksum,
+                                touch: last,
+                                readers,
+                            },
+                        ..
+                    }) = inner.jobs.get_mut(&id)
+                    else {
+                        unreachable!("Done entry vanished under the lock");
                     };
-                    let msg = msg.clone();
+                    *last = touch;
+                    *readers += 1;
+                    break Ok((*total, *checksum));
+                }
+                Seen::Failed(code, msg) => {
                     // Failure is not cached: clear the entry so a later
-                    // submit retries the run.
+                    // submit retries the run (budget permitting).
                     inner.jobs.remove(&id);
                     break Err((code, msg));
                 }
@@ -528,9 +1024,31 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset:
             return;
         }
     };
-    // A freshly-run job was counted in jobs_run by the worker; a cache
-    // hit was counted in jobs_coalesced above. Either way the artifact
-    // is complete and immutable from here on.
+    // The artifact is complete, immutable and pinned from here on.
+    let fully_streamed = stream_artifact(shared, stream, id, offset, total, checksum);
+    let mut inner = shared.lock();
+    if let Some(JobState {
+        phase: Phase::Done { readers, .. },
+        ..
+    }) = inner.jobs.get_mut(&id)
+    {
+        *readers = readers.saturating_sub(1);
+    }
+    if fully_streamed {
+        inner.stats.bytes_streamed += total - offset;
+    }
+}
+
+/// Stream `[offset, total)` of a published artifact plus the final
+/// `DONE`. Returns whether the whole suffix was delivered.
+fn stream_artifact(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    id: u64,
+    offset: u64,
+    total: u64,
+    checksum: u64,
+) -> bool {
     if offset > total {
         reject(
             shared,
@@ -538,19 +1056,16 @@ fn handle_submit(shared: &Shared, stream: &mut TcpStream, spec: JobSpec, offset:
             RejectCode::BadOffset,
             &format!("resume offset {offset} beyond artifact end {total}"),
         );
-        return;
+        return false;
     }
     if write_accept(stream, id, offset, total).is_err() {
-        return;
+        return false;
     }
     let path = shared.artifact_path(id);
     let chunk = shared.cfg.chunk_bytes.max(1);
     let streamed = stream_file_from(&path, offset, chunk, |off, data| {
         write_chunk(stream, off, data)
     });
-    if streamed.is_err() || write_done(stream, total, checksum).is_err() {
-        // The client vanished mid-stream; it will reconnect and resume.
-        return;
-    }
-    shared.inner.lock().unwrap().stats.bytes_streamed += total - offset;
+    // A client that vanished mid-stream will reconnect and resume.
+    streamed.is_ok() && write_done(stream, total, checksum).is_ok()
 }

@@ -278,25 +278,66 @@ fn failed_run_rejects_with_job_failed_and_is_not_cached() {
     let mut bad = spec(100, 3);
     bad.x = 666; // ByteRunner fails this at run time, not validation
     let out = temp_dir("job_failed_out").join("a.bin");
-    let err = fetch(&FetchOptions::new(server.addr().to_string(), bad, &out)).unwrap_err();
+    // The client retries job-failed through its bounded attempt budget
+    // (failure is not cached server-side); with a budget of one, the
+    // named error surfaces immediately.
+    let mut opts = FetchOptions::new(server.addr().to_string(), bad, &out);
+    opts.max_attempts = 1;
+    let err = fetch(&opts).unwrap_err();
     match err {
-        FetchError::Rejected { code, msg, .. } => {
-            assert_eq!(code, RejectCode::JobFailed);
-            assert!(msg.contains("synthetic runner failure"), "{msg:?}");
+        FetchError::Exhausted { attempts, last } => {
+            assert_eq!(attempts, 1);
+            assert!(last.contains("job-failed"), "{last:?}");
+            assert!(last.contains("synthetic runner failure"), "{last:?}");
         }
-        other => panic!("expected JobFailed rejection, got {other:?}"),
+        other => panic!("expected exhausted job-failed retries, got {other:?}"),
     }
-    // The failure was not cached: a fixed spec with the same identity
-    // fields but valid x runs fine, and the *same* failing spec fails
-    // again with the same named error (a fresh run, not a stale cache).
-    let err = fetch(&FetchOptions::new(server.addr().to_string(), bad, &out)).unwrap_err();
-    assert!(matches!(
-        err,
-        FetchError::Rejected {
-            code: RejectCode::JobFailed,
-            ..
+    // The failure was not cached: the *same* failing spec fails again
+    // with the same named error from a fresh run, not a stale cache.
+    let err = fetch(&opts).unwrap_err();
+    match err {
+        FetchError::Exhausted { last, .. } => {
+            assert!(last.contains("synthetic runner failure"), "{last:?}");
         }
-    ));
+        other => panic!("expected exhausted job-failed retries, got {other:?}"),
+    }
+    assert_eq!(
+        server.stats().jobs_failed,
+        2,
+        "each submit must have triggered a fresh failing run"
+    );
+    shutdown(server);
+}
+
+#[test]
+fn status_req_answers_with_a_snapshot_and_truncated_one_is_rejected() {
+    use pa_net::serve::proto::KIND_STATUS_REQ;
+    let server = start_server("status", |_| {});
+    let out = temp_dir("status_out").join("a.bin");
+    fetch(&FetchOptions::new(
+        server.addr().to_string(),
+        spec(250, 21),
+        &out,
+    ))
+    .unwrap();
+    let status = pa_net::serve::status(&server.addr().to_string(), Duration::from_secs(10))
+        .expect("status over the wire");
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.running, 0);
+    assert_eq!(status.cache_artifacts, 1);
+    assert_eq!(status.cache_bytes, 250);
+    assert_eq!(status.stats.jobs_run, 1);
+    assert!(!status.draining);
+    assert!(
+        status.active_conns >= 1,
+        "the status connection counts itself"
+    );
+    assert_eq!(status.workers, 2, "default pool size");
+    assert_eq!(status.workers_wedged, 0);
+
+    let wire = [3u8, 0, 0, 0, KIND_STATUS_REQ, 1, 2]; // 2-byte payload, need 8
+    let reply = roundtrip_raw(&server, &wire);
+    expect_reject(reply, RejectCode::BadRequest, "8 bytes");
     shutdown(server);
 }
 

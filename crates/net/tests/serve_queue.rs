@@ -329,6 +329,64 @@ fn drain_is_idempotent_and_join_returns_after_drain() {
 }
 
 #[test]
+fn connection_cap_rejects_with_retryable_overloaded() {
+    let runner = GatedRunner::new();
+    let server = {
+        let mut cfg = ServeConfig::new(fresh_dir("cap").join("jobs"));
+        cfg.queue_cap = 8;
+        cfg.workers = 1;
+        cfg.max_conns = 1;
+        cfg.retry_after = Duration::from_millis(250);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        Server::start(listener, cfg, runner.clone()).unwrap()
+    };
+    let a = fetch_in_background(&server, spec(500), "cap");
+    wait_admitted(&server, 1);
+    runner.wait_entered(1);
+    // The one connection slot is held by the waiting fetch; a second
+    // connection bounces with the named retryable code and the
+    // configured hint, before its request is even read.
+    {
+        use pa_net::serve::proto::{read_reply, write_submit, ServeMsg};
+        let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write_submit(&mut s, &spec(501), 0).unwrap();
+        match read_reply(&mut s).unwrap() {
+            ServeMsg::Reject {
+                code,
+                retry_after,
+                msg,
+            } => {
+                assert_eq!(code, RejectCode::Overloaded);
+                assert!(code.is_retryable());
+                assert_eq!(retry_after, Duration::from_millis(250));
+                assert!(msg.contains("connection limit"), "{msg:?}");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.status().stats.rejects_for(RejectCode::Overloaded) < 1 {
+        assert!(Instant::now() < deadline, "overloaded reject never counted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.status().active_conns, 1);
+    // A patient client rides the cap out: the slot frees once the gate
+    // opens and the first stream completes.
+    let out = temp_dir("cap_c").join("c.bin");
+    let mut opts = FetchOptions::new(server.addr().to_string(), spec(502), &out);
+    opts.max_attempts = 100;
+    opts.backoff_initial = Duration::from_millis(5);
+    opts.backoff_cap = Duration::from_millis(50);
+    let c = std::thread::spawn(move || fetch(&opts));
+    runner.open_gate();
+    a.join().unwrap().unwrap();
+    c.join().unwrap().unwrap();
+    server.drain();
+    server.join();
+}
+
+#[test]
 fn concurrent_submits_of_one_tuple_coalesce_to_a_single_run() {
     let runner = GatedRunner::new();
     let server = start("coalesce", 8, runner.clone());

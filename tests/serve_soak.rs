@@ -12,12 +12,15 @@
 //! - `SERVE_SOAK_TUPLES=N` sets the number of distinct small tuples
 //!   (default 12);
 //! - `SERVE_SOAK_CLIENTS=N` sets the concurrent clients per tuple
-//!   (default 2; every extra client exercises request coalescing).
+//!   (default 4; every extra client exercises request coalescing).
 //!
 //! What it pins down:
-//! - dozens of concurrent small fetches, two clients per tuple, all
+//! - dozens of concurrent small fetches, several clients per tuple, all
 //!   byte-identical to independent solo runs (engine 3 — the
 //!   byte-deterministic engine — so the comparison is meaningful);
+//! - a connection cap (`--max-conns 16`) well below the client count,
+//!   so admission control turns the overflow away with retryable
+//!   `overloaded` rejections that the clients ride out with backoff;
 //! - one large job streaming concurrently with the small ones,
 //!   byte-identical to its solo run;
 //! - a mid-stream disconnect (deterministic, via `--stop-after-bytes`)
@@ -131,7 +134,7 @@ fn daemon_survives_concurrent_multi_tenant_load() {
     };
     let scale = env_or("SERVE_SOAK_SCALE", 1);
     let tuples = env_or("SERVE_SOAK_TUPLES", 12);
-    let clients = env_or("SERVE_SOAK_CLIENTS", 2);
+    let clients = env_or("SERVE_SOAK_CLIENTS", 4);
     let dir = Arc::new(tmp_dir("load"));
     let jobs_dir = dir.join("jobs");
     let addr = free_addr();
@@ -150,6 +153,8 @@ fn daemon_survives_concurrent_multi_tenant_load() {
                 "4",
                 "--queue-cap",
                 "64",
+                "--max-conns",
+                "16",
             ])
         })
     };
@@ -175,7 +180,21 @@ fn daemon_survives_concurrent_multi_tenant_load() {
             let (addr, dir, job) = (addr.clone(), Arc::clone(&dir), job.clone());
             handles.push(std::thread::spawn(move || {
                 let out = dir.join(format!("small_{i}_{client}.bin"));
-                job.fetch(&addr, &out, &[]);
+                // With the connection cap below the client count, some
+                // attempts bounce with `overloaded`; give every client
+                // enough quick retries to drain through the cap.
+                job.fetch(
+                    &addr,
+                    &out,
+                    &[
+                        "--max-attempts",
+                        "40",
+                        "--backoff-ms",
+                        "20",
+                        "--backoff-cap-ms",
+                        "200",
+                    ],
+                );
                 (job, out)
             }));
         }
@@ -184,7 +203,18 @@ fn daemon_survives_concurrent_multi_tenant_load() {
         let (addr, dir, job) = (addr.clone(), Arc::clone(&dir), large.clone());
         std::thread::spawn(move || {
             let out = dir.join("large.bin");
-            job.fetch(&addr, &out, &[]);
+            job.fetch(
+                &addr,
+                &out,
+                &[
+                    "--max-attempts",
+                    "40",
+                    "--backoff-ms",
+                    "20",
+                    "--backoff-cap-ms",
+                    "200",
+                ],
+            );
             out
         })
     };
